@@ -1,0 +1,139 @@
+//! Ablation benches for the design choices the paper discusses but does not
+//! plot:
+//!
+//! 1. **PRAC-AO vs PRAC-PO** (§8.2): the area-optimized sequential counter
+//!    update blocks a bank for up to ~1.5 µs per SiMRA-32 operation — the
+//!    paper argues this is prohibitive and evaluates only PRAC-PO.
+//! 2. **TRR sampling rate** (§7): how often the TRR-capable REF fires
+//!    controls how much RowHammer mitigation the sampler achieves — and
+//!    how little it matters against SiMRA.
+//! 3. **Clustered row decoder** (§8.1): the attack surface (sandwiched
+//!    victims) of the stock decoder vs the clustered design.
+
+use pud_bender::{Executor, TestEnv};
+use pud_dram::{profiles, BankId, Chip, ChipGeometry, DataPattern, RowAddr, SubarrayId};
+use pud_memsim::{fig25, workload, Mitigation};
+use pud_mitigations::clustered;
+use pud_trr::{patterns as trr_patterns, SamplingTrr, SamplingTrrConfig};
+use pudhammer::patterns::{simra_ds_kernels, Kernel};
+
+fn main() {
+    prac_ao_vs_po();
+    trr_sampling_rate();
+    clustered_decoder_surface();
+}
+
+fn prac_ao_vs_po() {
+    println!("== ablation: PRAC-AO (sequential counters) vs PRAC-PO ==");
+    let mix = &workload::build_mixes(1, 7)[0];
+    for period in [250u64, 1_000, 4_000] {
+        let base = fig25::run_single(mix, period, Mitigation::None, 60_000, 5);
+        let po = fig25::run_single(mix, period, Mitigation::PracPoWeighted, 60_000, 5);
+        let ao = fig25::run_single(mix, period, Mitigation::PracAoWeighted, 60_000, 5);
+        // AO's sequential counter update (~1.5 µs per SiMRA-32) throttles
+        // the PuD workload itself — its cost shows up as lost PuD
+        // throughput, "defeating the purpose of using PuD operations"
+        // (§8.2), not only as benchmark slowdown.
+        let po_rate = po.pud_ops as f64 / po.elapsed_ns as f64;
+        let ao_rate = ao.pud_ops as f64 / ao.elapsed_ns as f64;
+        println!(
+            "period {:>5}ns: normalized perf PO {:.3} / AO {:.3}; PuD ops/us PO {:.2} / AO {:.2}",
+            period,
+            fig25::normalized(&po, &base),
+            fig25::normalized(&ao, &base),
+            po_rate * 1e3,
+            ao_rate * 1e3,
+        );
+        assert!(ao_rate <= po_rate, "AO must not exceed PO's PuD throughput");
+    }
+    println!();
+}
+
+fn trr_sampling_rate() {
+    println!("== ablation: TRR-capable REF period vs RowHammer/SiMRA bitflips ==");
+    let profile = profiles::most_simra_vulnerable();
+    let geometry = ChipGeometry::scaled_for_tests();
+    let bank = BankId(0);
+    for refs_per_trr in [1u64, 3, 9] {
+        let run = |simra: bool| -> usize {
+            let mut exec = Executor::new(profile, geometry, 0, 42);
+            exec.set_env(TestEnv::with_refresh());
+            exec.set_observer(Box::new(SamplingTrr::new(
+                SamplingTrrConfig {
+                    refs_per_trr,
+                    ..SamplingTrrConfig::default()
+                },
+                profile.mapping(),
+                9,
+            )));
+            let hero = exec.engine().model().hero_row().expect("chip 0").1;
+            let program = if simra {
+                let sa = exec.chip().geometry().subarray_of(hero).expect("in range");
+                let kernel = simra_ds_kernels(exec.chip(), sa, 16)[0];
+                init_simra(&mut exec, bank, &kernel);
+                let Kernel::Simra { r1, r2, .. } = kernel else {
+                    unreachable!("ds kernels are SiMRA")
+                };
+                trr_patterns::simra_evasion(bank, r1, r2, 100_000)
+            } else {
+                init_rowhammer(&mut exec, bank, hero);
+                let aggs = [
+                    exec.chip().to_logical(RowAddr(hero.0 - 1)),
+                    exec.chip().to_logical(RowAddr(hero.0 + 1)),
+                ];
+                let dummy = exec.chip().to_logical(RowAddr(5));
+                trr_patterns::rowhammer_evasion(bank, &aggs, dummy, 100_000)
+            };
+            exec.run(&program).flips.len()
+        };
+        println!(
+            "TRR REF every {refs_per_trr} REFs: RowHammer flips {:>5}, SiMRA-16 flips {:>5}",
+            run(false),
+            run(true)
+        );
+    }
+    println!();
+}
+
+fn init_rowhammer(exec: &mut Executor, bank: BankId, hero: RowAddr) {
+    for r in hero.0 - 2..=hero.0 + 2 {
+        let logical = exec.chip().to_logical(RowAddr(r));
+        let dp = if r == hero.0 - 1 || r == hero.0 + 1 {
+            DataPattern::CHECKER_55
+        } else {
+            DataPattern::CHECKER_AA
+        };
+        exec.write_row(bank, logical, dp);
+    }
+}
+
+fn init_simra(exec: &mut Executor, bank: BankId, kernel: &Kernel) {
+    let members = pudhammer::patterns::simra_members(exec.chip(), kernel).expect("SiMRA kernel");
+    let hi = (members[members.len() - 1].0 + 1).min(exec.chip().geometry().rows_per_bank() - 1);
+    for r in members[0].0.saturating_sub(1)..=hi {
+        let logical = exec.chip().to_logical(RowAddr(r));
+        let dp = if members.contains(&RowAddr(r)) {
+            DataPattern::ZEROS
+        } else {
+            DataPattern::ONES
+        };
+        exec.write_row(bank, logical, dp);
+    }
+}
+
+fn clustered_decoder_surface() {
+    println!("== ablation: double-sided SiMRA attack surface per decoder design ==");
+    let p = &profiles::TESTED_MODULES[1];
+    let chip = Chip::new(
+        ChipGeometry::scaled_for_tests(),
+        p.mapping(),
+        p.cell_layout(),
+    );
+    let mut stock = 0usize;
+    for sa in 0..chip.geometry().subarrays_per_bank {
+        stock += clustered::double_sided_surface(&chip, SubarrayId(sa));
+    }
+    println!("stock decoder  : {stock} sandwiched victims per bank");
+    println!("clustered (§8.1): 0 sandwiched victims by construction");
+    assert!(stock > 0);
+}

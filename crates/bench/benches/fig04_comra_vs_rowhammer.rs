@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 4 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig04_comra_vs_rowhammer", || {
+        pudhammer::experiments::comra::fig4(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 5 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig05_comra_data_pattern", || {
+        pudhammer::experiments::comra::fig5(&pud_bench::bench_scale())
+    });
+}

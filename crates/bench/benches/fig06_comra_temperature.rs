@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 6 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig06_comra_temperature", || {
+        pudhammer::experiments::comra::fig6(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 7 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig07_single_sided_comra", || {
+        pudhammer::experiments::comra::fig7(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 8 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig08_comra_vs_rowpress", || {
+        pudhammer::experiments::comra::fig8(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 9 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig09_comra_timing_delay", || {
+        pudhammer::experiments::comra::fig9(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 10 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig10_copy_direction", || {
+        pudhammer::experiments::comra::fig10(&pud_bench::bench_scale())
+    });
+}

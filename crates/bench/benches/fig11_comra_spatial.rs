@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 11 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig11_comra_spatial", || {
+        pudhammer::experiments::comra::fig11(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 13 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig13_simra_vs_rowhammer", || {
+        pudhammer::experiments::simra::fig13(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 14 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig14_simra_data_pattern", || {
+        pudhammer::experiments::simra::fig14(&pud_bench::bench_scale())
+    });
+}

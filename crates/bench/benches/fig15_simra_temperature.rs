@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 15 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig15_simra_temperature", || {
+        pudhammer::experiments::simra::fig15(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 16 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig16_single_sided_simra", || {
+        pudhammer::experiments::simra::fig16(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 17 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig17_simra_vs_rowpress", || {
+        pudhammer::experiments::simra::fig17(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 18 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig18_simra_timing_delay", || {
+        pudhammer::experiments::simra::fig18(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 19 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig19_simra_spatial", || {
+        pudhammer::experiments::simra::fig19(&pud_bench::bench_scale())
+    });
+}

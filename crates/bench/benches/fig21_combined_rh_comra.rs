@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 21 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig21_combined_rh_comra", || {
+        pudhammer::experiments::combined::fig21(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 22 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig22_combined_rh_simra", || {
+        pudhammer::experiments::combined::fig22(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 23 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig23_combined_all", || {
+        pudhammer::experiments::combined::fig23(&pud_bench::bench_scale())
+    });
+}

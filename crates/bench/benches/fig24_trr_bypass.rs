@@ -1,0 +1,7 @@
+//! Bench target regenerating Fig. 24 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("fig24_trr_bypass", || {
+        pudhammer::experiments::trr_eval::fig24(&pud_bench::bench_scale())
+    });
+}

@@ -1,0 +1,10 @@
+//! Bench target regenerating Fig. 25 of the paper (PRAC overhead sweep).
+
+fn main() {
+    let config = if std::env::var_os("PUD_BENCH_FULL").is_some() {
+        pud_memsim::Fig25Config::full()
+    } else {
+        pud_memsim::Fig25Config::quick()
+    };
+    pud_bench::run_experiment("fig25_prac_overhead", || pud_memsim::fig25::fig25(&config));
+}

@@ -1,0 +1,7 @@
+//! Bench target regenerating Table 2 of the paper.
+
+fn main() {
+    pud_bench::run_experiment("table2", || {
+        pudhammer::experiments::table2::table2(&pud_bench::bench_scale())
+    });
+}

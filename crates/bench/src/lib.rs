@@ -1,0 +1,29 @@
+//! Shared harness for the figure/table benchmark targets.
+//!
+//! Every bench target regenerates one table or figure of the paper (run
+//! `cargo bench -p pud-bench` to print them all). Set `PUD_BENCH_FULL=1`
+//! for paper-density runs.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+use pudhammer::experiments::Scale;
+
+/// The scale benches run at (quick by default; `PUD_BENCH_FULL=1` for the
+/// paper-density configuration).
+pub fn bench_scale() -> Scale {
+    if std::env::var_os("PUD_BENCH_FULL").is_some() {
+        Scale::full()
+    } else {
+        Scale::quick()
+    }
+}
+
+/// Runs one experiment, printing its result and wall-clock time.
+pub fn run_experiment<T: Display>(name: &str, f: impl FnOnce() -> T) {
+    let start = Instant::now();
+    let result = f();
+    let elapsed = start.elapsed();
+    println!("{result}");
+    println!("[{name}] regenerated in {:.2?}\n", elapsed);
+}

@@ -1,0 +1,86 @@
+//! DDR4 command vocabulary of the test infrastructure.
+
+use pud_dram::{BankId, DataPattern, Picos, RowAddr};
+
+/// One DDR4 command as issued by the testing infrastructure.
+///
+/// Row addresses are *logical* (memory-controller-visible): the device model
+/// applies the row decoder's scramble internally, exactly as a real chip
+/// would. Timings are expressed as explicit inter-command delays in the test
+/// program (see [`crate::TestProgram`]), which is how DRAM Bender test
+/// programs control timing-parameter violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Activate (open) a row.
+    Act {
+        /// Target bank.
+        bank: BankId,
+        /// Logical row address.
+        row: RowAddr,
+    },
+    /// Precharge (close) a bank.
+    Pre {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Precharge all banks.
+    PreAll,
+    /// Read the currently open row of a bank into the capture buffer.
+    Rd {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Overwrite the currently open row(s) of a bank with a fill pattern.
+    ///
+    /// With multiple rows simultaneously open this overwrites all of them —
+    /// the behaviour prior work uses to reverse engineer SiMRA row groups
+    /// (§5.2).
+    Wr {
+        /// Target bank.
+        bank: BankId,
+        /// Fill pattern.
+        pattern: DataPattern,
+    },
+    /// Periodic refresh command.
+    Ref,
+    /// Pure delay (no command on the bus).
+    Nop,
+}
+
+impl DramCommand {
+    /// The bank the command addresses, if any.
+    pub fn bank(&self) -> Option<BankId> {
+        match *self {
+            DramCommand::Act { bank, .. }
+            | DramCommand::Pre { bank }
+            | DramCommand::Rd { bank }
+            | DramCommand::Wr { bank, .. } => Some(bank),
+            DramCommand::PreAll | DramCommand::Ref | DramCommand::Nop => None,
+        }
+    }
+}
+
+/// A command plus the delay until the next command begins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimedCommand {
+    /// The command.
+    pub cmd: DramCommand,
+    /// Delay until the next command.
+    pub delay_after: Picos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_extraction() {
+        let act = DramCommand::Act {
+            bank: BankId(2),
+            row: RowAddr(5),
+        };
+        assert_eq!(act.bank(), Some(BankId(2)));
+        assert_eq!(DramCommand::Ref.bank(), None);
+        assert_eq!(DramCommand::PreAll.bank(), None);
+    }
+}

@@ -1,0 +1,825 @@
+//! Command-stream executor: interprets (possibly timing-violating) DDR4
+//! command sequences against the device model and drives the disturbance
+//! engine.
+//!
+//! This is the reproduction's analog of the DRAM Bender FPGA: test programs
+//! are executed command by command with picosecond bookkeeping, and the
+//! *semantics of timing violations emerge here* — a PRE→ACT gap below the
+//! violation threshold after a fully restored row performs an in-DRAM copy
+//! (CoMRA), while an ACT‑PRE‑ACT burst with both delays violated activates
+//! a whole SiMRA row group (on chips that support it).
+
+use std::collections::HashMap;
+
+use pud_disturb::{AggressionKind, Bitflip, DataSummary, DisturbEngine, FlipClass, HammerEvent};
+use pud_dram::{BankId, Chip, ChipGeometry, DataPattern, ModuleProfile, Picos, RowAddr, RowData};
+
+use crate::command::DramCommand;
+use crate::env::TestEnv;
+use crate::program::{Step, TestProgram};
+use crate::simra_decode::simra_group;
+
+/// PRE→ACT gaps below this violate `t_RP` enough to leave charge on the
+/// bitlines (enabling CoMRA / SiMRA behaviour).
+const TRP_VIOLATION_NS: f64 = 13.0;
+/// ACT→PRE durations above this count as full charge restoration (the row
+/// was open for ~`t_RAS`), turning a following violated ACT into a CoMRA
+/// copy rather than a SiMRA group activation.
+const CHARGE_RESTORE_NS: f64 = 30.0;
+/// Same-side aggressor gaps above this indicate an extended `t_AggOFF`
+/// (far double-sided pattern) rather than a tight single-sided loop.
+const FAR_GAP_NS: f64 = 40.0;
+/// REF commands per refresh window (DDR4: tREFW / tREFI = 64 ms / 7.8 µs).
+const REFS_PER_WINDOW: f64 = 8192.0;
+
+/// Observes bus activity, modelling in-DRAM maintenance logic (TRR).
+///
+/// The observer sees exactly what the chip sees: the *logical* row address
+/// of each ACT command — which is why SiMRA bypasses TRR: a 32-row
+/// activation presents only two addresses on the bus (§7, Observation 26).
+pub trait ActivityObserver {
+    /// Called for every ACT command.
+    fn on_act(&mut self, bank: BankId, logical_row: RowAddr);
+    /// Called for every REF command; returns logical rows to preventively
+    /// refresh (TRR victim refreshes).
+    fn on_ref(&mut self, bank_hint: BankId) -> Vec<(BankId, RowAddr)>;
+}
+
+/// One read-disturbance bitflip observed during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipRecord {
+    /// Bank of the victim row.
+    pub bank: BankId,
+    /// Physical address of the victim row.
+    pub phys_row: RowAddr,
+    /// Logical address of the victim row.
+    pub logical_row: RowAddr,
+    /// Flipped column.
+    pub col: u32,
+    /// Value the bit flipped to.
+    pub to: bool,
+    /// Flip class responsible.
+    pub class: FlipClass,
+}
+
+/// Result of executing one test program.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Bitflips produced during the run, in order of occurrence.
+    pub flips: Vec<FlipRecord>,
+    /// Row images captured by RD commands, in order.
+    pub reads: Vec<RowData>,
+    /// Wall-clock duration of the program.
+    pub elapsed: Picos,
+    /// ACT commands issued.
+    pub acts: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct BankState {
+    /// Physically open rows (sorted).
+    open: Vec<RowAddr>,
+    open_since: Picos,
+    /// Logical address of the most recent ACT (for decode purposes).
+    open_cmd_logical: Option<RowAddr>,
+    last_pre: Option<Picos>,
+    /// Physical + logical row of the episode closed by the last PRE, and
+    /// how long it was open.
+    closed: Option<(RowAddr, RowAddr, Picos)>,
+    /// Single activation awaiting emission (see [`PendingSingle`]).
+    pending: Option<PendingSingle>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct VictimHist {
+    /// -1: last aggressor physically below the victim; +1: above; 0: none.
+    last_side: i8,
+    last_end: Picos,
+}
+
+/// A closed single-row activation whose hammer emission is deferred until
+/// the next command reveals whether it was the first half of a CoMRA or
+/// SiMRA pair (in which case the pair event subsumes it).
+#[derive(Debug, Clone, Copy)]
+struct PendingSingle {
+    row: RowAddr,
+    start: Picos,
+    end: Picos,
+}
+
+#[derive(Debug, Clone)]
+enum Episode {
+    Single {
+        row: RowAddr,
+    },
+    ComraPair {
+        src: RowAddr,
+        dst: RowAddr,
+        pre_to_act: Picos,
+    },
+    Simra {
+        rows: Vec<RowAddr>,
+        act_to_pre: Picos,
+        pre_to_act: Picos,
+    },
+}
+
+/// DRAM Bender-style executor bound to one chip.
+pub struct Executor {
+    chip: Chip,
+    engine: DisturbEngine,
+    env: TestEnv,
+    observer: Option<Box<dyn ActivityObserver>>,
+    clock: Picos,
+    acts: u64,
+    banks: Vec<BankState>,
+    episodes: Vec<Option<Episode>>,
+    hist: HashMap<(u8, u32), VictimHist>,
+    refresh_acc: f64,
+    refresh_ptr: u32,
+    recording: Option<Vec<HammerEvent>>,
+    report: RunReport,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("clock", &self.clock)
+            .field("acts", &self.acts)
+            .field("env", &self.env)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Executor {
+    /// Creates an executor for chip `chip_index` of `profile`.
+    pub fn new(
+        profile: &ModuleProfile,
+        geometry: ChipGeometry,
+        chip_index: u32,
+        seed: u64,
+    ) -> Executor {
+        let chip = Chip::new(geometry, profile.mapping(), profile.cell_layout());
+        let engine = DisturbEngine::new(profile, geometry, chip_index, seed);
+        let banks = (0..geometry.banks).map(|_| BankState::default()).collect();
+        let episodes = (0..geometry.banks).map(|_| None).collect();
+        Executor {
+            chip,
+            engine,
+            env: TestEnv::characterization(),
+            observer: None,
+            clock: Picos::ZERO,
+            acts: 0,
+            banks,
+            episodes,
+            hist: HashMap::new(),
+            refresh_acc: 0.0,
+            refresh_ptr: 0,
+            recording: None,
+            report: RunReport::default(),
+        }
+    }
+
+    /// The device under test.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// The disturbance engine (for analysis and white-box assertions).
+    pub fn engine(&self) -> &DisturbEngine {
+        &self.engine
+    }
+
+    /// The current environment.
+    pub fn env(&self) -> TestEnv {
+        self.env
+    }
+
+    /// Replaces the environment (temperature, refresh behaviour).
+    pub fn set_env(&mut self, env: TestEnv) {
+        self.env = env;
+    }
+
+    /// Installs an activity observer (e.g. a TRR model).
+    pub fn set_observer(&mut self, observer: Box<dyn ActivityObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes the activity observer, returning it.
+    pub fn take_observer(&mut self) -> Option<Box<dyn ActivityObserver>> {
+        self.observer.take()
+    }
+
+    /// Total elapsed time across all runs.
+    pub fn elapsed(&self) -> Picos {
+        self.clock
+    }
+
+    /// Resets all transient state between experiments: accumulated
+    /// disturbance, pattern-detection history, and bank episode state.
+    ///
+    /// Equivalent to letting the module sit through a full refresh window
+    /// on the real infrastructure. Row *data* (including flipped bits) is
+    /// preserved.
+    pub fn quiesce(&mut self) {
+        self.engine.restore_all();
+        self.hist.clear();
+        for st in &mut self.banks {
+            *st = BankState::default();
+        }
+        for ep in &mut self.episodes {
+            *ep = None;
+        }
+    }
+
+    /// Host-side row write: fills the row and restores its charge (clearing
+    /// accumulated disturbance), as re-initializing a victim row does on the
+    /// real infrastructure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank or row is out of range.
+    pub fn write_row(&mut self, bank: BankId, logical: RowAddr, pattern: DataPattern) {
+        let phys = self.chip.to_physical(logical);
+        self.chip
+            .bank_mut(bank)
+            .expect("valid bank")
+            .fill_row(phys, pattern);
+        self.engine.rewrite(bank, phys);
+    }
+
+    /// Host-side row read (no bus activity).
+    pub fn read_row(&self, bank: BankId, logical: RowAddr) -> Option<RowData> {
+        let phys = self.chip.to_physical(logical);
+        self.chip.bank(bank).ok()?.row(phys).cloned()
+    }
+
+    /// Executes a test program, returning what happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment enforces the refresh-window bound
+    /// ([`TestEnv::characterization_strict`]) and the program runs longer
+    /// than `t_REFW` with refresh disabled — on the real infrastructure
+    /// such a program's bitflips would be contaminated by retention
+    /// failures (§3.1).
+    pub fn run(&mut self, program: &TestProgram) -> RunReport {
+        if self.env.enforce_refresh_window && !self.env.refresh_enabled {
+            let refw = Picos::from_ns(pud_disturb::calib::T_REFW_NS);
+            assert!(
+                program.duration() <= refw,
+                "test program ({}) exceeds the refresh window ({refw}) with refresh disabled",
+                program.duration()
+            );
+        }
+        self.report = RunReport::default();
+        let start_clock = self.clock;
+        let start_acts = self.acts;
+        self.run_steps(program.steps());
+        self.flush_all_pending();
+        self.report.elapsed = self.clock - start_clock;
+        self.report.acts = self.acts - start_acts;
+        std::mem::take(&mut self.report)
+    }
+
+    fn run_steps(&mut self, steps: &[Step]) {
+        for step in steps {
+            match step {
+                Step::Cmd(tc) => {
+                    self.exec_cmd(tc.cmd);
+                    self.clock = self.clock.saturating_add(tc.delay_after);
+                }
+                Step::Loop { count, body } => self.run_loop(*count, body),
+            }
+        }
+    }
+
+    fn run_loop(&mut self, count: u64, body: &[Step]) {
+        let batchable = body.iter().all(|s| {
+            matches!(
+                s,
+                Step::Cmd(tc) if matches!(
+                    tc.cmd,
+                    DramCommand::Act { .. }
+                        | DramCommand::Pre { .. }
+                        | DramCommand::PreAll
+                        | DramCommand::Nop
+                )
+            )
+        });
+        if count <= 3 || !batchable {
+            for _ in 0..count {
+                self.run_steps(body);
+            }
+            return;
+        }
+        // Warm up one iteration (side-history effects), record the steady
+        // state from the second, then replay the recorded events in bulk.
+        self.run_steps(body);
+        self.recording = Some(Vec::new());
+        self.run_steps(body);
+        let recorded = self.recording.take().expect("recording was on");
+        let remaining = count - 2;
+        for ev in &recorded {
+            let mut bulk = *ev;
+            bulk.repeat = ev.repeat.saturating_mul(remaining);
+            self.apply_event(&bulk);
+        }
+        let body_time = body
+            .iter()
+            .fold(Picos::ZERO, |acc, s| acc.saturating_add(s.duration()));
+        self.clock = self
+            .clock
+            .saturating_add(body_time.saturating_mul(remaining));
+        let body_acts: u64 = body.iter().map(Step::act_count).sum();
+        self.acts += body_acts * remaining;
+        let now = self.clock;
+        for ev in &recorded {
+            if let Some(h) = self.hist.get_mut(&(ev.bank.0, ev.victim.0)) {
+                h.last_end = now;
+            }
+        }
+    }
+
+    fn exec_cmd(&mut self, cmd: DramCommand) {
+        match cmd {
+            DramCommand::Act { bank, row } => self.do_act(bank, row),
+            DramCommand::Pre { bank } => self.do_pre(bank),
+            DramCommand::PreAll => {
+                for b in 0..self.banks.len() as u8 {
+                    self.do_pre(BankId(b));
+                }
+            }
+            DramCommand::Rd { bank } => self.do_rd(bank),
+            DramCommand::Wr { bank, pattern } => self.do_wr(bank, pattern),
+            DramCommand::Ref => self.do_ref(),
+            DramCommand::Nop => {}
+        }
+    }
+
+    fn do_act(&mut self, bank: BankId, logical: RowAddr) {
+        let now = self.clock;
+        let phys = self.chip.to_physical(logical);
+        if let Some(obs) = self.observer.as_mut() {
+            obs.on_act(bank, logical);
+        }
+        self.acts += 1;
+        if !self.banks[bank.0 as usize].open.is_empty() {
+            // Implicit close of a still-open episode.
+            self.do_pre(bank);
+        }
+        let st = &self.banks[bank.0 as usize];
+        let mut episode = Episode::Single { row: phys };
+        let mut open_rows = vec![phys];
+        let mut consumed_pending = false;
+        if let (Some(pre_t), Some((prev_phys, prev_logical, prev_on))) = (st.last_pre, st.closed) {
+            let gap = now - pre_t;
+            if gap.as_ns() < TRP_VIOLATION_NS && prev_phys != phys {
+                if prev_on.as_ns() >= CHARGE_RESTORE_NS {
+                    // CoMRA: the bitlines still carry the source row's data;
+                    // activating the destination copies it (RowClone in COTS
+                    // chips, §4.1). Works only within a subarray.
+                    if self.chip.geometry().same_subarray(prev_phys, phys) {
+                        self.copy_row(bank, prev_phys, phys);
+                        episode = Episode::ComraPair {
+                            src: prev_phys,
+                            dst: phys,
+                            pre_to_act: gap,
+                        };
+                        // The pair event subsumes the source activation.
+                        consumed_pending = true;
+                    }
+                } else if self.engine.model().manufacturer().supports_simra() {
+                    // SiMRA attempt: both delays violated. Chips from
+                    // manufacturers that ignore heavily violating commands
+                    // (footnote 2) fall through to a normal activation.
+                    if let Some(group) = simra_group(self.chip.geometry(), prev_logical, logical) {
+                        let mut members: Vec<RowAddr> =
+                            group.iter().map(|&r| self.chip.to_physical(r)).collect();
+                        members.sort_unstable();
+                        let partial = prev_on.as_ns() < pud_disturb::calib::SIMRA_PARTIAL_ACT_NS;
+                        if partial {
+                            // Partial activation engages only every other
+                            // member (Observation 20).
+                            members = members.iter().step_by(2).copied().collect();
+                        }
+                        self.charge_share(bank, &members, prev_phys);
+                        open_rows.clone_from(&members);
+                        episode = Episode::Simra {
+                            rows: members,
+                            act_to_pre: prev_on,
+                            pre_to_act: gap,
+                        };
+                        // The group event subsumes the first activation.
+                        consumed_pending = true;
+                    }
+                }
+            }
+        }
+        if consumed_pending {
+            self.banks[bank.0 as usize].pending = None;
+        } else {
+            self.flush_pending(bank);
+        }
+        // Activation restores the charge of every opened row, clearing any
+        // disturbance accumulated on it while it was a victim.
+        for &r in &open_rows {
+            self.engine.restore(bank, r);
+        }
+        let st = &mut self.banks[bank.0 as usize];
+        st.open = open_rows;
+        st.open_since = now;
+        st.open_cmd_logical = Some(logical);
+        self.episodes[bank.0 as usize] = Some(episode);
+    }
+
+    fn do_pre(&mut self, bank: BankId) {
+        let now = self.clock;
+        let st = &mut self.banks[bank.0 as usize];
+        if st.open.is_empty() {
+            st.last_pre = Some(now);
+            return;
+        }
+        let t_on = now - st.open_since;
+        let open_logical = st.open_cmd_logical;
+        let first_open = st.open[0];
+        st.open.clear();
+        st.last_pre = Some(now);
+        let episode = self.episodes[bank.0 as usize].take();
+        match episode {
+            Some(Episode::Single { row }) => {
+                // Defer emission: the next ACT may reveal this activation
+                // was the first half of a CoMRA/SiMRA operation.
+                let st = &mut self.banks[bank.0 as usize];
+                debug_assert!(st.pending.is_none(), "pending flushed on ACT");
+                st.pending = Some(PendingSingle {
+                    row,
+                    start: now - t_on,
+                    end: now,
+                });
+                st.closed = Some((row, open_logical.unwrap_or(RowAddr(row.0)), t_on));
+            }
+            Some(Episode::ComraPair {
+                src,
+                dst,
+                pre_to_act,
+            }) => {
+                self.emit_comra(bank, src, dst, pre_to_act, t_on, now);
+                self.banks[bank.0 as usize].closed =
+                    Some((dst, open_logical.unwrap_or(RowAddr(dst.0)), t_on));
+            }
+            Some(Episode::Simra {
+                rows,
+                act_to_pre,
+                pre_to_act,
+            }) => {
+                self.emit_simra(bank, &rows, act_to_pre, pre_to_act, t_on, now);
+                self.banks[bank.0 as usize].closed = None;
+            }
+            None => {
+                self.banks[bank.0 as usize].closed = Some((
+                    first_open,
+                    open_logical.unwrap_or(RowAddr(first_open.0)),
+                    t_on,
+                ));
+            }
+        }
+    }
+
+    fn do_rd(&mut self, bank: BankId) {
+        self.flush_pending(bank);
+        let st = &self.banks[bank.0 as usize];
+        let cols = self.chip.geometry().cols_per_row;
+        let data = st
+            .open
+            .first()
+            .and_then(|&r| self.chip.bank(bank).ok().and_then(|b| b.row(r)).cloned())
+            .unwrap_or_else(|| RowData::filled(cols, DataPattern::ZEROS));
+        self.report.reads.push(data);
+    }
+
+    fn do_wr(&mut self, bank: BankId, pattern: DataPattern) {
+        self.flush_pending(bank);
+        let open = self.banks[bank.0 as usize].open.clone();
+        for r in open {
+            self.chip
+                .bank_mut(bank)
+                .expect("valid bank")
+                .fill_row(r, pattern);
+            self.engine.rewrite(bank, r);
+        }
+    }
+
+    fn do_ref(&mut self) {
+        self.flush_all_pending();
+        // REF implies precharging all banks.
+        for b in 0..self.banks.len() as u8 {
+            self.do_pre(BankId(b));
+        }
+        if !self.env.refresh_enabled {
+            return;
+        }
+        // Each REF refreshes 1/8192 of the rows in every bank.
+        let rows_per_bank = self.chip.geometry().rows_per_bank();
+        self.refresh_acc += f64::from(rows_per_bank) / REFS_PER_WINDOW;
+        while self.refresh_acc >= 1.0 {
+            self.refresh_acc -= 1.0;
+            let row = RowAddr(self.refresh_ptr % rows_per_bank);
+            self.refresh_ptr = (self.refresh_ptr + 1) % rows_per_bank;
+            for b in 0..self.banks.len() as u8 {
+                self.engine.restore(BankId(b), row);
+            }
+        }
+        if let Some(mut obs) = self.observer.take() {
+            for (bank, logical) in obs.on_ref(BankId(0)) {
+                let phys = self.chip.to_physical(logical);
+                self.engine.restore(bank, phys);
+            }
+            self.observer = Some(obs);
+        }
+    }
+
+    fn copy_row(&mut self, bank: BankId, src: RowAddr, dst: RowAddr) {
+        let cols = self.chip.geometry().cols_per_row;
+        let data = self
+            .chip
+            .bank(bank)
+            .ok()
+            .and_then(|b| b.row(src))
+            .cloned()
+            .unwrap_or_else(|| RowData::filled(cols, DataPattern::ZEROS));
+        self.chip
+            .bank_mut(bank)
+            .expect("valid bank")
+            .write_row(dst, data)
+            .expect("copy within geometry");
+    }
+
+    fn charge_share(&mut self, bank: BankId, members: &[RowAddr], first: RowAddr) {
+        let cols = self.chip.geometry().cols_per_row;
+        let fetch = |chip: &Chip, r: RowAddr| {
+            chip.bank(bank)
+                .ok()
+                .and_then(|b| b.row(r))
+                .cloned()
+                .unwrap_or_else(|| RowData::filled(cols, DataPattern::ZEROS))
+        };
+        let contents: Vec<RowData> = members.iter().map(|&r| fetch(&self.chip, r)).collect();
+        let result = if contents.is_empty() {
+            return;
+        } else if contents.len() % 2 == 1 {
+            let refs: Vec<&RowData> = contents.iter().collect();
+            RowData::majority(&refs)
+        } else {
+            // Even group: the first-activated row's charge breaks ties.
+            let tiebreak = fetch(&self.chip, first);
+            let mut refs: Vec<&RowData> = contents.iter().collect();
+            refs.push(&tiebreak);
+            RowData::majority(&refs)
+        };
+        for &r in members {
+            self.chip
+                .bank_mut(bank)
+                .expect("valid bank")
+                .write_row(r, result.clone())
+                .expect("group within geometry");
+        }
+    }
+
+    fn aggressor_summary(&self, bank: BankId, row: RowAddr) -> DataSummary {
+        self.chip
+            .bank(bank)
+            .ok()
+            .and_then(|b| b.row(row))
+            .map(DataSummary::from_row)
+            .unwrap_or(DataSummary {
+                ones_fraction: 0.5,
+                checker_fraction: 0.5,
+            })
+    }
+
+    fn flush_pending(&mut self, bank: BankId) {
+        if let Some(p) = self.banks[bank.0 as usize].pending.take() {
+            self.emit_single(bank, p.row, p.start, p.end);
+        }
+    }
+
+    fn flush_all_pending(&mut self) {
+        for b in 0..self.banks.len() as u8 {
+            self.flush_pending(BankId(b));
+        }
+    }
+
+    fn emit_single(&mut self, bank: BankId, agg: RowAddr, start: Picos, now: Picos) {
+        let t_on = now - start;
+        let geometry = *self.chip.geometry();
+        let summary = self.aggressor_summary(bank, agg);
+        for (delta, dist) in [(-1i64, 1u32), (1, 1), (-2, 2), (2, 2)] {
+            let Some(victim) = agg.offset(delta) else {
+                continue;
+            };
+            if victim.0 >= geometry.rows_per_bank() || !geometry.same_subarray(agg, victim) {
+                continue;
+            }
+            // Aggressor physically below the victim ⇒ side -1.
+            let side: i8 = if delta > 0 { -1 } else { 1 };
+            let hist = self.hist.entry((bank.0, victim.0)).or_default();
+            let kind = if hist.last_side != 0 && hist.last_side != side {
+                // Alternation completed: one double-sided hammer cycle.
+                // Emit on the below-side completion only, so each pair of
+                // activations counts as exactly one hammer (§4.2).
+                if side == -1 {
+                    Some(AggressionKind::RowHammerDouble)
+                } else {
+                    None
+                }
+            } else if hist.last_side == side
+                && Picos(start.0.saturating_sub(hist.last_end.0)).as_ns() >= FAR_GAP_NS
+            {
+                Some(AggressionKind::RowHammerFarDouble)
+            } else {
+                Some(AggressionKind::RowHammerSingle)
+            };
+            hist.last_side = side;
+            hist.last_end = now;
+            if let Some(kind) = kind {
+                let ev = HammerEvent {
+                    bank,
+                    victim,
+                    kind,
+                    t_aggon: t_on,
+                    temperature: self.env.temperature,
+                    aggressor_data: summary,
+                    distance: dist,
+                    repeat: 1,
+                };
+                self.apply_event(&ev);
+            }
+        }
+    }
+
+    fn emit_comra(
+        &mut self,
+        bank: BankId,
+        src: RowAddr,
+        dst: RowAddr,
+        pre_to_act: Picos,
+        t_on: Picos,
+        now: Picos,
+    ) {
+        let geometry = *self.chip.geometry();
+        let summary = self.aggressor_summary(bank, src);
+        let reversed = src > dst;
+        let sandwiched = (src.0.abs_diff(dst.0) == 2).then(|| RowAddr(src.0.min(dst.0) + 1));
+        let mut victims: Vec<(RowAddr, u32)> = Vec::new();
+        for agg in [src, dst] {
+            for (delta, dist) in [(-1i64, 1u32), (1, 1), (-2, 2), (2, 2)] {
+                let Some(v) = agg.offset(delta) else { continue };
+                if v == src
+                    || v == dst
+                    || v.0 >= geometry.rows_per_bank()
+                    || !geometry.same_subarray(agg, v)
+                {
+                    continue;
+                }
+                match victims.iter_mut().find(|(row, _)| *row == v) {
+                    Some((_, d)) => *d = (*d).min(dist),
+                    None => victims.push((v, dist)),
+                }
+            }
+        }
+        for (victim, dist) in victims {
+            let kind = if Some(victim) == sandwiched {
+                AggressionKind::ComraDouble {
+                    pre_to_act,
+                    reversed,
+                }
+            } else {
+                AggressionKind::ComraSingle {
+                    pre_to_act,
+                    reversed,
+                }
+            };
+            let ev = HammerEvent {
+                bank,
+                victim,
+                kind,
+                t_aggon: t_on,
+                temperature: self.env.temperature,
+                aggressor_data: summary,
+                distance: dist,
+                repeat: 1,
+            };
+            self.apply_event(&ev);
+            let side = if victim > src { -1 } else { 1 };
+            let hist = self.hist.entry((bank.0, victim.0)).or_default();
+            hist.last_side = side;
+            hist.last_end = now;
+        }
+    }
+
+    fn emit_simra(
+        &mut self,
+        bank: BankId,
+        rows: &[RowAddr],
+        act_to_pre: Picos,
+        pre_to_act: Picos,
+        t_on: Picos,
+        now: Picos,
+    ) {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        let geometry = *self.chip.geometry();
+        let summary = self.aggressor_summary(bank, rows[0]);
+        let n_rows = rows.len().min(255) as u8;
+        let lo = rows[0].0.saturating_sub(2);
+        let hi = rows[rows.len() - 1].0 + 2;
+        for v in lo..=hi.min(geometry.rows_per_bank() - 1) {
+            let victim = RowAddr(v);
+            if rows.binary_search(&victim).is_ok() {
+                continue;
+            }
+            if !geometry.same_subarray(rows[0], victim) {
+                continue;
+            }
+            let below1 = victim
+                .offset(-1)
+                .is_some_and(|r| rows.binary_search(&r).is_ok());
+            let above1 = victim
+                .offset(1)
+                .is_some_and(|r| rows.binary_search(&r).is_ok());
+            let near2 = victim
+                .offset(-2)
+                .is_some_and(|r| rows.binary_search(&r).is_ok())
+                || victim
+                    .offset(2)
+                    .is_some_and(|r| rows.binary_search(&r).is_ok());
+            let (kind, dist) = if below1 && above1 {
+                (
+                    AggressionKind::SimraDouble {
+                        n_rows,
+                        act_to_pre,
+                        pre_to_act,
+                    },
+                    1,
+                )
+            } else if below1 || above1 {
+                (
+                    AggressionKind::SimraSingle {
+                        n_rows,
+                        act_to_pre,
+                        pre_to_act,
+                    },
+                    1,
+                )
+            } else if near2 {
+                (
+                    AggressionKind::SimraSingle {
+                        n_rows,
+                        act_to_pre,
+                        pre_to_act,
+                    },
+                    2,
+                )
+            } else {
+                continue;
+            };
+            let ev = HammerEvent {
+                bank,
+                victim,
+                kind,
+                t_aggon: t_on,
+                temperature: self.env.temperature,
+                aggressor_data: summary,
+                distance: dist,
+                repeat: 1,
+            };
+            self.apply_event(&ev);
+            let hist = self.hist.entry((bank.0, victim.0)).or_default();
+            hist.last_side = if below1 { -1 } else { 1 };
+            hist.last_end = now;
+        }
+    }
+
+    fn apply_event(&mut self, ev: &HammerEvent) {
+        if let Some(rec) = self.recording.as_mut() {
+            rec.push(*ev);
+        }
+        let default_fill = DataPattern::ZEROS;
+        let bank = self.chip.bank_mut(ev.bank).expect("event banks are valid");
+        let victim_data = bank.row_mut_or(ev.victim, default_fill);
+        let flips: Vec<Bitflip> = self.engine.hammer(ev, victim_data);
+        if !flips.is_empty() {
+            let logical = self.chip.to_logical(ev.victim);
+            self.report
+                .flips
+                .extend(flips.into_iter().map(|f| FlipRecord {
+                    bank: ev.bank,
+                    phys_row: ev.victim,
+                    logical_row: logical,
+                    col: f.col,
+                    to: f.to,
+                    class: f.class,
+                }));
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Behavioural tests of the command-stream executor: pattern detection,
+//! loop batching, refresh bookkeeping, and device-state transitions.
+
+use pud_bender::{ops, DramCommand, Executor, TestEnv, TestProgram};
+use pud_dram::{profiles::TESTED_MODULES, BankId, ChipGeometry, DataPattern, Picos, RowAddr};
+
+fn executor() -> Executor {
+    Executor::new(&TESTED_MODULES[1], ChipGeometry::scaled_for_tests(), 0, 77)
+}
+
+fn executor_seeded(seed: u64) -> Executor {
+    Executor::new(
+        &TESTED_MODULES[1],
+        ChipGeometry::scaled_for_tests(),
+        0,
+        seed,
+    )
+}
+
+#[test]
+fn loop_batching_matches_unrolled_execution() {
+    // The same double-sided kernel executed as one 1000-iteration loop and
+    // as 1000 separate runs must accumulate identical disturbance.
+    let bank = BankId(0);
+    let a = RowAddr(20);
+    let b = RowAddr(22);
+    let mut batched = executor();
+    let mut unrolled = executor();
+    let a_log = batched.chip().to_logical(a);
+    let b_log = batched.chip().to_logical(b);
+    for e in [&mut batched, &mut unrolled] {
+        e.write_row(bank, a_log, DataPattern::CHECKER_55);
+        e.write_row(bank, b_log, DataPattern::CHECKER_55);
+    }
+    batched.run(&ops::double_sided_rowhammer(
+        bank,
+        a_log,
+        b_log,
+        ops::t_ras(),
+        1000,
+    ));
+    let single = ops::double_sided_rowhammer(bank, a_log, b_log, ops::t_ras(), 1);
+    for _ in 0..1000 {
+        unrolled.run(&single);
+    }
+    let victim = RowAddr(21);
+    let (acc_b, _) = batched.engine().accumulated(bank, victim);
+    let (acc_u, _) = unrolled.engine().accumulated(bank, victim);
+    assert!(acc_b > 0.0);
+    let rel = (acc_b - acc_u).abs() / acc_u;
+    // The batched warm-up differs by at most a couple of boundary cycles.
+    assert!(rel < 0.01, "batched {acc_b} vs unrolled {acc_u}");
+}
+
+#[test]
+fn double_sided_weight_exceeds_single_sided() {
+    let bank = BankId(0);
+    let mut ds = executor();
+    let mut ss = executor();
+    let victim = RowAddr(21);
+    let a = ds.chip().to_logical(RowAddr(20));
+    let b = ds.chip().to_logical(RowAddr(22));
+    ds.run(&ops::double_sided_rowhammer(bank, a, b, ops::t_ras(), 1000));
+    ss.run(&ops::single_sided_rowhammer(bank, a, ops::t_ras(), 1000));
+    let (acc_ds, _) = ds.engine().accumulated(bank, victim);
+    let (acc_ss, _) = ss.engine().accumulated(bank, victim);
+    // Per cycle, double-sided is ~1.0 and single-sided ~0.267 (calibrated
+    // to Fig. 7); the ds pattern also uses twice the activations.
+    let ratio = acc_ds / acc_ss;
+    assert!(
+        (3.0..5.0).contains(&ratio),
+        "ds/ss accumulation ratio {ratio}"
+    );
+}
+
+#[test]
+fn far_aggressor_gap_is_detected() {
+    // Alternating a far row with the aggressor doubles t_AggOFF: the victim
+    // accumulates at the far-ds rate (0.371/cycle vs 0.267 for ss).
+    let bank = BankId(0);
+    let mut far = executor();
+    let mut ss = executor();
+    let victim = RowAddr(21);
+    let a = far.chip().to_logical(RowAddr(20));
+    let far_row = far.chip().to_logical(RowAddr(60));
+    far.run(&ops::double_sided_rowhammer(
+        bank,
+        a,
+        far_row,
+        ops::t_ras(),
+        1000,
+    ));
+    ss.run(&ops::single_sided_rowhammer(bank, a, ops::t_ras(), 1000));
+    let (acc_far, _) = far.engine().accumulated(bank, victim);
+    let (acc_ss, _) = ss.engine().accumulated(bank, victim);
+    let ratio = acc_far / acc_ss;
+    assert!(
+        (1.2..1.6).contains(&ratio),
+        "far/ss accumulation ratio {ratio} (expect ~1.39)"
+    );
+}
+
+#[test]
+fn activation_of_victim_restores_its_charge() {
+    let bank = BankId(0);
+    let mut exec = executor();
+    let a = exec.chip().to_logical(RowAddr(20));
+    let victim_phys = RowAddr(21);
+    let victim_log = exec.chip().to_logical(victim_phys);
+    exec.run(&ops::single_sided_rowhammer(bank, a, ops::t_ras(), 500));
+    assert!(exec.engine().accumulated(bank, victim_phys).0 > 0.0);
+    // Activating the victim itself restores it.
+    let mut p = TestProgram::new();
+    p.act(bank, victim_log, ops::t_ras()).pre(bank, ops::t_rp());
+    exec.run(&p);
+    assert_eq!(exec.engine().accumulated(bank, victim_phys).0, 0.0);
+}
+
+#[test]
+fn periodic_refresh_sweeps_rows() {
+    let bank = BankId(0);
+    let mut exec = executor();
+    exec.set_env(TestEnv::with_refresh());
+    let a = exec.chip().to_logical(RowAddr(20));
+    exec.run(&ops::single_sided_rowhammer(bank, a, ops::t_ras(), 500));
+    let victim = RowAddr(21);
+    assert!(exec.engine().accumulated(bank, victim).0 > 0.0);
+    // One full refresh window's worth of REFs covers every row.
+    let mut p = TestProgram::new();
+    p.repeat(8192, |b| {
+        b.refresh(Picos::from_ns(350.0));
+    });
+    exec.run(&p);
+    assert_eq!(
+        exec.engine().accumulated(bank, victim).0,
+        0.0,
+        "a full REF sweep restores every row"
+    );
+}
+
+#[test]
+fn refresh_disabled_preserves_disturbance() {
+    let bank = BankId(0);
+    let mut exec = executor(); // characterization env: refresh off
+    let a = exec.chip().to_logical(RowAddr(20));
+    exec.run(&ops::single_sided_rowhammer(bank, a, ops::t_ras(), 500));
+    let before = exec.engine().accumulated(bank, RowAddr(21)).0;
+    let mut p = TestProgram::new();
+    p.repeat(8192, |b| {
+        b.refresh(Picos::from_ns(350.0));
+    });
+    exec.run(&p);
+    assert_eq!(exec.engine().accumulated(bank, RowAddr(21)).0, before);
+}
+
+#[test]
+fn act_on_open_bank_implicitly_precharges() {
+    let bank = BankId(0);
+    let mut exec = executor();
+    let mut p = TestProgram::new();
+    // Two ACTs with no PRE in between (nominal gap, so no PuD semantics).
+    p.act(bank, RowAddr(10), Picos::from_ns(50.0))
+        .act(bank, RowAddr(30), Picos::from_ns(50.0))
+        .pre(bank, ops::t_rp());
+    let report = exec.run(&p);
+    assert_eq!(report.acts, 2);
+}
+
+#[test]
+fn rd_captures_open_row_and_wr_overwrites_group() {
+    let bank = BankId(0);
+    let mut exec = executor();
+    exec.write_row(bank, RowAddr(8), DataPattern::CHECKER_55);
+    let mut prog = TestProgram::new();
+    prog.act(bank, RowAddr(8), Picos::from_ns(36.0))
+        .rd(bank, Picos::from_ns(15.0))
+        .wr(bank, DataPattern::ONES, Picos::from_ns(15.0))
+        .pre(bank, ops::t_rp());
+    let report = exec.run(&prog);
+    assert_eq!(report.reads.len(), 1);
+    assert!(report.reads[0].matches_pattern(DataPattern::CHECKER_55));
+    assert!(exec
+        .read_row(bank, RowAddr(8))
+        .unwrap()
+        .matches_pattern(DataPattern::ONES));
+}
+
+#[test]
+fn simra_write_probe_overwrites_whole_group() {
+    // §5.2 reverse-engineering primitive: ACT-PRE-ACT then WR overwrites
+    // every simultaneously activated row.
+    let bank = BankId(0);
+    let mut exec = executor();
+    let g = *exec.chip().geometry();
+    for r in 0..32u32 {
+        exec.write_row(bank, RowAddr(32 + r), DataPattern::ZEROS);
+    }
+    let d = Picos::from_ns(3.0);
+    let (r1, r2) = pud_bender::simra_decode::pair_for_mask(RowAddr(40), 0b101);
+    let mut prog = TestProgram::new();
+    prog.act(bank, r1, d)
+        .pre(bank, d)
+        .act(bank, r2, ops::t_ras())
+        .wr(bank, DataPattern::CHECKER_55, Picos::from_ns(10.0))
+        .pre(bank, ops::t_rp());
+    exec.run(&prog);
+    let group = pud_bender::simra_decode::simra_group(&g, r1, r2).unwrap();
+    assert_eq!(group.len(), 4);
+    for row in group {
+        assert!(
+            exec.read_row(bank, row)
+                .unwrap()
+                .matches_pattern(DataPattern::CHECKER_55),
+            "group member {row} not overwritten"
+        );
+    }
+}
+
+#[test]
+fn elapsed_time_tracks_program_duration() {
+    let bank = BankId(0);
+    let mut exec = executor();
+    let prog = ops::single_sided_rowhammer(bank, RowAddr(10), ops::t_ras(), 1000);
+    let report = exec.run(&prog);
+    assert_eq!(report.elapsed, prog.duration());
+    assert_eq!(report.acts, 1000);
+}
+
+#[test]
+fn quiesce_clears_pattern_history_but_keeps_data() {
+    let bank = BankId(0);
+    let mut exec = executor_seeded(3);
+    exec.write_row(bank, RowAddr(8), DataPattern::CHECKER_55);
+    let a = exec.chip().to_logical(RowAddr(20));
+    exec.run(&ops::single_sided_rowhammer(bank, a, ops::t_ras(), 100));
+    exec.quiesce();
+    assert_eq!(exec.engine().accumulated(bank, RowAddr(21)).0, 0.0);
+    assert!(exec
+        .read_row(bank, RowAddr(8))
+        .unwrap()
+        .matches_pattern(DataPattern::CHECKER_55));
+}
+
+#[test]
+fn reports_are_per_run() {
+    let bank = BankId(0);
+    let mut exec = executor();
+    let prog = ops::single_sided_rowhammer(bank, RowAddr(10), ops::t_ras(), 10);
+    let r1 = exec.run(&prog);
+    let r2 = exec.run(&prog);
+    assert_eq!(r1.acts, 10);
+    assert_eq!(r2.acts, 10);
+    assert_eq!(r2.elapsed, prog.duration());
+}
+
+#[test]
+fn open_row_survives_until_precharge() {
+    let mut exec = executor();
+    let bank = BankId(0);
+    let mut program = TestProgram::new();
+    program.act(bank, RowAddr(4), Picos::from_ns(36.0)).wr(
+        bank,
+        DataPattern::ONES,
+        Picos::from_ns(10.0),
+    );
+    exec.run(&program);
+    // The bank was left open by the WR sequence (no PRE): a later RD in a
+    // separate run still captures the open row.
+    let mut after = TestProgram::new();
+    after.rd(bank, Picos::from_ns(5.0)).pre(bank, ops::t_rp());
+    let report = exec.run(&after);
+    assert!(report.reads[0].matches_pattern(DataPattern::ONES));
+    let _ = DramCommand::PreAll; // exported command surface stays usable
+}
+
+#[test]
+fn strict_env_accepts_in_window_programs() {
+    let mut exec = executor();
+    let mut env = TestEnv::characterization_strict();
+    env.refresh_enabled = false;
+    exec.set_env(env);
+    let prog = ops::single_sided_rowhammer(BankId(0), RowAddr(10), ops::t_ras(), 10_000);
+    let report = exec.run(&prog);
+    assert_eq!(report.acts, 10_000);
+}
+
+#[test]
+#[should_panic(expected = "exceeds the refresh window")]
+fn strict_env_rejects_out_of_window_programs() {
+    // ~1.3M double-sided cycles at ~102 ns each exceed the 64 ms window.
+    let mut exec = executor();
+    exec.set_env(TestEnv::characterization_strict());
+    let prog =
+        ops::double_sided_rowhammer(BankId(0), RowAddr(10), RowAddr(12), ops::t_ras(), 1_300_000);
+    let _ = exec.run(&prog);
+}
+
+#[test]
+fn strict_env_allows_long_programs_when_refresh_is_on() {
+    let mut exec = executor();
+    let mut env = TestEnv::with_refresh();
+    env.enforce_refresh_window = true;
+    exec.set_env(env);
+    let mut prog = TestProgram::new();
+    prog.repeat(1_300_000, |b| {
+        b.act(BankId(0), RowAddr(10), ops::t_ras())
+            .pre(BankId(0), ops::t_rp());
+    });
+    // With refresh enabled the window bound does not apply.
+    let report = exec.run(&prog);
+    assert_eq!(report.acts, 1_300_000);
+}

@@ -1,0 +1,457 @@
+//! Calibration anchors taken from the paper.
+//!
+//! Every constant and curve in this module cites the Observation, Figure, or
+//! Table it reproduces. The disturbance engine multiplies these factors into
+//! per-event weights; the *reference condition* (weight 1.0) is the paper's
+//! default experiment setup: double-sided RowHammer, worst-case data
+//! pattern, 80 °C, `t_AggOn = t_RAS`, nominal timings (§4.2).
+
+use pud_dram::{Manufacturer, SubarrayRegion};
+
+use crate::curve::LogLogCurve;
+
+/// Nominal `t_RAS` in nanoseconds (the paper's 36 ns baseline `t_AggOn`).
+pub const T_RAS_NS: f64 = 36.0;
+/// Nominal `t_RP` in nanoseconds.
+pub const T_RP_NS: f64 = 15.0;
+/// Nominal `t_REFI` in nanoseconds (7.8 µs, §2.1).
+pub const T_REFI_NS: f64 = 7_800.0;
+/// Refresh window `t_REFW` in nanoseconds (64 ms, §2.1).
+pub const T_REFW_NS: f64 = 64_000_000.0;
+/// The violated PRE→ACT latency of the CoMRA pattern (Fig. 3c).
+pub const COMRA_PRE_ACT_NS: f64 = 7.5;
+/// The violated delays of the SiMRA ACT‑PRE‑ACT sequence (Fig. 12c).
+pub const SIMRA_DELAY_NS: f64 = 3.0;
+/// ACTs that fit in one tREFI window of the §7 module (footnote 5).
+pub const ACTS_PER_TREFI: u64 = 156;
+
+/// Single-sided RowHammer weight relative to double-sided (= 1.0).
+///
+/// Derived from Fig. 7: for SK Hynix the lowest single-sided CoMRA HC_first
+/// is 16 495, 1.42× lower than single-sided RowHammer (≈ 23.4 K), while the
+/// double-sided RowHammer minimum is 6 250 ⇒ ratio ≈ 0.267.
+pub const SS_ROWHAMMER_WEIGHT: f64 = 0.267;
+
+/// Far double-sided RowHammer weight (victim adjacent to one of two far
+/// aggressors, so its aggressor's `t_AggOFF` is doubled).
+///
+/// Fig. 7 / Observation 5: far-ds-RowHammer ≈ single-sided CoMRA, which is
+/// 1.42× more effective than single-sided RowHammer ⇒ 0.267 × 1.39 ≈ 0.371.
+pub const FAR_DS_ROWHAMMER_WEIGHT: f64 = 0.371;
+
+/// Single-sided CoMRA weight bonus over far-ds RowHammer (Observation 5:
+/// "1.02× lower").
+pub const SS_COMRA_BONUS: f64 = 1.02;
+
+/// Fraction of weak cells whose dominant flip direction matches the class
+/// (remaining cells flip the minority direction).
+///
+/// RowHammer/CoMRA/RowPress flips are weakly direction-biased (data-pattern
+/// effects are mild — Fig. 5 shows ~1.2× spread), whereas SiMRA flips are
+/// strongly 1→0 (Observation 14; victim 0x00 raises HC_first by up to
+/// 57.8×, Observation 13).
+pub const RH_DOMINANT_FRACTION: f64 = 0.55;
+/// See [`RH_DOMINANT_FRACTION`].
+pub const SIMRA_DOMINANT_FRACTION: f64 = 0.97;
+
+/// Checkerboard data-pattern bonus on the aggressor side.
+///
+/// Observation 3: checkerboard is generally the most effective pattern; for
+/// Samsung, average HC_first is 17 346 (0x55) vs 21 423 (0x00) ⇒ ≈ 1.235×.
+pub const CHECKER_BONUS: f64 = 0.235;
+
+/// Per-row log-std-dev of the data-pattern preference jitter (so the
+/// worst-case pattern differs across rows — Observation 3 / Takeaway 2).
+/// Kept small: technique-vs-technique comparisons (Fig. 13) have margins of
+/// only a few percent on the least-improved families.
+pub const DP_JITTER_SIGMA: f64 = 0.015;
+
+/// Weight penalty for solid (non-checkerboard) patterns on Nanya chips,
+/// whose complicated true-/anti-cell layout prevented the paper from
+/// observing 0x00/0xFF bitflips within a refresh window (footnote 1).
+pub const NANYA_SOLID_PENALTY: f64 = 0.008;
+
+/// Fraction of progress accumulated under one access pattern that counts
+/// toward flips driven by a *different pattern of the same flip class*
+/// (CoMRA ↔ RowHammer).
+///
+/// Calibrated to §6 (Fig. 21): pre-hammering with CoMRA to 90 % (10 %) of
+/// its HC_first lowers the remaining RowHammer count by 1.34× (1.02×) ⇒
+/// `1 − 0.9κ = 1/1.34` ⇒ κ ≈ 0.25. The transfer is lossy because the most
+/// vulnerable cell under one pattern is not necessarily the most vulnerable
+/// under another (the paper's hypothesis for Observation 23).
+pub const SAME_CLASS_PATTERN_COUPLING: f64 = 0.25;
+
+/// Fraction of normalized progress transferred *across* flip classes
+/// (SiMRA ↔ RowHammer/CoMRA).
+///
+/// Calibrated to Fig. 22 (90 % SiMRA pre-hammering ⇒ 1.22× reduction ⇒
+/// γ ≈ 0.2); together with [`SAME_CLASS_PATTERN_COUPLING`] this yields the
+/// Fig. 23 triple-pattern reduction of 1/(1 − 0.9·0.25 − 0.9·0.2) ≈ 1.68×,
+/// matching the paper's 1.66× (Observation 24).
+pub const CROSS_CLASS_COUPLING: f64 = 0.2;
+
+/// Fraction of normalized RowHammer/CoMRA progress counted toward
+/// SiMRA-class flips.
+///
+/// Kept small and asymmetric: the SiMRA weak-cell population differs from
+/// the RowHammer one (opposite flip direction, Observation 14), so
+/// conventional hammering contributes little to SiMRA flips.
+pub const CROSS_CLASS_COUPLING_TO_SIMRA: f64 = 0.05;
+
+/// Blast-radius attenuation: weight multiplier for victims at physical
+/// distance 2 from an aggressor (distance 1 = 1.0).
+pub const DISTANCE2_WEIGHT: f64 = 0.10;
+
+/// RowPress response for RowHammer-class aggression: weight vs `t_AggOn` in
+/// nanoseconds.
+///
+/// Anchors: Observation 6 (31.15× average HC_first reduction at 70.2 µs)
+/// and Observation 7 (RowPress overtakes CoMRA at `t_REFI`; Fig. 8).
+pub fn press_curve_rowhammer() -> LogLogCurve {
+    LogLogCurve::new(&[
+        (T_RAS_NS, 1.0),
+        (144.0, 2.0),
+        (T_REFI_NS, 12.0),
+        (70_200.0, 31.15),
+    ])
+}
+
+/// RowPress response for CoMRA aggression (applied on top of the per-row
+/// CoMRA susceptibility factor).
+///
+/// Anchors: Observation 6 (78.74× at 70.2 µs for Micron) and the Fig. 8
+/// crossover — CoMRA leads at 36 ns/144 ns/70.2 µs, RowPress leads at
+/// 7.8 µs by 1.17×.
+pub fn press_curve_comra() -> LogLogCurve {
+    LogLogCurve::new(&[
+        (T_RAS_NS, 1.0),
+        (144.0, 1.98),
+        (T_REFI_NS, 8.0),
+        (70_200.0, 78.74),
+    ])
+}
+
+/// RowPress response for SiMRA aggression.
+///
+/// Observation 18: raising `t_AggOn` from 36 ns to 70.2 µs reduces average
+/// HC_first by 144.93×–270.27× across N; the per-N endpoint interpolates
+/// between those bounds.
+pub fn press_curve_simra(n_rows: u8) -> LogLogCurve {
+    let end = match n_rows {
+        2 => 270.27,
+        4 => 230.0,
+        8 => 180.0,
+        _ => 144.93,
+    };
+    LogLogCurve::new(&[
+        (T_RAS_NS, 1.0),
+        (144.0, 2.5),
+        (T_REFI_NS, end / 8.0),
+        (70_200.0, end),
+    ])
+}
+
+/// CoMRA PRE→ACT timing-delay response per manufacturer: weight vs delay in
+/// nanoseconds.
+///
+/// Observation 8: raising the violated latency from 7.5 ns to 12 ns raises
+/// average HC_first by 3.10× / 1.18× / 1.17× / 3.01× for SK Hynix / Micron /
+/// Samsung / Nanya.
+pub fn comra_timing_curve(mfr: Manufacturer) -> LogLogCurve {
+    let drop = match mfr {
+        Manufacturer::SkHynix => 3.10,
+        Manufacturer::Micron => 1.18,
+        Manufacturer::Samsung => 1.17,
+        Manufacturer::Nanya => 3.01,
+    };
+    LogLogCurve::new(&[(COMRA_PRE_ACT_NS, 1.0), (12.0, 1.0 / drop)])
+}
+
+/// SiMRA ACT→PRE timing response: weight vs delay in nanoseconds.
+///
+/// Observation 20: a 1.5 ns ACT→PRE latency partially activates aggressor
+/// rows and raises average HC_first by 2.28×.
+pub fn simra_act_pre_curve() -> LogLogCurve {
+    LogLogCurve::new(&[(1.5, 1.0 / 2.28), (SIMRA_DELAY_NS, 1.0), (4.5, 1.0)])
+}
+
+/// SiMRA PRE→ACT timing response: weight vs delay in nanoseconds.
+///
+/// Observation 19: raising PRE→ACT from 1.5 ns to 4.5 ns lowers average
+/// HC_first by 1.23× (for SiMRA-16 with ACT→PRE = 3 ns).
+pub fn simra_pre_act_curve() -> LogLogCurve {
+    LogLogCurve::new(&[(1.5, 0.95), (SIMRA_DELAY_NS, 1.0), (4.5, 0.95 * 1.23)])
+}
+
+/// ACT→PRE latency below which a SiMRA activation only partially engages
+/// the aggressor row set (Observation 20, following prior work \[79\]).
+pub const SIMRA_PARTIAL_ACT_NS: f64 = 1.6;
+
+/// CoMRA temperature response per manufacturer: weight vs °C, normalized to
+/// 1.0 at the 80 °C reference.
+///
+/// Observation 4: from 50 °C to 80 °C the lowest HC_first decreases by
+/// 3.45× (SK Hynix), 2.13× (Samsung), 1.14× (Nanya), and *increases* by
+/// 1.14× for Micron.
+pub fn temp_curve_comra(mfr: Manufacturer) -> LogLogCurve {
+    let w50 = match mfr {
+        Manufacturer::SkHynix => 1.0 / 3.45,
+        Manufacturer::Samsung => 1.0 / 2.13,
+        Manufacturer::Nanya => 1.0 / 1.14,
+        Manufacturer::Micron => 1.14,
+    };
+    LogLogCurve::new(&[(50.0, w50), (80.0, 1.0)])
+}
+
+/// SiMRA temperature response: weight vs °C, normalized to 1.0 at 80 °C.
+///
+/// Observation 15: from 50 °C to 80 °C average HC_first decreases by
+/// 3.24× / 3.10× / 3.02× / 3.26× for 2/4/8/16-row activation — consistently
+/// ≈ 3.2×, unlike RowHammer which has no clear temperature relation.
+pub fn temp_curve_simra(n_rows: u8) -> LogLogCurve {
+    let drop = match n_rows {
+        2 => 3.24,
+        4 => 3.10,
+        8 => 3.02,
+        _ => 3.26,
+    };
+    LogLogCurve::new(&[(50.0, 1.0 / drop), (80.0, 1.0)])
+}
+
+/// Per-row log-std-dev of the temperature response jitter (individual rows
+/// exhibit different worst-case temperatures — Takeaway 2).
+pub const TEMP_JITTER_SIGMA: f64 = 0.12;
+
+/// Spatial weight per subarray region for RowHammer/CoMRA-class aggression
+/// (Fig. 11 / Observations 10–11).
+///
+/// Max/min ratios: 1.40 (SK Hynix, beginning most vulnerable), 2.25
+/// (Micron), 2.57 (Samsung, middle most vulnerable), 1.04 (Nanya).
+pub fn spatial_weights_rh(mfr: Manufacturer) -> [f64; 5] {
+    match mfr {
+        Manufacturer::SkHynix => [1.0, 0.82, 0.77, 0.74, 0.714],
+        Manufacturer::Micron => [0.444, 0.62, 0.80, 1.0, 0.72],
+        Manufacturer::Samsung => [0.389, 0.70, 1.0, 0.70, 0.389],
+        Manufacturer::Nanya => [0.9615, 0.97, 0.98, 1.0, 0.97],
+    }
+}
+
+/// Spatial weight per subarray region for SiMRA-N aggression (Fig. 19 /
+/// Observation 21: the variation differs per N — e.g. for 4-row activation
+/// the beginning has the *highest* HC_first, for 8-row the end does).
+///
+/// Amplitudes are kept moderate: on the least-improved families (SiMRA
+/// average ratio ~0.94–0.99, Table 2) a large region penalty relative to
+/// the RowHammer spatial profile would contradict Fig. 13's observation
+/// that ≥95 % of rows stay below their RowHammer HC_first.
+/// Values may exceed 1.0: they are calibrated so the SiMRA-vs-RowHammer
+/// region ratio keeps SiMRA ahead in every region (the SK Hynix RowHammer
+/// profile peaks at the subarray beginning).
+pub fn spatial_weights_simra(n_rows: u8) -> [f64; 5] {
+    match n_rows {
+        2 => [1.04, 0.95, 0.90, 0.92, 0.95],
+        4 => [1.03, 1.07, 1.23, 1.11, 1.06],
+        8 => [1.25, 1.22, 1.10, 1.05, 0.80],
+        16 => [1.10, 1.15, 1.20, 1.08, 0.95],
+        _ => [1.05, 1.10, 1.12, 1.10, 1.05],
+    }
+}
+
+/// Looks up a spatial weight table at a region.
+pub fn spatial_weight(table: &[f64; 5], region: SubarrayRegion) -> f64 {
+    table[region.index()]
+}
+
+/// Single-sided SiMRA weight trend vs N (applied on top of
+/// [`SS_ROWHAMMER_WEIGHT`]).
+///
+/// Observation 16/17: single-sided SiMRA-32's lowest HC_first is 1.17×
+/// lower than single-sided RowHammer and its average 1.47× lower than
+/// SiMRA-2's; HC_first decreases consistently with N.
+pub fn ss_simra_n_trend(n_rows: u8) -> f64 {
+    match n_rows {
+        2 => 1.02,
+        4 => 1.10,
+        8 => 1.22,
+        16 => 1.33,
+        _ => 1.47,
+    }
+}
+
+/// Exponent scale of the per-(row, N) SiMRA threshold jitter: the SiMRA-N
+/// threshold is `t_simra · s^(SIMRA_N_EXPONENT · |z_N|)` where `s` is the
+/// row's SiMRA susceptibility — per-N variation proportional (in log space)
+/// to the row's improvement margin, so the reduction is non-monotonic in N
+/// (Observation 12) yet almost never undoes it.
+pub const SIMRA_N_EXPONENT: f64 = 0.15;
+
+/// Fraction of victims whose HC_first *increases* under double-sided
+/// SiMRA-N relative to RowHammer (Fig. 13 left: 100 % / 98.79 % / 97.40 % /
+/// 94.94 % of rows see a reduction for N = 2/4/8/16).
+pub fn simra_above_fraction(n_rows: u8) -> f64 {
+    match n_rows {
+        2 => 0.0,
+        4 => 0.0121,
+        8 => 0.026,
+        16 => 0.0506,
+        _ => 0.05,
+    }
+}
+
+/// Mixture parameters of the per-row SiMRA susceptibility `s` (t_simra =
+/// t_rh / s): a small "deep tail" population with ≥100× reduction
+/// (Observation 12: ≥25.19 % of rows show >99 % HC_first reduction) plus a
+/// bulk population whose mean matches the family's Table 2 average ratio.
+pub const SIMRA_DEEP_SCALE: f64 = 100.0;
+/// Log-normal sigma of the deep-tail magnitude.
+pub const SIGMA_SIMRA_DEEP: f64 = 1.0;
+/// Log-normal sigma of the bulk susceptibility.
+pub const SIGMA_SIMRA_BULK: f64 = 0.25;
+/// Clamp range of the deep-tail probability.
+pub const SIMRA_DEEP_PROB_RANGE: (f64, f64) = (0.02, 0.35);
+
+/// Shifted-log-normal sigma for RowHammer weakest-cell thresholds.
+pub const SIGMA_T_RH: f64 = 1.0;
+/// Shifted-log-normal sigma for SiMRA weakest-cell thresholds (very heavy
+/// tail: ≥25.19 % of rows show >99 % HC_first reduction, Observation 12).
+pub const SIGMA_T_SIMRA: f64 = 2.3;
+/// Log-normal sigma for the per-row CoMRA susceptibility factor.
+pub const SIGMA_COMRA_FACTOR: f64 = 1.2;
+/// Log-std-dev of the small per-row jitter that lets ~1 % of rows buck the
+/// CoMRA trend (Fig. 4: 99 % of rows see lower HC_first).
+pub const COMRA_TREND_JITTER: f64 = 0.03;
+
+/// Copy-direction reversal: fraction of rows with a large asymmetry and the
+/// maximal factor (Observation 9: average change 2.79 %, up to 20.1× for a
+/// small fraction of rows).
+pub const DIR_HEAVY_FRACTION: f64 = 0.01;
+/// See [`DIR_HEAVY_FRACTION`].
+pub const DIR_HEAVY_MAX: f64 = 20.1;
+/// Log-std-dev of the common-case copy-direction jitter.
+pub const DIR_JITTER_SIGMA: f64 = 0.028;
+
+/// Weak-cell tail exponent range: the i-th weakest cell of a row flips at
+/// `t · i^(1/beta)` with `beta` uniform in this range per row.
+pub const BETA_RANGE: (f64, f64) = (0.8, 1.4);
+
+/// Maximum number of individually tracked weak cells per (row, class);
+/// flip counts beyond this use the analytic tail (power-law) model.
+pub const TRACKED_WEAK_CELLS: u32 = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn press_curves_reproduce_observation_6() {
+        let rh = press_curve_rowhammer();
+        assert!((rh.eval(70_200.0) - 31.15).abs() < 1e-9);
+        let comra = press_curve_comra();
+        assert!((comra.eval(70_200.0) - 78.74).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rowpress_overtakes_comra_only_at_trefi() {
+        // Observation 7: CoMRA leads at 36 ns, 144 ns, 70.2 µs; RowPress
+        // leads at 7.8 µs. Average CoMRA susceptibility ≈ 1.28 (Micron,
+        // Table 2: 9 030 / 7 060).
+        let r_avg = 1.28;
+        let rh = press_curve_rowhammer();
+        let co = press_curve_comra();
+        for t in [36.0, 144.0, 70_200.0] {
+            assert!(
+                r_avg * co.eval(t) > rh.eval(t),
+                "CoMRA should lead at {t} ns"
+            );
+        }
+        let t = T_REFI_NS;
+        assert!(rh.eval(t) > r_avg * co.eval(t), "RowPress leads at tREFI");
+        let ratio = rh.eval(t) / (r_avg * co.eval(t));
+        assert!((ratio - 1.17).abs() < 0.02, "Fig 8 crossover ratio {ratio}");
+    }
+
+    #[test]
+    fn comra_timing_reproduces_observation_8() {
+        for (mfr, drop) in [
+            (Manufacturer::SkHynix, 3.10),
+            (Manufacturer::Micron, 1.18),
+            (Manufacturer::Samsung, 1.17),
+            (Manufacturer::Nanya, 3.01),
+        ] {
+            let c = comra_timing_curve(mfr);
+            let ratio = c.eval(COMRA_PRE_ACT_NS) / c.eval(12.0);
+            assert!((ratio - drop).abs() < 1e-6, "{mfr}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn simra_timing_reproduces_observations_19_20() {
+        let ap = simra_act_pre_curve();
+        assert!((ap.eval(3.0) / ap.eval(1.5) - 2.28).abs() < 1e-6);
+        let pa = simra_pre_act_curve();
+        assert!((pa.eval(4.5) / pa.eval(1.5) - 1.23).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temperature_reproduces_observations_4_and_15() {
+        let sk = temp_curve_comra(Manufacturer::SkHynix);
+        assert!((sk.eval(80.0) / sk.eval(50.0) - 3.45).abs() < 1e-6);
+        let mi = temp_curve_comra(Manufacturer::Micron);
+        assert!((mi.eval(50.0) / mi.eval(80.0) - 1.14).abs() < 1e-6);
+        for (n, drop) in [(2u8, 3.24), (4, 3.10), (8, 3.02), (16, 3.26)] {
+            let c = temp_curve_simra(n);
+            assert!((c.eval(80.0) / c.eval(50.0) - drop).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spatial_ratios_reproduce_observation_10() {
+        for (mfr, ratio) in [
+            (Manufacturer::SkHynix, 1.40),
+            (Manufacturer::Micron, 2.25),
+            (Manufacturer::Samsung, 2.57),
+            (Manufacturer::Nanya, 1.04),
+        ] {
+            let w = spatial_weights_rh(mfr);
+            let max = w.iter().cloned().fold(f64::MIN, f64::max);
+            let min = w.iter().cloned().fold(f64::MAX, f64::min);
+            assert!((max / min - ratio).abs() < 0.01, "{mfr}: {}", max / min);
+        }
+    }
+
+    #[test]
+    fn simra_spatial_shapes_differ_per_n() {
+        // Observation 21: for 4-row activation the beginning is least
+        // vulnerable (lowest weight); for 8-row the end is.
+        let w4 = spatial_weights_simra(4);
+        let w8 = spatial_weights_simra(8);
+        assert_eq!(
+            w4.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0,
+            0
+        );
+        assert_eq!(
+            w8.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0,
+            4
+        );
+    }
+
+    #[test]
+    fn ss_simra_trend_is_monotone() {
+        let mut prev = 0.0;
+        for n in [2u8, 4, 8, 16, 32] {
+            let v = ss_simra_n_trend(n);
+            assert!(v > prev);
+            prev = v;
+        }
+        assert!((ss_simra_n_trend(32) - 1.47).abs() < 1e-9);
+    }
+}

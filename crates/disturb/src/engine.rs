@@ -1,0 +1,675 @@
+//! The disturbance engine: turns hammer events into accumulated disturbance
+//! and materialized bitflips.
+
+use std::collections::HashMap;
+
+use pud_dram::{BankId, ChipGeometry, Manufacturer, ModuleProfile, RowAddr, RowData};
+
+use crate::calib;
+use crate::curve::LogLogCurve;
+use crate::event::{AggressionKind, DataSummary, FlipClass, HammerEvent};
+use crate::rng;
+use crate::vuln::{RowVuln, VulnModel};
+
+/// Maximum bitflips materialized per `hammer` call (the analytic count can
+/// exceed the row width; materialization is capped to keep calls bounded).
+const MATERIALIZE_CAP: u64 = 4096;
+
+/// A bitflip produced by read disturbance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bitflip {
+    /// Column of the flipped cell.
+    pub col: u32,
+    /// The value the cell flipped *to*.
+    pub to: bool,
+    /// The flip class responsible.
+    pub class: FlipClass,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RowState {
+    /// Disturbance from pure RowHammer/RowPress aggression.
+    a_rh: f64,
+    /// Disturbance from CoMRA aggression (same flip class, lossy transfer).
+    a_comra: f64,
+    /// Disturbance from double-sided SiMRA aggression.
+    a_simra: f64,
+    emitted_rh: u64,
+    emitted_simra: u64,
+}
+
+/// Per-chip read-disturbance engine.
+///
+/// The engine accumulates disturbance per victim row and materializes
+/// bitflips into the caller-provided row data when thresholds are crossed.
+/// Charge restoration (victim activation, refresh, or rewrite) must be
+/// reported via [`DisturbEngine::restore`], which resets the row's
+/// accumulators — this is the mechanism that makes Target Row Refresh
+/// effective against RowHammer (§7).
+#[derive(Debug, Clone)]
+pub struct DisturbEngine {
+    model: VulnModel,
+    /// Columns already flipped per victim row — survives charge
+    /// restoration (a refresh preserves the flipped data), cleared only
+    /// when the row is rewritten.
+    flip_history: HashMap<(BankId, RowAddr), std::collections::HashSet<u32>>,
+    press_rh: LogLogCurve,
+    press_comra: LogLogCurve,
+    comra_timing: LogLogCurve,
+    simra_act_pre: LogLogCurve,
+    simra_pre_act: LogLogCurve,
+    temp_comra: LogLogCurve,
+    spatial_rh: [f64; 5],
+    states: HashMap<(BankId, RowAddr), RowState>,
+}
+
+impl DisturbEngine {
+    /// Creates an engine for chip `chip_index` of `profile` under a fleet
+    /// seed.
+    pub fn new(
+        profile: &ModuleProfile,
+        geometry: ChipGeometry,
+        chip_index: u32,
+        seed: u64,
+    ) -> DisturbEngine {
+        let mfr = profile.chip_vendor;
+        DisturbEngine {
+            model: VulnModel::new(profile, geometry, chip_index, seed),
+            flip_history: HashMap::new(),
+            press_rh: calib::press_curve_rowhammer(),
+            press_comra: calib::press_curve_comra(),
+            comra_timing: calib::comra_timing_curve(mfr),
+            simra_act_pre: calib::simra_act_pre_curve(),
+            simra_pre_act: calib::simra_pre_act_curve(),
+            temp_comra: calib::temp_curve_comra(mfr),
+            spatial_rh: calib::spatial_weights_rh(mfr),
+            states: HashMap::new(),
+        }
+    }
+
+    /// The vulnerability sampler backing this engine.
+    pub fn model(&self) -> &VulnModel {
+        &self.model
+    }
+
+    /// Applies a batch of hammer cycles to a victim row, materializing any
+    /// resulting bitflips into `victim_data`.
+    ///
+    /// Returns the flips produced by this call (possibly empty).
+    pub fn hammer(&mut self, ev: &HammerEvent, victim_data: &mut RowData) -> Vec<Bitflip> {
+        let vuln = self.model.row_vuln(ev.bank, ev.victim);
+        let class = ev.kind.flip_class();
+        let w = self.event_weight(ev, &vuln);
+        let st = self.states.entry((ev.bank, ev.victim)).or_default();
+        let add = w * ev.repeat as f64;
+        if ev.kind.is_comra() {
+            st.a_comra += add;
+        } else {
+            match class {
+                FlipClass::RowHammer => st.a_rh += add,
+                FlipClass::Simra => st.a_simra += add,
+            }
+        }
+        let st = *self
+            .states
+            .get(&(ev.bank, ev.victim))
+            .expect("state just inserted");
+        let mut flips = Vec::new();
+        for c in [FlipClass::RowHammer, FlipClass::Simra] {
+            flips.extend(self.evaluate_flips(ev, &vuln, st, c, victim_data));
+        }
+        flips
+    }
+
+    /// Reports charge restoration of a victim row (activation or refresh):
+    /// accumulated disturbance is cleared, but the record of already
+    /// flipped cells survives — refresh preserves the (corrupted) data.
+    pub fn restore(&mut self, bank: BankId, row: RowAddr) {
+        self.states.remove(&(bank, row));
+    }
+
+    /// Reports that a row's data was rewritten: disturbance *and* the
+    /// flipped-cell history are cleared.
+    pub fn rewrite(&mut self, bank: BankId, row: RowAddr) {
+        self.states.remove(&(bank, row));
+        self.flip_history.remove(&(bank, row));
+    }
+
+    /// Clears all accumulated disturbance (e.g. a full refresh cycle).
+    pub fn restore_all(&mut self) {
+        self.states.clear();
+    }
+
+    /// Accumulated disturbance of a row, in effective hammers, as
+    /// `(rowhammer_class, simra_class)`.
+    pub fn accumulated(&self, bank: BankId, row: RowAddr) -> (f64, f64) {
+        self.states
+            .get(&(bank, row))
+            .map_or((0.0, 0.0), |s| (s.a_rh, s.a_simra))
+    }
+
+    /// The per-event weight (effective hammers per cycle) an event carries
+    /// for its victim. Exposed for analysis and white-box testing.
+    pub fn event_weight(&self, ev: &HammerEvent, vuln: &RowVuln) -> f64 {
+        let mfr = self.model.manufacturer();
+        let mut w = match ev.kind {
+            AggressionKind::RowHammerSingle => calib::SS_ROWHAMMER_WEIGHT,
+            AggressionKind::RowHammerDouble => 1.0,
+            AggressionKind::RowHammerFarDouble => calib::FAR_DS_ROWHAMMER_WEIGHT,
+            AggressionKind::ComraDouble {
+                pre_to_act,
+                reversed,
+            } => {
+                vuln.comra_factor
+                    * vuln.comra_trend_jitter()
+                    * self.comra_timing.eval(pre_to_act.as_ns().max(1e-3))
+                    * vuln.direction_factor(reversed)
+            }
+            AggressionKind::ComraSingle { reversed, .. } => {
+                calib::FAR_DS_ROWHAMMER_WEIGHT
+                    * calib::SS_COMRA_BONUS
+                    * vuln.direction_factor(reversed)
+            }
+            AggressionKind::SimraDouble {
+                n_rows,
+                act_to_pre,
+                pre_to_act,
+            } => {
+                (1.0 / vuln.simra_n_factor(n_rows))
+                    * self.simra_act_pre.eval(act_to_pre.as_ns().max(1e-3))
+                    * self.simra_pre_act.eval(pre_to_act.as_ns().max(1e-3))
+            }
+            AggressionKind::SimraSingle { n_rows, .. } => {
+                calib::SS_ROWHAMMER_WEIGHT * calib::ss_simra_n_trend(n_rows)
+            }
+        };
+        // Aggressor on-time (RowPress response).
+        let t_on = ev.t_aggon.as_ns().max(calib::T_RAS_NS);
+        w *= match ev.kind {
+            k if k.is_comra() => self.press_comra.eval(t_on),
+            AggressionKind::SimraDouble { n_rows, .. } => {
+                calib::press_curve_simra(n_rows).eval(t_on)
+            }
+            _ => self.press_rh.eval(t_on),
+        };
+        // Temperature.
+        let t = ev.temperature.0;
+        w *= match ev.kind {
+            k if k.is_comra() => self.temp_comra.eval(t.max(1.0)),
+            AggressionKind::SimraDouble { n_rows, .. } => {
+                calib::temp_curve_simra(n_rows).eval(t.max(1.0))
+            }
+            // RowHammer has no clear systematic temperature trend
+            // (Observation 4 discussion / prior work [145, 153]).
+            _ => 1.0,
+        };
+        w *= vuln.temp_jitter(t);
+        // Aggressor data pattern. RowHammer-class disturbance rewards
+        // bitline toggling (checkerboard is the usual worst case,
+        // Observation 3, normalized to 1.0); SiMRA's data dependence is
+        // victim-side only (Observations 13-14), so sandwiched SiMRA
+        // victims see no aggressor-pattern bonus.
+        let mut dp = if matches!(ev.kind, AggressionKind::SimraDouble { .. }) {
+            1.0
+        } else {
+            (1.0 + calib::CHECKER_BONUS * ev.aggressor_data.checker_fraction)
+                / (1.0 + calib::CHECKER_BONUS)
+        };
+        if mfr == Manufacturer::Nanya && ev.aggressor_data.checker_fraction < 0.25 {
+            dp *= calib::NANYA_SOLID_PENALTY;
+        }
+        dp *= vuln.dp_jitter(ev.aggressor_data.fingerprint());
+        w *= dp;
+        // Spatial variation across the subarray.
+        let region = self.model.geometry().region_of(ev.victim);
+        w *= match ev.kind {
+            AggressionKind::SimraDouble { n_rows, .. } => {
+                calib::spatial_weight(&calib::spatial_weights_simra(n_rows), region)
+            }
+            _ => calib::spatial_weight(&self.spatial_rh, region),
+        };
+        // Blast radius.
+        if ev.distance >= 2 {
+            w *= calib::DISTANCE2_WEIGHT;
+        }
+        w
+    }
+
+    /// Data-dependent eligibility threshold multiplier of `class` for a
+    /// victim holding `summary`: the fraction of cells whose stored value
+    /// can flip under the class's direction mix, normalized to the
+    /// worst-case data pattern.
+    fn eligibility(class: FlipClass, summary: &DataSummary, beta: f64) -> (f64, f64) {
+        let dom = class.dominant_fraction();
+        let frac_src_dom = if class.dominant_source_bit() {
+            summary.ones_fraction
+        } else {
+            1.0 - summary.ones_fraction
+        };
+        let p = (dom * frac_src_dom + (1.0 - dom) * (1.0 - frac_src_dom)).max(1e-3);
+        let factor = (class.reference_eligibility() / p).powf(1.0 / beta);
+        (p, factor)
+    }
+
+    /// Effective progress (in absolute effective hammers) counted toward
+    /// `class` flips, with the §6 pattern couplings: same-class but
+    /// cross-pattern progress transfers at `κ = 0.25` (CoMRA → RowHammer),
+    /// cross-class progress at `γ = 0.2` (SiMRA → RowHammer).
+    ///
+    /// Conditioning transfers only *into* the actively driven lineage —
+    /// an already pre-hammered lineage receives nothing, which is what
+    /// makes the §6 staged patterns reduce HC_first by 1.34×/1.22×/1.66×
+    /// instead of firing during their pre-hammer stages. Cross-class
+    /// progress is normalized by the *effective* (eligibility-adjusted)
+    /// threshold of the contributing class.
+    fn effective_progress(
+        &self,
+        st: RowState,
+        vuln: &RowVuln,
+        class: FlipClass,
+        summary: &DataSummary,
+    ) -> f64 {
+        let k = calib::SAME_CLASS_PATTERN_COUPLING;
+        let g = calib::CROSS_CLASS_COUPLING;
+        match class {
+            FlipClass::RowHammer => {
+                let cross = if vuln.t_simra.is_finite() && st.a_rh > 0.0 && st.a_simra > 0.0 {
+                    let (_, elig_simra) =
+                        DisturbEngine::eligibility(FlipClass::Simra, summary, vuln.beta);
+                    let (_, elig_rh) =
+                        DisturbEngine::eligibility(FlipClass::RowHammer, summary, vuln.beta);
+                    g * st.a_simra / (vuln.t_simra * elig_simra) * vuln.t_rh * elig_rh
+                } else {
+                    0.0
+                };
+                (st.a_rh + k * st.a_comra + cross).max(st.a_comra)
+            }
+            FlipClass::Simra => {
+                let cross = if st.a_simra > 0.0 && st.a_rh + st.a_comra > 0.0 {
+                    let (_, elig_simra) =
+                        DisturbEngine::eligibility(FlipClass::Simra, summary, vuln.beta);
+                    let (_, elig_rh) =
+                        DisturbEngine::eligibility(FlipClass::RowHammer, summary, vuln.beta);
+                    calib::CROSS_CLASS_COUPLING_TO_SIMRA * (st.a_rh + st.a_comra)
+                        / (vuln.t_rh * elig_rh)
+                        * vuln.t_simra
+                        * elig_simra
+                } else {
+                    0.0
+                };
+                st.a_simra + cross
+            }
+        }
+    }
+
+    fn evaluate_flips(
+        &mut self,
+        ev: &HammerEvent,
+        vuln: &RowVuln,
+        st: RowState,
+        class: FlipClass,
+        victim_data: &mut RowData,
+    ) -> Vec<Bitflip> {
+        let t_base = vuln.base_threshold(class);
+        if !t_base.is_finite() {
+            return Vec::new();
+        }
+        // Data-dependent eligibility: fraction of the victim's cells whose
+        // stored value lets them flip under this class's direction mix.
+        let summary = DataSummary::from_row(victim_data);
+        let progress = self.effective_progress(st, vuln, class, &summary);
+        if progress <= 0.0 {
+            return Vec::new();
+        }
+        let (p, elig_factor) = DisturbEngine::eligibility(class, &summary, vuln.beta);
+        let t_first = t_base * elig_factor;
+        if progress < t_first {
+            return Vec::new();
+        }
+        let crossed = (progress / t_first).powf(vuln.beta).floor() as u64;
+        let eligible_cells = (p * f64::from(victim_data.cols())).ceil() as u64;
+        let visible = crossed.min(eligible_cells);
+        // Cells flipped before the last charge restoration stay flipped:
+        // the weak-cell walk continues past them instead of re-counting
+        // them after a refresh.
+        let hist_len = self
+            .flip_history
+            .get(&(ev.bank, ev.victim))
+            .map_or(0, |h| h.len() as u64);
+        let already = match class {
+            FlipClass::RowHammer => st.emitted_rh,
+            FlipClass::Simra => st.emitted_simra,
+        }
+        .max(hist_len);
+        if visible <= already {
+            return Vec::new();
+        }
+        let fresh = (visible - already).min(MATERIALIZE_CAP);
+        let mut flips = Vec::with_capacity(fresh as usize);
+        let cols = victim_data.cols();
+        let class_tag = match class {
+            FlipClass::RowHammer => 0xA1u64,
+            FlipClass::Simra => 0xA2u64,
+        };
+        for i in already + 1..=already + fresh {
+            let dominant = rng::unit(&[vuln.key(), class_tag, i, 0x10]) < class.dominant_fraction();
+            let preferred = if dominant {
+                class.dominant_source_bit()
+            } else {
+                !class.dominant_source_bit()
+            };
+            // Probe pseudo-random columns for a cell currently storing the
+            // source value; if the drawn direction has no eligible cells
+            // left (e.g. a solid victim), the opposite-direction population
+            // carries the flip — the eligibility factor already priced the
+            // direction mix into the threshold.
+            let mut found = None;
+            let history = self.flip_history.entry((ev.bank, ev.victim)).or_default();
+            'directions: for src in [preferred, !preferred] {
+                for probe in 0..96u64 {
+                    let col = (rng::mix_all(&[vuln.key(), class_tag, i, 0x20 + probe])
+                        % u64::from(cols)) as u32;
+                    if victim_data.bit(col) == src && !history.contains(&col) {
+                        found = Some((col, src));
+                        break 'directions;
+                    }
+                }
+            }
+            if let Some((col, src)) = found {
+                history.insert(col);
+                victim_data.set_bit(col, !src);
+                flips.push(Bitflip {
+                    col,
+                    to: !src,
+                    class,
+                });
+            }
+        }
+        let st_mut = self
+            .states
+            .get_mut(&(ev.bank, ev.victim))
+            .expect("state exists for hammered row");
+        match class {
+            FlipClass::RowHammer => st_mut.emitted_rh = already + fresh,
+            FlipClass::Simra => st_mut.emitted_simra = already + fresh,
+        }
+        flips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::HammerEvent;
+    use pud_dram::profiles::TESTED_MODULES;
+    use pud_dram::{Celsius, DataPattern, Picos};
+
+    fn engine(profile_idx: usize) -> DisturbEngine {
+        DisturbEngine::new(
+            &TESTED_MODULES[profile_idx],
+            ChipGeometry::scaled_for_tests(),
+            0,
+            7,
+        )
+    }
+
+    fn checker_event(kind: AggressionKind, repeat: u64) -> HammerEvent {
+        HammerEvent::reference(
+            BankId(0),
+            RowAddr(10),
+            kind,
+            DataSummary::from_pattern(DataPattern::CHECKER_55),
+            repeat,
+        )
+    }
+
+    fn victim_row() -> RowData {
+        RowData::filled(1024, DataPattern::CHECKER_AA)
+    }
+
+    #[test]
+    fn no_flips_below_threshold() {
+        let mut e = engine(1);
+        let mut v = victim_row();
+        let ev = checker_event(AggressionKind::RowHammerDouble, 10);
+        assert!(e.hammer(&ev, &mut v).is_empty());
+        assert!(v.matches_pattern(DataPattern::CHECKER_AA));
+    }
+
+    #[test]
+    fn rowhammer_flips_after_threshold() {
+        let mut e = engine(1);
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(10));
+        let mut v = victim_row();
+        // Hammer far past the threshold in one batch.
+        let ev = checker_event(AggressionKind::RowHammerDouble, (vuln.t_rh * 60.0) as u64);
+        let flips = e.hammer(&ev, &mut v);
+        assert!(flips.len() > 20, "expected many flips, got {}", flips.len());
+        // The victim data actually changed.
+        assert!(v.diff_count(&victim_row()) as usize >= flips.len().min(1));
+        // RowHammer-class flips dominate 0→1 (55/45 direction mix).
+        let up = flips.iter().filter(|f| f.to).count() as f64 / flips.len() as f64;
+        assert!(up > 0.42, "dominant direction should be 0->1, up={up}");
+    }
+
+    #[test]
+    fn accumulation_is_additive_across_batches() {
+        let mut e1 = engine(1);
+        let mut e2 = engine(1);
+        let mut v = victim_row();
+        let ev_half = checker_event(AggressionKind::RowHammerDouble, 500);
+        let ev_full = checker_event(AggressionKind::RowHammerDouble, 1000);
+        e1.hammer(&ev_half, &mut v);
+        e1.hammer(&ev_half, &mut v);
+        e2.hammer(&ev_full, &mut v);
+        assert!(
+            (e1.accumulated(BankId(0), RowAddr(10)).0 - e2.accumulated(BankId(0), RowAddr(10)).0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn restore_resets_disturbance() {
+        let mut e = engine(1);
+        let mut v = victim_row();
+        e.hammer(
+            &checker_event(AggressionKind::RowHammerDouble, 1000),
+            &mut v,
+        );
+        assert!(e.accumulated(BankId(0), RowAddr(10)).0 > 0.0);
+        e.restore(BankId(0), RowAddr(10));
+        assert_eq!(e.accumulated(BankId(0), RowAddr(10)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn comra_is_heavier_than_rowhammer() {
+        let e = engine(1);
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(10));
+        let rh = e.event_weight(&checker_event(AggressionKind::RowHammerDouble, 1), &vuln);
+        let comra = e.event_weight(
+            &checker_event(
+                AggressionKind::ComraDouble {
+                    pre_to_act: Picos::from_ns(7.5),
+                    reversed: false,
+                },
+                1,
+            ),
+            &vuln,
+        );
+        assert!(comra > rh, "comra {comra} rh {rh}");
+    }
+
+    #[test]
+    fn single_sided_is_weaker_than_double_sided() {
+        let e = engine(1);
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(10));
+        let ds = e.event_weight(&checker_event(AggressionKind::RowHammerDouble, 1), &vuln);
+        let ss = e.event_weight(&checker_event(AggressionKind::RowHammerSingle, 1), &vuln);
+        let far = e.event_weight(&checker_event(AggressionKind::RowHammerFarDouble, 1), &vuln);
+        assert!(ss < far && far < ds);
+    }
+
+    #[test]
+    fn rowpress_increases_weight() {
+        let e = engine(1);
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(10));
+        let mut ev = checker_event(AggressionKind::RowHammerDouble, 1);
+        let base = e.event_weight(&ev, &vuln);
+        ev.t_aggon = Picos::from_us(70.2);
+        let pressed = e.event_weight(&ev, &vuln);
+        assert!((pressed / base - 31.15).abs() < 0.1, "{}", pressed / base);
+    }
+
+    #[test]
+    fn simra_uses_its_own_threshold_class() {
+        let mut e = engine(1);
+        // Victim all-ones: maximally eligible for SiMRA's 1→0 flips.
+        let mut v = RowData::filled(1024, DataPattern::ONES);
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(10));
+        let kind = AggressionKind::SimraDouble {
+            n_rows: 4,
+            act_to_pre: Picos::from_ns(3.0),
+            pre_to_act: Picos::from_ns(3.0),
+        };
+        let mut ev = HammerEvent::reference(
+            BankId(0),
+            RowAddr(10),
+            kind,
+            DataSummary::from_pattern(DataPattern::ZEROS),
+            0,
+        );
+        ev.repeat = (vuln.t_simra * vuln.simra_n_factor(4) * 16.0) as u64 + 16;
+        let flips = e.hammer(&ev, &mut v);
+        assert!(!flips.is_empty());
+        // Dominant SiMRA direction is 1→0.
+        let down = flips.iter().filter(|f| !f.to).count();
+        assert!(down * 2 > flips.len());
+    }
+
+    #[test]
+    fn simra_has_no_effect_on_micron() {
+        let mut e = engine(6); // Micron F
+        let mut v = RowData::filled(1024, DataPattern::ONES);
+        let kind = AggressionKind::SimraDouble {
+            n_rows: 16,
+            act_to_pre: Picos::from_ns(3.0),
+            pre_to_act: Picos::from_ns(3.0),
+        };
+        let ev = HammerEvent::reference(
+            BankId(0),
+            RowAddr(10),
+            kind,
+            DataSummary::from_pattern(DataPattern::ZEROS),
+            10_000_000,
+        );
+        assert!(e.hammer(&ev, &mut v).is_empty());
+    }
+
+    #[test]
+    fn victim_data_gates_simra_flips() {
+        // Observation 13: a 0x00 victim (no 1s to discharge) needs far more
+        // SiMRA hammers than a 0xFF victim.
+        let mut e_ff = engine(1);
+        let mut e_00 = engine(1);
+        let kind = AggressionKind::SimraDouble {
+            n_rows: 4,
+            act_to_pre: Picos::from_ns(3.0),
+            pre_to_act: Picos::from_ns(3.0),
+        };
+        let hc = |e: &mut DisturbEngine, victim_pattern: DataPattern| -> u64 {
+            let mut lo = 1u64;
+            let mut hi = 1u64 << 34;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut v = RowData::filled(1024, victim_pattern);
+                let mut ev = HammerEvent::reference(
+                    BankId(0),
+                    RowAddr(10),
+                    kind,
+                    DataSummary::from_pattern(victim_pattern.negated()),
+                    mid,
+                );
+                ev.repeat = mid;
+                let flips = e.hammer(&ev, &mut v);
+                e.rewrite(BankId(0), RowAddr(10));
+                if flips.is_empty() {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        let hc_ff = hc(&mut e_ff, DataPattern::ONES);
+        let hc_00 = hc(&mut e_00, DataPattern::ZEROS);
+        assert!(
+            hc_00 as f64 > hc_ff as f64 * 5.0,
+            "0x00 victim should be much harder: {hc_00} vs {hc_ff}"
+        );
+    }
+
+    #[test]
+    fn cross_coupling_lets_simra_help_rowhammer() {
+        // §6: pre-hammering with SiMRA reduces the RowHammer count needed.
+        let profile = &TESTED_MODULES[1];
+        let geometry = ChipGeometry::scaled_for_tests();
+        let mut plain = DisturbEngine::new(profile, geometry, 0, 7);
+        let mut combined = DisturbEngine::new(profile, geometry, 0, 7);
+        let vuln = plain.model().row_vuln(BankId(0), RowAddr(10));
+        let simra_kind = AggressionKind::SimraDouble {
+            n_rows: 4,
+            act_to_pre: Picos::from_ns(3.0),
+            pre_to_act: Picos::from_ns(3.0),
+        };
+        // Charge the SiMRA accumulator close to (but below) its effective
+        // threshold so no SiMRA-class flip fires during the pre-charge.
+        let mut v = victim_row();
+        let mut ev = checker_event(simra_kind, 1);
+        let w = combined.event_weight(&ev, &vuln);
+        ev.repeat = (vuln.t_simra * 0.9 / w) as u64;
+        combined.hammer(&ev, &mut v);
+        // Now count RowHammer hammers to first flip in both engines.
+        let hc = |e: &mut DisturbEngine| -> u64 {
+            let mut v = victim_row();
+            let mut total = 0u64;
+            let step = (vuln.t_rh / 50.0).max(1.0) as u64;
+            loop {
+                let ev = checker_event(AggressionKind::RowHammerDouble, step);
+                total += step;
+                if !e.hammer(&ev, &mut v).is_empty() {
+                    return total;
+                }
+                assert!(total < 1_000_000_000, "no flip reached");
+            }
+        };
+        let hc_combined = hc(&mut combined);
+        let hc_plain = hc(&mut plain);
+        assert!(
+            hc_combined < hc_plain,
+            "combined {hc_combined} should undercut plain {hc_plain}"
+        );
+    }
+
+    #[test]
+    fn distance_two_victims_are_much_less_disturbed() {
+        let e = engine(1);
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(10));
+        let mut ev = checker_event(AggressionKind::RowHammerDouble, 1);
+        let near = e.event_weight(&ev, &vuln);
+        ev.distance = 2;
+        let far = e.event_weight(&ev, &vuln);
+        assert!((far / near - calib::DISTANCE2_WEIGHT).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solid_patterns_barely_flip_nanya() {
+        let e = engine(13); // Nanya
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(10));
+        let mut ev = checker_event(AggressionKind::RowHammerDouble, 1);
+        let checker = e.event_weight(&ev, &vuln);
+        ev.aggressor_data = DataSummary::from_pattern(DataPattern::ZEROS);
+        let solid = e.event_weight(&ev, &vuln);
+        assert!(solid < checker * 0.15, "solid {solid} checker {checker}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Deterministic, allocation-free pseudo-randomness.
+//!
+//! Every per-row quantity in the disturbance model is a pure function of a
+//! fleet seed and the row's identity, derived through a SplitMix64-style
+//! mixer. This keeps the model lazy (no per-row state is stored until a row
+//! is touched) and exactly reproducible across runs and platforms.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mixes an arbitrary list of words into one 64-bit hash.
+#[inline]
+pub fn mix_all(words: &[u64]) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3u64; // pi digits, nothing up the sleeve
+    for &w in words {
+        acc = mix64(acc ^ w);
+    }
+    acc
+}
+
+/// A uniform sample in `[0, 1)` derived from `words`.
+#[inline]
+pub fn unit(words: &[u64]) -> f64 {
+    // 53 high bits → uniform double in [0,1).
+    (mix_all(words) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A standard normal sample derived from `words` (Box–Muller).
+#[inline]
+pub fn std_normal(words: &[u64]) -> f64 {
+    let h = mix_all(words);
+    let u1 = ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    let u2 = ((mix64(h) >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal sample `exp(mu + sigma * z)` derived from `words`.
+#[inline]
+pub fn lognormal(words: &[u64], mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * std_normal(words)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixing_is_deterministic() {
+        assert_eq!(mix_all(&[1, 2, 3]), mix_all(&[1, 2, 3]));
+        assert_ne!(mix_all(&[1, 2, 3]), mix_all(&[1, 2, 4]));
+        assert_ne!(mix_all(&[1, 2, 3]), mix_all(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        for i in 0..1000u64 {
+            let u = unit(&[42, i]);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit(&[7, i])).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| std_normal(&[13, i])).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_tracks_mu() {
+        let n = 20_000u64;
+        let mut samples: Vec<f64> = (0..n).map(|i| lognormal(&[5, i], 2.0, 1.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median.ln() - 2.0).abs() < 0.05, "median {median}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the disturbance engine's invariants.
+
+use proptest::prelude::*;
+
+use pud_disturb::{AggressionKind, DataSummary, DisturbEngine, HammerEvent, VulnModel};
+use pud_dram::{
+    profiles::TESTED_MODULES, BankId, Celsius, ChipGeometry, DataPattern, Picos, RowAddr, RowData,
+};
+
+fn engine(seed: u64) -> DisturbEngine {
+    DisturbEngine::new(&TESTED_MODULES[1], ChipGeometry::scaled_for_tests(), 0, seed)
+}
+
+proptest! {
+    #[test]
+    fn event_weights_are_positive_and_finite(
+        row in 2u32..1000,
+        t_on_ns in 36.0f64..100_000.0,
+        temp in 45.0f64..85.0,
+        byte in 0u8..=255,
+        kind_idx in 0usize..6,
+    ) {
+        let e = engine(1);
+        prop_assume!(row < e.model().geometry().rows_per_bank());
+        let d = Picos::from_ns(3.0);
+        let kinds = [
+            AggressionKind::RowHammerSingle,
+            AggressionKind::RowHammerDouble,
+            AggressionKind::RowHammerFarDouble,
+            AggressionKind::ComraDouble { pre_to_act: Picos::from_ns(7.5), reversed: false },
+            AggressionKind::SimraDouble { n_rows: 4, act_to_pre: d, pre_to_act: d },
+            AggressionKind::SimraSingle { n_rows: 16, act_to_pre: d, pre_to_act: d },
+        ];
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(row));
+        let ev = HammerEvent {
+            bank: BankId(0),
+            victim: RowAddr(row),
+            kind: kinds[kind_idx],
+            t_aggon: Picos::from_ns(t_on_ns),
+            temperature: Celsius(temp),
+            aggressor_data: DataSummary::from_pattern(DataPattern(byte)),
+            distance: 1,
+            repeat: 1,
+        };
+        let w = e.event_weight(&ev, &vuln);
+        prop_assert!(w.is_finite() && w > 0.0, "weight {w}");
+        // Blast-radius attenuation strictly reduces the weight.
+        let far = HammerEvent { distance: 2, ..ev };
+        prop_assert!(e.event_weight(&far, &vuln) < w);
+    }
+
+    #[test]
+    fn pressing_never_weakens_an_event(row in 2u32..1000, lo in 36.0f64..50_000.0, extra in 1.0f64..20_000.0) {
+        // Weight is monotone in t_AggOn (RowPress, Observations 6 and 18).
+        let e = engine(2);
+        prop_assume!(row < e.model().geometry().rows_per_bank());
+        let vuln = e.model().row_vuln(BankId(0), RowAddr(row));
+        let mk = |ns: f64| HammerEvent::reference(
+            BankId(0),
+            RowAddr(row),
+            AggressionKind::RowHammerDouble,
+            DataSummary::from_pattern(DataPattern::CHECKER_55),
+            1,
+        ).with_t_aggon_ns(ns);
+        let a = e.event_weight(&mk(lo), &vuln);
+        let b = e.event_weight(&mk(lo + extra), &vuln);
+        prop_assert!(b >= a * 0.999, "{a} -> {b}");
+    }
+
+    #[test]
+    fn hammering_is_deterministic_per_seed(row in 2u32..1000, count in 1u64..1_000_000) {
+        let geometry = ChipGeometry::scaled_for_tests();
+        prop_assume!(row < geometry.rows_per_bank());
+        let run = || {
+            let mut e = engine(7);
+            let mut v = RowData::filled(geometry.cols_per_row, DataPattern::CHECKER_AA);
+            let ev = HammerEvent::reference(
+                BankId(0),
+                RowAddr(row),
+                AggressionKind::RowHammerDouble,
+                DataSummary::from_pattern(DataPattern::CHECKER_55),
+                count,
+            );
+            let flips = e.hammer(&ev, &mut v);
+            (flips, v)
+        };
+        let (f1, v1) = run();
+        let (f2, v2) = run();
+        prop_assert_eq!(f1, f2);
+        prop_assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn more_hammers_never_flip_fewer_bits(row in 2u32..1000, base in 1u64..500_000, extra in 1u64..500_000) {
+        let geometry = ChipGeometry::scaled_for_tests();
+        prop_assume!(row < geometry.rows_per_bank());
+        let flips_for = |count: u64| {
+            let mut e = engine(9);
+            let mut v = RowData::filled(geometry.cols_per_row, DataPattern::CHECKER_AA);
+            let ev = HammerEvent::reference(
+                BankId(0),
+                RowAddr(row),
+                AggressionKind::RowHammerDouble,
+                DataSummary::from_pattern(DataPattern::CHECKER_55),
+                count,
+            );
+            e.hammer(&ev, &mut v).len()
+        };
+        prop_assert!(flips_for(base + extra) >= flips_for(base));
+    }
+
+    #[test]
+    fn vulnerability_is_independent_of_query_order(rows in prop::collection::vec(0u32..1000, 1..20)) {
+        let model = VulnModel::new(&TESTED_MODULES[1], ChipGeometry::scaled_for_tests(), 0, 11);
+        let forward: Vec<f64> = rows.iter().map(|&r| model.row_vuln(BankId(0), RowAddr(r)).t_rh).collect();
+        let backward: Vec<f64> = rows.iter().rev().map(|&r| model.row_vuln(BankId(0), RowAddr(r)).t_rh).collect();
+        let backward_rev: Vec<f64> = backward.into_iter().rev().collect();
+        prop_assert_eq!(forward, backward_rev);
+    }
+}
+
+/// Small extension trait keeping the property bodies terse.
+trait WithTAggOn {
+    fn with_t_aggon_ns(self, ns: f64) -> Self;
+}
+
+impl WithTAggOn for HammerEvent {
+    fn with_t_aggon_ns(mut self, ns: f64) -> HammerEvent {
+        self.t_aggon = Picos::from_ns(ns);
+        self
+    }
+}

@@ -1,0 +1,154 @@
+//! True-/anti-cell layout.
+//!
+//! A *true cell* stores logical `1` as a charged capacitor; an *anti cell*
+//! stores logical `0` as charged. Charge-loss disturbances therefore flip
+//! data in opposite directions on true vs anti cells, which is why data
+//! patterns interact with cell layout (the paper's footnote 1: Nanya's
+//! "complicated true/anti cell pattern" prevents observing bitflips with
+//! solid 0x00/0xFF patterns within a refresh window).
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Manufacturer, RowAddr};
+
+/// The true-/anti-cell organization of a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellLayout {
+    /// Every cell is a true cell.
+    AllTrue,
+    /// Rows alternate between all-true and all-anti in fixed-size blocks.
+    RowBlocks {
+        /// Number of consecutive physical rows per block.
+        block: u32,
+    },
+    /// True/anti alternates per row *and* per column parity — the
+    /// "complicated" pattern attributed to Nanya chips.
+    Interleaved,
+}
+
+impl CellLayout {
+    /// Layout used by the given manufacturer family in this model.
+    pub fn for_manufacturer(mfr: Manufacturer) -> CellLayout {
+        match mfr {
+            Manufacturer::SkHynix => CellLayout::RowBlocks { block: 2 },
+            Manufacturer::Micron => CellLayout::AllTrue,
+            Manufacturer::Samsung => CellLayout::RowBlocks { block: 1 },
+            Manufacturer::Nanya => CellLayout::Interleaved,
+        }
+    }
+
+    /// Whether the cell at `(row, col)` is a true cell.
+    pub fn is_true_cell(&self, row: RowAddr, col: u32) -> bool {
+        match *self {
+            CellLayout::AllTrue => true,
+            CellLayout::RowBlocks { block } => (row.0 / block.max(1)) % 2 == 0,
+            CellLayout::Interleaved => (row.0 + col) % 2 == 0,
+        }
+    }
+
+    /// The charge level (`true` = charged) that the cell at `(row, col)`
+    /// holds when storing data bit `bit`.
+    pub fn charge_for(&self, row: RowAddr, col: u32, bit: bool) -> bool {
+        if self.is_true_cell(row, col) {
+            bit
+        } else {
+            !bit
+        }
+    }
+
+    /// The data bit a cell at `(row, col)` reads as when holding charge
+    /// level `charged`.
+    pub fn bit_for(&self, row: RowAddr, col: u32, charged: bool) -> bool {
+        if self.is_true_cell(row, col) {
+            charged
+        } else {
+            !charged
+        }
+    }
+
+    /// Fraction of cells in `row` that hold charge when the row stores the
+    /// repeating one-byte pattern `pattern`.
+    ///
+    /// Charged cells are the ones a charge-loss disturbance can flip, so this
+    /// drives the data-pattern factor in the disturbance model.
+    pub fn charged_fraction(&self, row: RowAddr, pattern: crate::types::DataPattern) -> f64 {
+        // The layout and patterns are periodic with period lcm(8, 2) = 8, so
+        // sampling eight columns is exact.
+        let charged = (0..8u32)
+            .filter(|&c| self.charge_for(row, c, pattern.bit(c)))
+            .count();
+        charged as f64 / 8.0
+    }
+}
+
+impl Default for CellLayout {
+    fn default() -> CellLayout {
+        CellLayout::AllTrue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataPattern;
+
+    #[test]
+    fn charge_roundtrip() {
+        for layout in [
+            CellLayout::AllTrue,
+            CellLayout::RowBlocks { block: 2 },
+            CellLayout::Interleaved,
+        ] {
+            for row in 0..8u32 {
+                for col in 0..8u32 {
+                    for bit in [false, true] {
+                        let charge = layout.charge_for(RowAddr(row), col, bit);
+                        assert_eq!(layout.bit_for(RowAddr(row), col, charge), bit);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_true_charged_fraction_follows_pattern() {
+        let l = CellLayout::AllTrue;
+        assert_eq!(l.charged_fraction(RowAddr(0), DataPattern::ONES), 1.0);
+        assert_eq!(l.charged_fraction(RowAddr(0), DataPattern::ZEROS), 0.0);
+        assert_eq!(l.charged_fraction(RowAddr(0), DataPattern::CHECKER_AA), 0.5);
+    }
+
+    #[test]
+    fn interleaved_solid_patterns_charge_half_the_cells() {
+        // With interleaved true/anti cells, a solid pattern charges exactly
+        // half the cells regardless of polarity — the structural reason the
+        // paper could not observe Nanya bitflips with 0x00/0xFF (footnote 1).
+        let l = CellLayout::Interleaved;
+        for row in 0..4u32 {
+            assert_eq!(l.charged_fraction(RowAddr(row), DataPattern::ZEROS), 0.5);
+            assert_eq!(l.charged_fraction(RowAddr(row), DataPattern::ONES), 0.5);
+        }
+    }
+
+    #[test]
+    fn row_blocks_alternate() {
+        let l = CellLayout::RowBlocks { block: 2 };
+        assert!(l.is_true_cell(RowAddr(0), 0));
+        assert!(l.is_true_cell(RowAddr(1), 0));
+        assert!(!l.is_true_cell(RowAddr(2), 0));
+        assert!(!l.is_true_cell(RowAddr(3), 0));
+        assert!(l.is_true_cell(RowAddr(4), 0));
+    }
+
+    #[test]
+    fn per_manufacturer_layouts() {
+        assert_eq!(
+            CellLayout::for_manufacturer(Manufacturer::Nanya),
+            CellLayout::Interleaved
+        );
+        assert_eq!(
+            CellLayout::for_manufacturer(Manufacturer::Micron),
+            CellLayout::AllTrue
+        );
+    }
+}

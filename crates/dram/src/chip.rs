@@ -1,0 +1,187 @@
+//! Chip model: a set of banks behind a row decoder (logical→physical
+//! mapping) with a true-/anti-cell layout.
+
+use crate::bank::Bank;
+use crate::cells::CellLayout;
+use crate::error::DramError;
+use crate::geometry::ChipGeometry;
+use crate::mapping::RowMapping;
+use crate::types::{BankId, DataPattern, RowAddr};
+use crate::Result;
+
+/// One DRAM chip.
+///
+/// The chip is the unit the paper characterizes (316 of them); it owns the
+/// row decoder's address scramble and the cell layout, and exposes accesses
+/// in *logical* (controller-visible) addresses.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    geometry: ChipGeometry,
+    mapping: RowMapping,
+    layout: CellLayout,
+    banks: Vec<Bank>,
+}
+
+impl Chip {
+    /// Creates a chip with the given geometry, row mapping, and cell layout.
+    pub fn new(geometry: ChipGeometry, mapping: RowMapping, layout: CellLayout) -> Chip {
+        let banks = (0..geometry.banks).map(|_| Bank::new(geometry)).collect();
+        Chip {
+            geometry,
+            mapping,
+            layout,
+            banks,
+        }
+    }
+
+    /// The chip's geometry.
+    pub fn geometry(&self) -> &ChipGeometry {
+        &self.geometry
+    }
+
+    /// The row decoder's logical↔physical mapping.
+    pub fn mapping(&self) -> RowMapping {
+        self.mapping
+    }
+
+    /// The chip's true-/anti-cell layout.
+    pub fn layout(&self) -> CellLayout {
+        self.layout
+    }
+
+    /// Shared access to a bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankOutOfRange`] for an invalid bank index.
+    pub fn bank(&self, bank: BankId) -> Result<&Bank> {
+        self.banks
+            .get(bank.0 as usize)
+            .ok_or(DramError::BankOutOfRange {
+                bank,
+                limit: self.geometry.banks,
+            })
+    }
+
+    /// Exclusive access to a bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankOutOfRange`] for an invalid bank index.
+    pub fn bank_mut(&mut self, bank: BankId) -> Result<&mut Bank> {
+        self.banks
+            .get_mut(bank.0 as usize)
+            .ok_or(DramError::BankOutOfRange {
+                bank,
+                limit: self.geometry.banks,
+            })
+    }
+
+    /// Translates a logical row address to its physical wordline position.
+    pub fn to_physical(&self, logical: RowAddr) -> RowAddr {
+        self.mapping.to_physical(logical)
+    }
+
+    /// Translates a physical wordline position to the logical address that
+    /// selects it.
+    pub fn to_logical(&self, physical: RowAddr) -> RowAddr {
+        self.mapping.to_logical(physical)
+    }
+
+    /// Fills the row selected by *logical* address `row` in `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bank or row is out of range.
+    pub fn fill_logical_row(
+        &mut self,
+        bank: BankId,
+        row: RowAddr,
+        pattern: DataPattern,
+    ) -> Result<()> {
+        let phys = self.to_physical(row);
+        let b = self.bank_mut(bank)?;
+        if phys.0 >= b.geometry().rows_per_bank() {
+            return Err(DramError::RowOutOfRange {
+                row,
+                limit: b.geometry().rows_per_bank(),
+            });
+        }
+        b.fill_row(phys, pattern);
+        Ok(())
+    }
+
+    /// Reads the row selected by *logical* address `row` in `bank`.
+    ///
+    /// Returns `None` if the row has never been written.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bank index is invalid.
+    pub fn read_logical_row(
+        &self,
+        bank: BankId,
+        row: RowAddr,
+    ) -> Result<Option<&crate::row::RowData>> {
+        let phys = self.to_physical(row);
+        Ok(self.bank(bank)?.row(phys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Manufacturer;
+
+    fn chip() -> Chip {
+        Chip::new(
+            ChipGeometry::scaled_for_tests(),
+            RowMapping::for_manufacturer(Manufacturer::SkHynix),
+            CellLayout::for_manufacturer(Manufacturer::SkHynix),
+        )
+    }
+
+    #[test]
+    fn logical_access_goes_through_mapping() {
+        let mut c = chip();
+        let logical = RowAddr(2);
+        let physical = c.to_physical(logical);
+        assert_ne!(logical, physical, "SK Hynix LUT scrambles row 2");
+        c.fill_logical_row(BankId(0), logical, DataPattern::ONES)
+            .unwrap();
+        // The data landed on the physical row...
+        assert!(c.bank(BankId(0)).unwrap().row(physical).is_some());
+        // ...and reading back through the logical address finds it.
+        assert!(c
+            .read_logical_row(BankId(0), logical)
+            .unwrap()
+            .unwrap()
+            .matches_pattern(DataPattern::ONES));
+    }
+
+    #[test]
+    fn bad_bank_is_an_error() {
+        let c = chip();
+        assert!(matches!(
+            c.bank(BankId(100)),
+            Err(DramError::BankOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_row_is_an_error() {
+        let mut c = chip();
+        let limit = c.geometry().rows_per_bank();
+        assert!(c
+            .fill_logical_row(BankId(0), RowAddr(limit), DataPattern::ZEROS)
+            .is_err());
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut c = chip();
+        c.fill_logical_row(BankId(0), RowAddr(0), DataPattern::ONES)
+            .unwrap();
+        assert!(c.read_logical_row(BankId(1), RowAddr(0)).unwrap().is_none());
+    }
+}

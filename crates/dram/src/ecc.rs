@@ -1,0 +1,73 @@
+//! Error-correcting-code metadata for the tested fleet.
+//!
+//! The paper's methodology requires chips with *neither rank-level nor
+//! on-die ECC* (§3.1, third interference-elimination measure), so every
+//! observed bitflip is a raw circuit-level event. This module records the
+//! ECC scheme per module family and provides the predicate the methodology
+//! checks; `pudhammer::rev_eng` adds a behavioural probe on top.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profiles::ModuleProfile;
+
+/// The error-correction scheme of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EccScheme {
+    /// No error correction: raw bitflips are visible to the host.
+    None,
+    /// On-die (in-chip) single-error correction — would silently mask
+    /// single bitflips per codeword.
+    OnDie {
+        /// Data bits per codeword.
+        data_bits: u32,
+        /// Check bits per codeword.
+        check_bits: u32,
+    },
+    /// Rank-level (side-band) ECC on the module.
+    RankLevel,
+}
+
+impl EccScheme {
+    /// Whether single bitflips reach the host unmasked.
+    pub fn exposes_raw_bitflips(self) -> bool {
+        self == EccScheme::None
+    }
+}
+
+/// The ECC scheme of a tested module family.
+///
+/// All 40 modules of the paper's fleet were verified to carry no ECC
+/// (§3.1); the reproduction's fleet mirrors that.
+pub fn ecc_scheme(_profile: &ModuleProfile) -> EccScheme {
+    EccScheme::None
+}
+
+/// The §3.1 methodology predicate: characterization may only run on
+/// ECC-free devices.
+pub fn suitable_for_characterization(profile: &ModuleProfile) -> bool {
+    ecc_scheme(profile).exposes_raw_bitflips()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::TESTED_MODULES;
+
+    #[test]
+    fn the_whole_fleet_is_ecc_free() {
+        for p in &TESTED_MODULES {
+            assert!(suitable_for_characterization(p), "{}", p.module_id);
+        }
+    }
+
+    #[test]
+    fn ecc_schemes_mask_flips_as_expected() {
+        assert!(EccScheme::None.exposes_raw_bitflips());
+        assert!(!EccScheme::OnDie {
+            data_bits: 128,
+            check_bits: 8
+        }
+        .exposes_raw_bitflips());
+        assert!(!EccScheme::RankLevel.exposes_raw_bitflips());
+    }
+}

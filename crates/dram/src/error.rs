@@ -1,0 +1,90 @@
+//! Error type for the DRAM model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{BankId, RowAddr};
+
+/// Errors produced by the DRAM device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// A row address exceeded the bank's row count.
+    RowOutOfRange {
+        /// The offending row.
+        row: RowAddr,
+        /// Number of rows in the bank.
+        limit: u32,
+    },
+    /// A bank index exceeded the chip's bank count.
+    BankOutOfRange {
+        /// The offending bank.
+        bank: BankId,
+        /// Number of banks in the chip.
+        limit: u8,
+    },
+    /// Row data had the wrong number of columns for the device.
+    WidthMismatch {
+        /// Columns the device expects.
+        expected: u32,
+        /// Columns the data has.
+        actual: u32,
+    },
+    /// Two rows that must share a subarray do not.
+    SubarrayMismatch {
+        /// First row.
+        a: RowAddr,
+        /// Second row.
+        b: RowAddr,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::RowOutOfRange { row, limit } => {
+                write!(f, "row {row} out of range (bank has {limit} rows)")
+            }
+            DramError::BankOutOfRange { bank, limit } => {
+                write!(f, "bank {bank} out of range (chip has {limit} banks)")
+            }
+            DramError::WidthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "row width mismatch: expected {expected} columns, got {actual}"
+                )
+            }
+            DramError::SubarrayMismatch { a, b } => {
+                write!(f, "rows {a} and {b} are not in the same subarray")
+            }
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DramError::RowOutOfRange {
+            row: RowAddr(9),
+            limit: 8,
+        };
+        assert!(e.to_string().contains("R9"));
+        assert!(e.to_string().contains("8 rows"));
+        let e = DramError::SubarrayMismatch {
+            a: RowAddr(1),
+            b: RowAddr(600),
+        };
+        assert!(e.to_string().contains("same subarray"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+}

@@ -1,0 +1,252 @@
+//! Chip geometry: how many banks, subarrays, rows, and columns a device has,
+//! plus the subarray-region classification used for spatial-variation
+//! analysis (§4.2 "Victim Row Location in the Subarray").
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{RowAddr, SubarrayId};
+
+/// Static geometry of one DRAM chip.
+///
+/// The reproduction uses a scaled-down geometry by default (so the full
+/// fleet fits in memory and experiments finish quickly) while preserving the
+/// structural facts the paper relies on: multiple subarrays per bank, ~512
+/// rows per subarray, and isolation between subarrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChipGeometry {
+    /// Number of banks in the chip.
+    pub banks: u8,
+    /// Number of subarrays in each bank.
+    pub subarrays_per_bank: u16,
+    /// Number of rows in each subarray.
+    pub rows_per_subarray: u32,
+    /// Number of columns (bits) in each row.
+    pub cols_per_row: u32,
+}
+
+impl ChipGeometry {
+    /// Geometry mirroring the paper's devices: 512-row subarrays
+    /// (Table 2 lists subarray sizes in the 512–1024 row range) and a full
+    /// complement of subarrays.
+    pub fn paper_scale() -> ChipGeometry {
+        ChipGeometry {
+            banks: 4,
+            subarrays_per_bank: 32,
+            rows_per_subarray: 512,
+            cols_per_row: 8192,
+        }
+    }
+
+    /// Scaled-down geometry for tests and quick experiments.
+    pub fn scaled_for_tests() -> ChipGeometry {
+        ChipGeometry {
+            banks: 2,
+            subarrays_per_bank: 8,
+            rows_per_subarray: 128,
+            cols_per_row: 1024,
+        }
+    }
+
+    /// Total number of rows in one bank.
+    pub fn rows_per_bank(&self) -> u32 {
+        u32::from(self.subarrays_per_bank) * self.rows_per_subarray
+    }
+
+    /// The subarray containing physical row `row`, if the row is in range.
+    pub fn subarray_of(&self, row: RowAddr) -> Option<SubarrayId> {
+        if row.0 >= self.rows_per_bank() {
+            return None;
+        }
+        Some(SubarrayId((row.0 / self.rows_per_subarray) as u16))
+    }
+
+    /// The index of physical row `row` within its subarray.
+    pub fn row_in_subarray(&self, row: RowAddr) -> u32 {
+        row.0 % self.rows_per_subarray
+    }
+
+    /// First physical row of subarray `sa`.
+    pub fn subarray_base(&self, sa: SubarrayId) -> RowAddr {
+        RowAddr(u32::from(sa.0) * self.rows_per_subarray)
+    }
+
+    /// Whether two physical rows share a subarray (required for RowClone and
+    /// SiMRA, which operate on rows connected to the same local sense
+    /// amplifiers).
+    pub fn same_subarray(&self, a: RowAddr, b: RowAddr) -> bool {
+        match (self.subarray_of(a), self.subarray_of(b)) {
+            (Some(sa), Some(sb)) => sa == sb,
+            _ => false,
+        }
+    }
+
+    /// The spatial region of `row` within its subarray.
+    pub fn region_of(&self, row: RowAddr) -> SubarrayRegion {
+        SubarrayRegion::classify(self.row_in_subarray(row), self.rows_per_subarray)
+    }
+
+    /// Iterator over the physical rows of subarray `sa`.
+    pub fn subarray_rows(&self, sa: SubarrayId) -> impl Iterator<Item = RowAddr> {
+        let base = self.subarray_base(sa).0;
+        (base..base + self.rows_per_subarray).map(RowAddr)
+    }
+}
+
+impl Default for ChipGeometry {
+    fn default() -> ChipGeometry {
+        ChipGeometry::scaled_for_tests()
+    }
+}
+
+/// Position of a victim row within its subarray, in 20 % bands (§4.2).
+///
+/// The paper classifies a victim row's location into five regions and shows
+/// that HC_first varies across them (Observations 10, 11, 21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SubarrayRegion {
+    /// First 20 % of rows.
+    Beginning,
+    /// Second 20 %.
+    BeginningMiddle,
+    /// Third 20 %.
+    Middle,
+    /// Fourth 20 %.
+    MiddleEnd,
+    /// Last 20 %.
+    End,
+}
+
+impl SubarrayRegion {
+    /// All five regions, in subarray order.
+    pub const ALL: [SubarrayRegion; 5] = [
+        SubarrayRegion::Beginning,
+        SubarrayRegion::BeginningMiddle,
+        SubarrayRegion::Middle,
+        SubarrayRegion::MiddleEnd,
+        SubarrayRegion::End,
+    ];
+
+    /// Classifies the `index`-th row of a subarray with `total` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero or `index >= total`.
+    pub fn classify(index: u32, total: u32) -> SubarrayRegion {
+        assert!(total > 0, "subarray must have rows");
+        assert!(index < total, "row index out of subarray bounds");
+        // Integer banding: row i falls in band floor(5*i/total).
+        match (u64::from(index) * 5 / u64::from(total)) as u32 {
+            0 => SubarrayRegion::Beginning,
+            1 => SubarrayRegion::BeginningMiddle,
+            2 => SubarrayRegion::Middle,
+            3 => SubarrayRegion::MiddleEnd,
+            _ => SubarrayRegion::End,
+        }
+    }
+
+    /// Index of the region in [`SubarrayRegion::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            SubarrayRegion::Beginning => 0,
+            SubarrayRegion::BeginningMiddle => 1,
+            SubarrayRegion::Middle => 2,
+            SubarrayRegion::MiddleEnd => 3,
+            SubarrayRegion::End => 4,
+        }
+    }
+
+    /// Human-readable label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SubarrayRegion::Beginning => "Beginning",
+            SubarrayRegion::BeginningMiddle => "Beginning-Middle",
+            SubarrayRegion::Middle => "Middle",
+            SubarrayRegion::MiddleEnd => "Middle-End",
+            SubarrayRegion::End => "End",
+        }
+    }
+}
+
+impl std::fmt::Display for SubarrayRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subarray_lookup() {
+        let g = ChipGeometry {
+            banks: 1,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 100,
+            cols_per_row: 64,
+        };
+        assert_eq!(g.rows_per_bank(), 400);
+        assert_eq!(g.subarray_of(RowAddr(0)), Some(SubarrayId(0)));
+        assert_eq!(g.subarray_of(RowAddr(99)), Some(SubarrayId(0)));
+        assert_eq!(g.subarray_of(RowAddr(100)), Some(SubarrayId(1)));
+        assert_eq!(g.subarray_of(RowAddr(399)), Some(SubarrayId(3)));
+        assert_eq!(g.subarray_of(RowAddr(400)), None);
+        assert_eq!(g.row_in_subarray(RowAddr(250)), 50);
+        assert_eq!(g.subarray_base(SubarrayId(2)), RowAddr(200));
+    }
+
+    #[test]
+    fn same_subarray_requires_in_range_rows() {
+        let g = ChipGeometry::scaled_for_tests();
+        assert!(g.same_subarray(RowAddr(0), RowAddr(1)));
+        assert!(!g.same_subarray(RowAddr(0), RowAddr(g.rows_per_subarray)));
+        assert!(!g.same_subarray(RowAddr(0), RowAddr(g.rows_per_bank())));
+    }
+
+    #[test]
+    fn region_bands_match_paper_example() {
+        // The paper's example: 500-row subarray, rows 0..99 are "Beginning",
+        // 100..199 "Beginning-Middle", etc. (§4.2).
+        assert_eq!(SubarrayRegion::classify(0, 500), SubarrayRegion::Beginning);
+        assert_eq!(SubarrayRegion::classify(99, 500), SubarrayRegion::Beginning);
+        assert_eq!(
+            SubarrayRegion::classify(100, 500),
+            SubarrayRegion::BeginningMiddle
+        );
+        assert_eq!(SubarrayRegion::classify(250, 500), SubarrayRegion::Middle);
+        assert_eq!(
+            SubarrayRegion::classify(399, 500),
+            SubarrayRegion::MiddleEnd
+        );
+        assert_eq!(SubarrayRegion::classify(400, 500), SubarrayRegion::End);
+        assert_eq!(SubarrayRegion::classify(499, 500), SubarrayRegion::End);
+    }
+
+    #[test]
+    fn region_bands_cover_all_rows_for_odd_sizes() {
+        for total in [1u32, 2, 3, 5, 7, 127, 512] {
+            let mut counts = [0u32; 5];
+            for i in 0..total {
+                counts[SubarrayRegion::classify(i, total).index()] += 1;
+            }
+            assert_eq!(counts.iter().sum::<u32>(), total);
+        }
+    }
+
+    #[test]
+    fn subarray_rows_iterates_whole_subarray() {
+        let g = ChipGeometry::scaled_for_tests();
+        let rows: Vec<_> = g.subarray_rows(SubarrayId(1)).collect();
+        assert_eq!(rows.len(), g.rows_per_subarray as usize);
+        assert_eq!(rows[0], g.subarray_base(SubarrayId(1)));
+    }
+
+    #[test]
+    fn region_labels() {
+        assert_eq!(SubarrayRegion::Beginning.to_string(), "Beginning");
+        assert_eq!(SubarrayRegion::End.label(), "End");
+        for (i, r) in SubarrayRegion::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Logical-to-physical row address mapping.
+//!
+//! DRAM manufacturers remap memory-controller-visible (logical) row
+//! addresses to physical wordline positions for routing and post-repair
+//! reasons. Read-disturbance studies must account for this because
+//! "adjacent" is a *physical* notion: the paper reverse engineers the layout
+//! in all chips following prior works' methodology (§3.2).
+//!
+//! The model implements the mapping families documented by prior reverse
+//! engineering work: identity mapping, per-8-row group scrambles (LUT), and
+//! pairwise mirroring. Each is a bijection on row addresses within a bank so
+//! reverse engineering in `pudhammer::rev_eng` can recover it exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::RowAddr;
+
+/// A bijective logical↔physical row address mapping within a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowMapping {
+    /// Physical order equals logical order.
+    Sequential,
+    /// Adjacent even/odd logical rows are swapped (`phys = logical ^ 1`).
+    ///
+    /// Models the "mirrored" layouts observed in some Samsung parts.
+    MirrorPairs,
+    /// Logical rows are scrambled within aligned groups of eight using a
+    /// fixed permutation look-up table.
+    ///
+    /// Models the MLC-style scrambles observed in SK Hynix and Micron parts.
+    Lut8(Lut8),
+}
+
+/// A permutation of `0..8` applied within each aligned 8-row group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lut8 {
+    perm: [u8; 8],
+}
+
+impl Lut8 {
+    /// Creates a group scramble from a permutation of `0..8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `perm` is not a permutation of `0..8`.
+    pub fn new(perm: [u8; 8]) -> Option<Lut8> {
+        let mut seen = [false; 8];
+        for &p in &perm {
+            if p >= 8 || seen[p as usize] {
+                return None;
+            }
+            seen[p as usize] = true;
+        }
+        Some(Lut8 { perm })
+    }
+
+    /// The permutation table (index = logical offset, value = physical).
+    pub fn table(&self) -> [u8; 8] {
+        self.perm
+    }
+
+    fn apply(&self, low: u32) -> u32 {
+        u32::from(self.perm[(low & 7) as usize])
+    }
+
+    fn invert(&self, low: u32) -> u32 {
+        self.perm
+            .iter()
+            .position(|&p| u32::from(p) == (low & 7))
+            .expect("Lut8 invariant: perm is a permutation") as u32
+    }
+}
+
+/// The scramble observed in SK Hynix-style parts (an address-bit swizzle
+/// within each group of eight).
+///
+/// This permutation maps every logical bit-0 pair to physical rows two
+/// apart — the structural property that lets simultaneous activation of a
+/// logical-XOR row group *sandwich* unactivated victims (double-sided
+/// SiMRA, Fig. 12a).
+pub const SK_HYNIX_LUT: [u8; 8] = [0, 2, 1, 3, 4, 6, 5, 7];
+
+/// The scramble observed in Micron-style parts.
+pub const MICRON_LUT: [u8; 8] = [0, 1, 2, 3, 5, 4, 7, 6];
+
+impl RowMapping {
+    /// Mapping used by the given manufacturer family in this model.
+    pub fn for_manufacturer(mfr: crate::types::Manufacturer) -> RowMapping {
+        use crate::types::Manufacturer::*;
+        match mfr {
+            SkHynix => RowMapping::Lut8(Lut8::new(SK_HYNIX_LUT).expect("valid permutation")),
+            Micron => RowMapping::Lut8(Lut8::new(MICRON_LUT).expect("valid permutation")),
+            Samsung => RowMapping::MirrorPairs,
+            Nanya => RowMapping::Sequential,
+        }
+    }
+
+    /// Maps a logical (controller-visible) row to its physical position.
+    pub fn to_physical(&self, logical: RowAddr) -> RowAddr {
+        match self {
+            RowMapping::Sequential => logical,
+            RowMapping::MirrorPairs => RowAddr(logical.0 ^ 1),
+            RowMapping::Lut8(lut) => RowAddr((logical.0 & !7) | lut.apply(logical.0)),
+        }
+    }
+
+    /// Maps a physical row back to the logical address that selects it.
+    pub fn to_logical(&self, physical: RowAddr) -> RowAddr {
+        match self {
+            RowMapping::Sequential => physical,
+            RowMapping::MirrorPairs => RowAddr(physical.0 ^ 1),
+            RowMapping::Lut8(lut) => RowAddr((physical.0 & !7) | lut.invert(physical.0)),
+        }
+    }
+
+    /// Logical addresses of the physical neighbours at distance `dist` on
+    /// both sides of the physical row selected by `logical`.
+    ///
+    /// This is the primitive a double-sided attack needs: given a victim's
+    /// logical address, find the logical addresses that activate the
+    /// physically adjacent wordlines.
+    pub fn neighbors_of(&self, logical: RowAddr, dist: u32) -> (Option<RowAddr>, Option<RowAddr>) {
+        let phys = self.to_physical(logical);
+        let below = phys.offset(-i64::from(dist)).map(|p| self.to_logical(p));
+        let above = phys.offset(i64::from(dist)).map(|p| self.to_logical(p));
+        (below, above)
+    }
+}
+
+impl Default for RowMapping {
+    fn default() -> RowMapping {
+        RowMapping::Sequential
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Manufacturer;
+
+    fn all_mappings() -> Vec<RowMapping> {
+        vec![
+            RowMapping::Sequential,
+            RowMapping::MirrorPairs,
+            RowMapping::Lut8(Lut8::new(SK_HYNIX_LUT).unwrap()),
+            RowMapping::Lut8(Lut8::new(MICRON_LUT).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn mappings_are_bijective_on_a_window() {
+        for m in all_mappings() {
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..256u32 {
+                let p = m.to_physical(RowAddr(r));
+                assert!(seen.insert(p), "{m:?} not injective at {r}");
+                assert_eq!(m.to_logical(p), RowAddr(r), "{m:?} not inverse at {r}");
+                // Stays within the aligned 8-row group (mapping is local).
+                assert_eq!(p.0 & !7, r & !7);
+            }
+        }
+    }
+
+    #[test]
+    fn lut8_rejects_non_permutations() {
+        assert!(Lut8::new([0, 1, 2, 3, 4, 5, 6, 8]).is_none());
+        assert!(Lut8::new([0, 0, 2, 3, 4, 5, 6, 7]).is_none());
+        assert!(Lut8::new([7, 6, 5, 4, 3, 2, 1, 0]).is_some());
+    }
+
+    #[test]
+    fn mirror_pairs_swaps_even_odd() {
+        let m = RowMapping::MirrorPairs;
+        assert_eq!(m.to_physical(RowAddr(4)), RowAddr(5));
+        assert_eq!(m.to_physical(RowAddr(5)), RowAddr(4));
+    }
+
+    #[test]
+    fn neighbors_are_physically_adjacent() {
+        for m in all_mappings() {
+            for r in 8..64u32 {
+                let (below, above) = m.neighbors_of(RowAddr(r), 1);
+                let phys = m.to_physical(RowAddr(r));
+                assert_eq!(m.to_physical(below.unwrap()), RowAddr(phys.0 - 1));
+                assert_eq!(m.to_physical(above.unwrap()), RowAddr(phys.0 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_below_zero_is_none() {
+        let m = RowMapping::Sequential;
+        let (below, above) = m.neighbors_of(RowAddr(0), 1);
+        assert_eq!(below, None);
+        assert_eq!(above, Some(RowAddr(1)));
+    }
+
+    #[test]
+    fn per_manufacturer_mappings_differ() {
+        let maps: Vec<_> = Manufacturer::ALL
+            .iter()
+            .map(|&m| RowMapping::for_manufacturer(m))
+            .collect();
+        assert_eq!(maps[3], RowMapping::Sequential);
+        assert_ne!(maps[0], maps[1]);
+        assert_ne!(maps[0], maps[2]);
+    }
+}

@@ -1,0 +1,384 @@
+//! The tested DRAM module fleet (paper Tables 1 and 2).
+//!
+//! Each [`ModuleProfile`] records one row of Table 2: vendor identities,
+//! module/chip part numbers, manufacturing date, density, die revision,
+//! organization, and the minimum/average HC_first anchors for double-sided
+//! RowHammer, CoMRA, and SiMRA that calibrate the disturbance model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cells::CellLayout;
+use crate::mapping::RowMapping;
+use crate::types::{ChipDensity, ChipOrg, DieRevision, Manufacturer};
+
+/// Minimum and average HC_first observed across all tested rows of a module
+/// family (Table 2 of the paper), in hammer counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HcAnchor {
+    /// Minimum HC_first across all tested rows.
+    pub min: f64,
+    /// Average HC_first across all tested rows.
+    pub avg: f64,
+}
+
+impl HcAnchor {
+    /// Convenience constructor.
+    pub const fn new(min: f64, avg: f64) -> HcAnchor {
+        HcAnchor { min, avg }
+    }
+}
+
+/// One row of Table 2: a family of identical modules and its calibration
+/// anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModuleProfile {
+    /// Module vendor (assembler) name.
+    pub module_vendor: &'static str,
+    /// Chip manufacturer.
+    pub chip_vendor: Manufacturer,
+    /// Module part identifier.
+    pub module_id: &'static str,
+    /// Chip part identifier (or `"Unknown"`).
+    pub chip_id: &'static str,
+    /// Number of modules of this family in the fleet.
+    pub n_modules: u32,
+    /// Number of chips of this family in the fleet.
+    pub n_chips: u32,
+    /// Manufacturing date in `ww-yy` form, if printed on the label.
+    pub mfr_date: Option<&'static str>,
+    /// Chip density.
+    pub density: ChipDensity,
+    /// Die revision.
+    pub die_rev: DieRevision,
+    /// Chip organization.
+    pub org: ChipOrg,
+    /// Double-sided RowHammer HC_first anchors.
+    pub rowhammer: HcAnchor,
+    /// Double-sided CoMRA HC_first anchors.
+    pub comra: HcAnchor,
+    /// Double-sided SiMRA HC_first anchors (`None` when the chips do not
+    /// perform SiMRA — Micron, Samsung, Nanya).
+    pub simra: Option<HcAnchor>,
+}
+
+impl ModuleProfile {
+    /// The row decoder mapping this model attributes to the family.
+    pub fn mapping(&self) -> RowMapping {
+        RowMapping::for_manufacturer(self.chip_vendor)
+    }
+
+    /// The true-/anti-cell layout this model attributes to the family.
+    pub fn cell_layout(&self) -> CellLayout {
+        CellLayout::for_manufacturer(self.chip_vendor)
+    }
+
+    /// Whether the family's chips honour simultaneous multiple-row
+    /// activation.
+    pub fn supports_simra(&self) -> bool {
+        self.simra.is_some()
+    }
+
+    /// A short unique key for the family (vendor, die revision, density).
+    pub fn key(&self) -> String {
+        format!("{}-{}-{}", self.chip_vendor, self.die_rev, self.density)
+    }
+}
+
+/// All 14 module families of Table 2 (40 modules / 316 chips in total).
+pub const TESTED_MODULES: [ModuleProfile; 14] = [
+    ModuleProfile {
+        module_vendor: "TimeTec",
+        chip_vendor: Manufacturer::SkHynix,
+        module_id: "75TT21NUS1R8-4",
+        chip_id: "H5AN4G8NAFR-TFC",
+        n_modules: 1,
+        n_chips: 8,
+        mfr_date: None,
+        density: ChipDensity::Gb4,
+        die_rev: DieRevision('A'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(38_450.0, 112_000.0),
+        comra: HcAnchor::new(447.0, 5_840.0),
+        simra: Some(HcAnchor::new(585.0, 6_620.0)),
+    },
+    ModuleProfile {
+        module_vendor: "SK Hynix",
+        chip_vendor: Manufacturer::SkHynix,
+        module_id: "HMA81GU7AFR8N-UH",
+        chip_id: "H5AN8G8NAFR-UHC",
+        n_modules: 8,
+        n_chips: 64,
+        mfr_date: Some("43-18"),
+        density: ChipDensity::Gb8,
+        die_rev: DieRevision('A'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(25_000.0, 63_240.0),
+        comra: HcAnchor::new(1_885.0, 45_280.0),
+        simra: Some(HcAnchor::new(26.0, 16_140.0)),
+    },
+    ModuleProfile {
+        module_vendor: "Kingston",
+        chip_vendor: Manufacturer::SkHynix,
+        module_id: "KSM26ES8/16HC",
+        chip_id: "H5ANAG8NCJR-XNC",
+        n_modules: 2,
+        n_chips: 16,
+        mfr_date: Some("52-23"),
+        density: ChipDensity::Gb16,
+        die_rev: DieRevision('C'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(6_250.0, 17_130.0),
+        comra: HcAnchor::new(4_540.0, 12_270.0),
+        simra: Some(HcAnchor::new(48.0, 16_020.0)),
+    },
+    ModuleProfile {
+        module_vendor: "SK Hynix",
+        chip_vendor: Manufacturer::SkHynix,
+        module_id: "HMA81GU7DJR8N-WM",
+        chip_id: "H5AN8G8NDJR-WMC",
+        n_modules: 6,
+        n_chips: 48,
+        mfr_date: None,
+        density: ChipDensity::Gb8,
+        die_rev: DieRevision('D'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(7_580.0, 23_110.0),
+        comra: HcAnchor::new(632.0, 16_420.0),
+        simra: Some(HcAnchor::new(95.0, 22_810.0)),
+    },
+    ModuleProfile {
+        module_vendor: "Kingston",
+        chip_vendor: Manufacturer::Micron,
+        module_id: "KVR21S15S8/4",
+        chip_id: "MT40A512M8RH-083E:B",
+        n_modules: 1,
+        n_chips: 8,
+        mfr_date: Some("12-17"),
+        density: ChipDensity::Gb4,
+        die_rev: DieRevision('B'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(126_000.0, 338_000.0),
+        comra: HcAnchor::new(93_000.0, 295_000.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Micron",
+        chip_vendor: Manufacturer::Micron,
+        module_id: "MTA4ATF1G64HZ-3G2E1",
+        chip_id: "MT40A1G16KD-062E:E",
+        n_modules: 4,
+        n_chips: 32,
+        mfr_date: Some("46-20"),
+        density: ChipDensity::Gb16,
+        die_rev: DieRevision('E'),
+        org: ChipOrg::X16,
+        rowhammer: HcAnchor::new(4_890.0, 10_010.0),
+        comra: HcAnchor::new(3_720.0, 7_690.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Micron",
+        chip_vendor: Manufacturer::Micron,
+        module_id: "MTA18ASF4G72HZ-3G2F1",
+        chip_id: "MT40A2G8SA-062E:F",
+        n_modules: 4,
+        n_chips: 32,
+        mfr_date: Some("37-22"),
+        density: ChipDensity::Gb16,
+        die_rev: DieRevision('F'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(4_123.0, 9_030.0),
+        comra: HcAnchor::new(3_490.0, 7_060.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Micron",
+        chip_vendor: Manufacturer::Micron,
+        module_id: "KSM32ES8/8MR",
+        chip_id: "MT40A1G8SA-062E:R",
+        n_modules: 2,
+        n_chips: 16,
+        mfr_date: Some("12-24"),
+        density: ChipDensity::Gb8,
+        die_rev: DieRevision('R'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(3_840.0, 9_320.0),
+        comra: HcAnchor::new(3_670.0, 7_670.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Samsung",
+        chip_vendor: Manufacturer::Samsung,
+        module_id: "M378A2G43AB3-CWE",
+        chip_id: "K4AAG085WA-BCWE",
+        n_modules: 1,
+        n_chips: 8,
+        mfr_date: Some("12-22"),
+        density: ChipDensity::Gb16,
+        die_rev: DieRevision('A'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(6_700.0, 14_800.0),
+        comra: HcAnchor::new(5_260.0, 10_610.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Samsung",
+        chip_vendor: Manufacturer::Samsung,
+        module_id: "M391A2G43BB2-CWE",
+        chip_id: "Unknown",
+        n_modules: 5,
+        n_chips: 40,
+        mfr_date: Some("15-23"),
+        density: ChipDensity::Gb16,
+        die_rev: DieRevision('B'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(6_150.0, 14_790.0),
+        comra: HcAnchor::new(1_875.0, 10_640.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Samsung",
+        chip_vendor: Manufacturer::Samsung,
+        module_id: "M471A5244CB0-CRC",
+        chip_id: "Unknown",
+        n_modules: 1,
+        n_chips: 4,
+        mfr_date: Some("19-19"),
+        density: ChipDensity::Gb4,
+        die_rev: DieRevision('C'),
+        org: ChipOrg::X16,
+        rowhammer: HcAnchor::new(8_940.0, 25_830.0),
+        comra: HcAnchor::new(6_250.0, 18_400.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Samsung",
+        chip_vendor: Manufacturer::Samsung,
+        module_id: "M471A4G43CB1-CWE",
+        chip_id: "Unknown",
+        n_modules: 1,
+        n_chips: 8,
+        mfr_date: Some("08-24"),
+        density: ChipDensity::Gb16,
+        die_rev: DieRevision('C'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(6_810.0, 15_220.0),
+        comra: HcAnchor::new(4_433.0, 10_950.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Samsung",
+        chip_vendor: Manufacturer::Samsung,
+        module_id: "MTA4ATF1G64HZ-3G2B2",
+        chip_id: "MT40A1G16RC-062E:B",
+        n_modules: 1,
+        n_chips: 8,
+        mfr_date: Some("08-17"),
+        density: ChipDensity::Gb4,
+        die_rev: DieRevision('E'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(15_770.0, 81_030.0),
+        comra: HcAnchor::new(11_720.0, 60_830.0),
+        simra: None,
+    },
+    ModuleProfile {
+        module_vendor: "Kingston",
+        chip_vendor: Manufacturer::Nanya,
+        module_id: "KVR24N17S8/8",
+        chip_id: "Unknown",
+        n_modules: 3,
+        n_chips: 24,
+        mfr_date: Some("46-20"),
+        density: ChipDensity::Gb8,
+        die_rev: DieRevision('C'),
+        org: ChipOrg::X8,
+        rowhammer: HcAnchor::new(31_290.0, 128_000.0),
+        comra: HcAnchor::new(20_190.0, 107_000.0),
+        simra: None,
+    },
+];
+
+/// Profiles of a specific manufacturer.
+pub fn by_manufacturer(mfr: Manufacturer) -> impl Iterator<Item = &'static ModuleProfile> {
+    TESTED_MODULES.iter().filter(move |p| p.chip_vendor == mfr)
+}
+
+/// The profile with the lowest SiMRA HC_first anchor (the SK Hynix 8 Gb
+/// A-die family with HC_first = 26, used by the paper's §7 and §8).
+pub fn most_simra_vulnerable() -> &'static ModuleProfile {
+    TESTED_MODULES
+        .iter()
+        .filter(|p| p.simra.is_some())
+        .min_by(|a, b| {
+            let sa = a.simra.expect("filtered").min;
+            let sb = b.simra.expect("filtered").min;
+            sa.partial_cmp(&sb).expect("anchors are finite")
+        })
+        .expect("fleet contains SiMRA-capable modules")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_totals_match_the_paper() {
+        let modules: u32 = TESTED_MODULES.iter().map(|p| p.n_modules).sum();
+        let chips: u32 = TESTED_MODULES.iter().map(|p| p.n_chips).sum();
+        assert_eq!(modules, 40);
+        assert_eq!(chips, 316);
+    }
+
+    #[test]
+    fn only_sk_hynix_has_simra_anchors() {
+        for p in &TESTED_MODULES {
+            assert_eq!(
+                p.simra.is_some(),
+                p.chip_vendor == Manufacturer::SkHynix,
+                "{}",
+                p.module_id
+            );
+        }
+    }
+
+    #[test]
+    fn anchors_are_ordered_min_le_avg() {
+        for p in &TESTED_MODULES {
+            assert!(p.rowhammer.min <= p.rowhammer.avg);
+            assert!(p.comra.min <= p.comra.avg);
+            if let Some(s) = p.simra {
+                assert!(s.min <= s.avg);
+            }
+        }
+    }
+
+    #[test]
+    fn comra_min_is_never_above_rowhammer_min() {
+        // Observation 1: CoMRA decreases the lowest HC_first for every
+        // manufacturer.
+        for p in &TESTED_MODULES {
+            assert!(p.comra.min < p.rowhammer.min, "{}", p.module_id);
+        }
+    }
+
+    #[test]
+    fn most_simra_vulnerable_is_the_8gb_a_die() {
+        let p = most_simra_vulnerable();
+        assert_eq!(p.module_id, "HMA81GU7AFR8N-UH");
+        assert_eq!(p.simra.unwrap().min, 26.0);
+    }
+
+    #[test]
+    fn manufacturer_filter_counts() {
+        assert_eq!(by_manufacturer(Manufacturer::SkHynix).count(), 4);
+        assert_eq!(by_manufacturer(Manufacturer::Micron).count(), 4);
+        assert_eq!(by_manufacturer(Manufacturer::Samsung).count(), 5);
+        assert_eq!(by_manufacturer(Manufacturer::Nanya).count(), 1);
+    }
+
+    #[test]
+    fn keys_identify_families() {
+        let p = &TESTED_MODULES[0];
+        assert_eq!(p.key(), "SK Hynix-A-4Gb");
+    }
+}

@@ -1,0 +1,406 @@
+//! Fundamental value types shared by the whole workspace: manufacturers,
+//! chip metadata, addresses, time, temperature, and data patterns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM chip manufacturer.
+///
+/// The paper characterizes chips from the four major DRAM manufacturers
+/// (Table 1). Vendor identity drives calibration profiles, row mapping, and
+/// cell layout choices throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Manufacturer {
+    /// SK Hynix — the only manufacturer whose chips perform SiMRA (§5.3).
+    SkHynix,
+    /// Micron.
+    Micron,
+    /// Samsung.
+    Samsung,
+    /// Nanya.
+    Nanya,
+}
+
+impl Manufacturer {
+    /// All four manufacturers, in the order the paper lists them.
+    pub const ALL: [Manufacturer; 4] = [
+        Manufacturer::SkHynix,
+        Manufacturer::Micron,
+        Manufacturer::Samsung,
+        Manufacturer::Nanya,
+    ];
+
+    /// Whether chips from this manufacturer honour the ACT‑PRE‑ACT sequence
+    /// as a simultaneous multiple-row activation.
+    ///
+    /// The paper (§5.3, footnote 2) observes SiMRA only in SK Hynix chips;
+    /// Samsung, Micron, and Nanya chips ignore commands that greatly violate
+    /// nominal timings.
+    pub fn supports_simra(self) -> bool {
+        matches!(self, Manufacturer::SkHynix)
+    }
+}
+
+impl fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Manufacturer::SkHynix => "SK Hynix",
+            Manufacturer::Micron => "Micron",
+            Manufacturer::Samsung => "Samsung",
+            Manufacturer::Nanya => "Nanya",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Die revision letter as printed in Table 1/2 (e.g. `A`, `B`, `C`, `D`, `E`,
+/// `F`, `R`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DieRevision(pub char);
+
+impl fmt::Display for DieRevision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// DRAM chip density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ChipDensity {
+    /// 4 Gbit.
+    Gb4,
+    /// 8 Gbit.
+    Gb8,
+    /// 16 Gbit.
+    Gb16,
+}
+
+impl fmt::Display for ChipDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChipDensity::Gb4 => "4Gb",
+            ChipDensity::Gb8 => "8Gb",
+            ChipDensity::Gb16 => "16Gb",
+        };
+        f.write_str(s)
+    }
+}
+
+/// DRAM chip data-bus organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ChipOrg {
+    /// 4-bit wide interface.
+    X4,
+    /// 8-bit wide interface.
+    X8,
+    /// 16-bit wide interface.
+    X16,
+}
+
+impl fmt::Display for ChipOrg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChipOrg::X4 => "x4",
+            ChipOrg::X8 => "x8",
+            ChipOrg::X16 => "x16",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A duration with picosecond resolution.
+///
+/// DDR4 test programs express delays such as the violated 7.5 ns PRE→ACT
+/// latency of the CoMRA access pattern (Fig. 3c) or the 3 ns delays of the
+/// SiMRA ACT‑PRE‑ACT sequence (Fig. 12c). Picosecond integer resolution keeps
+/// the type hashable and totally ordered while representing half-nanosecond
+/// steps exactly.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Picos(pub u64);
+
+impl Picos {
+    /// Zero duration.
+    pub const ZERO: Picos = Picos(0);
+
+    /// Creates a duration from (possibly fractional) nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns(ns: f64) -> Picos {
+        assert!(ns.is_finite() && ns >= 0.0, "duration must be non-negative");
+        Picos((ns * 1000.0).round() as u64)
+    }
+
+    /// Creates a duration from microseconds.
+    pub fn from_us(us: f64) -> Picos {
+        Picos::from_ns(us * 1000.0)
+    }
+
+    /// The duration in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The duration in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.as_ns() / 1000.0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Picos) -> Picos {
+        Picos(self.0.saturating_add(rhs.0))
+    }
+
+    /// Scales the duration by an integer count (saturating).
+    pub fn saturating_mul(self, count: u64) -> Picos {
+        Picos(self.0.saturating_mul(count))
+    }
+}
+
+impl std::ops::Add for Picos {
+    type Output = Picos;
+    fn add(self, rhs: Picos) -> Picos {
+        Picos(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Picos {
+    type Output = Picos;
+    fn sub(self, rhs: Picos) -> Picos {
+        Picos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Picos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}us", self.as_us())
+        } else {
+            write!(f, "{:.2}ns", self.as_ns())
+        }
+    }
+}
+
+/// DRAM chip temperature in degrees Celsius.
+///
+/// The paper tests 50 °C, 60 °C, 70 °C, and 80 °C, conducting all other
+/// experiments at 80 °C (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// The paper's default experiment temperature (§4.2).
+    pub const DEFAULT_TEST: Celsius = Celsius(80.0);
+
+    /// The four temperature levels tested by the paper.
+    pub const TESTED: [Celsius; 4] = [Celsius(50.0), Celsius(60.0), Celsius(70.0), Celsius(80.0)];
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}C", self.0)
+    }
+}
+
+/// A repeating one-byte data pattern used to fill aggressor and victim rows.
+///
+/// The paper uses the four patterns widely used in memory reliability
+/// testing: `0x00`, `0xFF`, `0xAA`, and `0x55` (§4.2). Victim rows are
+/// initialized with the *negated* aggressor pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataPattern(pub u8);
+
+impl DataPattern {
+    /// All-zeros pattern.
+    pub const ZEROS: DataPattern = DataPattern(0x00);
+    /// All-ones pattern.
+    pub const ONES: DataPattern = DataPattern(0xFF);
+    /// Checkerboard pattern `0xAA`.
+    pub const CHECKER_AA: DataPattern = DataPattern(0xAA);
+    /// Checkerboard pattern `0x55`.
+    pub const CHECKER_55: DataPattern = DataPattern(0x55);
+
+    /// The four patterns tested by the paper, in presentation order.
+    pub const TESTED: [DataPattern; 4] = [
+        DataPattern::ZEROS,
+        DataPattern::ONES,
+        DataPattern::CHECKER_AA,
+        DataPattern::CHECKER_55,
+    ];
+
+    /// The bitwise complement of the pattern (victim-row initialization).
+    pub fn negated(self) -> DataPattern {
+        DataPattern(!self.0)
+    }
+
+    /// The bit this pattern stores at column `col`.
+    pub fn bit(self, col: u32) -> bool {
+        (self.0 >> (col % 8)) & 1 == 1
+    }
+
+    /// Whether this is one of the two checkerboard patterns.
+    pub fn is_checkerboard(self) -> bool {
+        self == DataPattern::CHECKER_AA || self == DataPattern::CHECKER_55
+    }
+
+    /// Fraction of bits set to one in the pattern.
+    pub fn ones_fraction(self) -> f64 {
+        f64::from(self.0.count_ones()) / 8.0
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02X}", self.0)
+    }
+}
+
+/// Bank index within a chip.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BankId(pub u8);
+
+impl From<u8> for BankId {
+    fn from(v: u8) -> BankId {
+        BankId(v)
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+/// Subarray index within a bank.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SubarrayId(pub u16);
+
+impl From<u16> for SubarrayId {
+    fn from(v: u16) -> SubarrayId {
+        SubarrayId(v)
+    }
+}
+
+impl fmt::Display for SubarrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SA{}", self.0)
+    }
+}
+
+/// A row address within one bank.
+///
+/// The interpretation (logical, i.e. memory-controller-visible, vs physical,
+/// i.e. wordline order) is contextual; [`crate::RowMapping`] converts between
+/// the two. The model follows the paper's methodology of reverse engineering
+/// the mapping and then reasoning in physical row order (§3.2).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RowAddr(pub u32);
+
+impl RowAddr {
+    /// Returns the row `delta` rows above (physically) this one, if any.
+    pub fn offset(self, delta: i64) -> Option<RowAddr> {
+        let v = i64::from(self.0) + delta;
+        u32::try_from(v).ok().map(RowAddr)
+    }
+}
+
+impl From<u32> for RowAddr {
+    fn from(v: u32) -> RowAddr {
+        RowAddr(v)
+    }
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picos_roundtrip_fractional_ns() {
+        let d = Picos::from_ns(7.5);
+        assert_eq!(d.0, 7500);
+        assert!((d.as_ns() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn picos_display_switches_units() {
+        assert_eq!(Picos::from_ns(36.0).to_string(), "36.00ns");
+        assert_eq!(Picos::from_us(7.8).to_string(), "7.80us");
+    }
+
+    #[test]
+    fn picos_arithmetic() {
+        let a = Picos::from_ns(10.0);
+        let b = Picos::from_ns(2.5);
+        assert_eq!((a + b).as_ns(), 12.5);
+        assert_eq!((a - b).as_ns(), 7.5);
+        assert_eq!(a.saturating_mul(4).as_ns(), 40.0);
+        assert_eq!(Picos(u64::MAX).saturating_add(a), Picos(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn picos_rejects_negative() {
+        let _ = Picos::from_ns(-1.0);
+    }
+
+    #[test]
+    fn data_pattern_negation_and_bits() {
+        assert_eq!(DataPattern::ZEROS.negated(), DataPattern::ONES);
+        assert_eq!(DataPattern::CHECKER_55.negated(), DataPattern::CHECKER_AA);
+        assert!(DataPattern::CHECKER_55.bit(0));
+        assert!(!DataPattern::CHECKER_55.bit(1));
+        assert!(!DataPattern::CHECKER_AA.bit(0));
+        assert!(DataPattern::CHECKER_AA.bit(1));
+    }
+
+    #[test]
+    fn data_pattern_ones_fraction() {
+        assert_eq!(DataPattern::ZEROS.ones_fraction(), 0.0);
+        assert_eq!(DataPattern::ONES.ones_fraction(), 1.0);
+        assert_eq!(DataPattern::CHECKER_AA.ones_fraction(), 0.5);
+    }
+
+    #[test]
+    fn only_sk_hynix_supports_simra() {
+        assert!(Manufacturer::SkHynix.supports_simra());
+        assert!(!Manufacturer::Micron.supports_simra());
+        assert!(!Manufacturer::Samsung.supports_simra());
+        assert!(!Manufacturer::Nanya.supports_simra());
+    }
+
+    #[test]
+    fn row_addr_offset_clamps_at_zero() {
+        assert_eq!(RowAddr(5).offset(-5), Some(RowAddr(0)));
+        assert_eq!(RowAddr(5).offset(-6), None);
+        assert_eq!(RowAddr(5).offset(2), Some(RowAddr(7)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Manufacturer::SkHynix.to_string(), "SK Hynix");
+        assert_eq!(ChipDensity::Gb16.to_string(), "16Gb");
+        assert_eq!(ChipOrg::X8.to_string(), "x8");
+        assert_eq!(DataPattern::CHECKER_AA.to_string(), "0xAA");
+        assert_eq!(Celsius(80.0).to_string(), "80C");
+        assert_eq!(BankId(2).to_string(), "B2");
+        assert_eq!(SubarrayId(3).to_string(), "SA3");
+        assert_eq!(RowAddr(17).to_string(), "R17");
+        assert_eq!(DieRevision('A').to_string(), "A");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the DRAM device model's invariants.
+
+use proptest::prelude::*;
+
+use pud_dram::{
+    BankId, CellLayout, Chip, ChipGeometry, DataPattern, Manufacturer, RowAddr, RowData,
+    RowMapping, SubarrayRegion,
+};
+
+proptest! {
+    #[test]
+    fn majority3_is_symmetric(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+        let ra = RowData::filled(64, DataPattern(a));
+        let rb = RowData::filled(64, DataPattern(b));
+        let rc = RowData::filled(64, DataPattern(c));
+        let m1 = RowData::majority3(&ra, &rb, &rc);
+        let m2 = RowData::majority3(&rc, &ra, &rb);
+        let m3 = RowData::majority3(&rb, &rc, &ra);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert_eq!(&m2, &m3);
+    }
+
+    #[test]
+    fn majority3_is_bounded_by_and_or(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+        // AND(a,b,c) <= MAJ3(a,b,c) <= OR(a,b,c) bitwise.
+        let maj = RowData::majority3(
+            &RowData::filled(64, DataPattern(a)),
+            &RowData::filled(64, DataPattern(b)),
+            &RowData::filled(64, DataPattern(c)),
+        );
+        let and = a & b & c;
+        let or = a | b | c;
+        for col in 0..8u32 {
+            let bit = maj.bit(col);
+            let and_bit = (and >> col) & 1 == 1;
+            let or_bit = (or >> col) & 1 == 1;
+            prop_assert!(!and_bit || bit, "AND implies MAJ");
+            prop_assert!(!bit || or_bit, "MAJ implies OR");
+        }
+    }
+
+    #[test]
+    fn diff_count_is_a_metric(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+        let ra = RowData::filled(128, DataPattern(a));
+        let rb = RowData::filled(128, DataPattern(b));
+        let rc = RowData::filled(128, DataPattern(c));
+        // Symmetry and identity.
+        prop_assert_eq!(ra.diff_count(&rb), rb.diff_count(&ra));
+        prop_assert_eq!(ra.diff_count(&ra), 0);
+        // Triangle inequality (Hamming distance).
+        prop_assert!(ra.diff_count(&rc) <= ra.diff_count(&rb) + rb.diff_count(&rc));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric(row in 8u32..1000, mfr_idx in 0usize..4) {
+        let mapping = RowMapping::for_manufacturer(Manufacturer::ALL[mfr_idx]);
+        let (below, above) = mapping.neighbors_of(RowAddr(row), 1);
+        // The neighbour relation is symmetric: if b is below r, then r is
+        // above b.
+        if let Some(b) = below {
+            let (_, b_above) = mapping.neighbors_of(b, 1);
+            prop_assert_eq!(b_above, Some(RowAddr(row)));
+        }
+        if let Some(a) = above {
+            let (a_below, _) = mapping.neighbors_of(a, 1);
+            prop_assert_eq!(a_below, Some(RowAddr(row)));
+        }
+    }
+
+    #[test]
+    fn charge_encoding_roundtrips_for_all_layouts(
+        row in 0u32..64,
+        col in 0u32..64,
+        bit in any::<bool>(),
+        block in 1u32..4,
+    ) {
+        for layout in [
+            CellLayout::AllTrue,
+            CellLayout::RowBlocks { block },
+            CellLayout::Interleaved,
+        ] {
+            let charge = layout.charge_for(RowAddr(row), col, bit);
+            prop_assert_eq!(layout.bit_for(RowAddr(row), col, charge), bit);
+        }
+    }
+
+    #[test]
+    fn chip_logical_access_roundtrips(row in 0u32..1000, byte in 0u8..=255) {
+        let geometry = ChipGeometry::scaled_for_tests();
+        prop_assume!(row < geometry.rows_per_bank());
+        let mut chip = Chip::new(
+            geometry,
+            RowMapping::for_manufacturer(Manufacturer::SkHynix),
+            CellLayout::AllTrue,
+        );
+        chip.fill_logical_row(BankId(0), RowAddr(row), DataPattern(byte)).unwrap();
+        let read = chip.read_logical_row(BankId(0), RowAddr(row)).unwrap().unwrap();
+        prop_assert!(read.matches_pattern(DataPattern(byte)));
+    }
+
+    #[test]
+    fn region_banding_is_stable_under_scaling(index in 0u32..500, scale in 1u32..8) {
+        // Scaling both the index and the total by the same factor preserves
+        // the region.
+        let total = 500u32;
+        let a = SubarrayRegion::classify(index, total);
+        let b = SubarrayRegion::classify(index * scale, total * scale);
+        prop_assert_eq!(a, b);
+    }
+}

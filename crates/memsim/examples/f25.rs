@@ -1,0 +1,5 @@
+fn main() {
+    let cfg = pud_memsim::Fig25Config::quick();
+    let r = pud_memsim::fig25::fig25(&cfg);
+    println!("{r}");
+}

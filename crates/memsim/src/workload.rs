@@ -1,0 +1,163 @@
+//! Synthetic workload profiles and the 60 five-core mixes.
+//!
+//! The paper draws four workloads per mix from five benchmark suites
+//! (SPEC CPU2006, SPEC CPU2017, TPC, MediaBench, YCSB) plus one synthetic
+//! PuD workload that issues one SiMRA-32 and one CoMRA operation every N ns
+//! (§8.2). Real traces are unavailable offline, so each suite is modelled
+//! by memory-intensity profiles (misses per kilo-instruction, row-buffer
+//! locality, write fraction) representative of its published
+//! characterization.
+
+use serde::{Deserialize, Serialize};
+
+/// A synthetic benchmark profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Display name (`suite.variant`).
+    pub name: &'static str,
+    /// Last-level-cache misses per kilo-instruction.
+    pub mpki: f64,
+    /// Probability that the next access hits the previously used row.
+    pub row_locality: f64,
+    /// Fraction of write requests.
+    pub write_frac: f64,
+}
+
+/// The benchmark pool (grouped by suite).
+pub const BENCHMARK_POOL: [WorkloadProfile; 10] = [
+    WorkloadProfile {
+        name: "spec06.mcf-like",
+        mpki: 32.0,
+        row_locality: 0.25,
+        write_frac: 0.25,
+    },
+    WorkloadProfile {
+        name: "spec06.lbm-like",
+        mpki: 22.0,
+        row_locality: 0.55,
+        write_frac: 0.45,
+    },
+    WorkloadProfile {
+        name: "spec17.gcc-like",
+        mpki: 6.0,
+        row_locality: 0.60,
+        write_frac: 0.20,
+    },
+    WorkloadProfile {
+        name: "spec17.cam4-like",
+        mpki: 14.0,
+        row_locality: 0.50,
+        write_frac: 0.35,
+    },
+    WorkloadProfile {
+        name: "spec17.xz-like",
+        mpki: 3.0,
+        row_locality: 0.40,
+        write_frac: 0.30,
+    },
+    WorkloadProfile {
+        name: "tpc.oltp-like",
+        mpki: 16.0,
+        row_locality: 0.30,
+        write_frac: 0.40,
+    },
+    WorkloadProfile {
+        name: "tpc.dss-like",
+        mpki: 10.0,
+        row_locality: 0.70,
+        write_frac: 0.10,
+    },
+    WorkloadProfile {
+        name: "mediabench.h264-like",
+        mpki: 7.0,
+        row_locality: 0.75,
+        write_frac: 0.30,
+    },
+    WorkloadProfile {
+        name: "ycsb.a-like",
+        mpki: 18.0,
+        row_locality: 0.35,
+        write_frac: 0.50,
+    },
+    WorkloadProfile {
+        name: "ycsb.c-like",
+        mpki: 12.0,
+        row_locality: 0.45,
+        write_frac: 0.05,
+    },
+];
+
+/// One five-core mix: four benchmark profiles plus the PuD workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    /// Mix identifier (0..59).
+    pub id: u32,
+    /// The four benchmark workloads.
+    pub benchmarks: [WorkloadProfile; 4],
+}
+
+/// Builds the paper's 60 multiprogrammed mixes deterministically.
+pub fn build_mixes(count: u32, seed: u64) -> Vec<Mix> {
+    let mut mixes = Vec::with_capacity(count as usize);
+    for id in 0..count {
+        let mut benchmarks = [BENCHMARK_POOL[0]; 4];
+        let mut used = [false; 10];
+        for (slot, b) in benchmarks.iter_mut().enumerate() {
+            let mut idx = (pud_hash(seed, u64::from(id), slot as u64) % 10) as usize;
+            while used[idx] {
+                idx = (idx + 1) % 10;
+            }
+            used[idx] = true;
+            *b = BENCHMARK_POOL[idx];
+        }
+        mixes.push(Mix { id, benchmarks });
+    }
+    mixes
+}
+
+fn pud_hash(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The PuD-operation periods swept by Fig. 25, in nanoseconds
+/// (125 ns – 16 µs).
+pub const PUD_PERIODS_NS: [u64; 8] = [125, 250, 500, 1_000, 2_000, 4_000, 8_000, 16_000];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_deterministic_and_distinct_within() {
+        let a = build_mixes(60, 1);
+        let b = build_mixes(60, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        for m in &a {
+            let names: Vec<&str> = m.benchmarks.iter().map(|w| w.name).collect();
+            let mut dedup = names.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 4, "mix {} repeats a benchmark", m.id);
+        }
+    }
+
+    #[test]
+    fn pool_spans_intensities() {
+        let max = BENCHMARK_POOL.iter().map(|w| w.mpki).fold(0.0, f64::max);
+        let min = BENCHMARK_POOL
+            .iter()
+            .map(|w| w.mpki)
+            .fold(f64::MAX, f64::min);
+        assert!(max > 25.0 && min < 5.0, "pool should span memory intensity");
+    }
+
+    #[test]
+    fn periods_match_the_paper_sweep() {
+        assert_eq!(PUD_PERIODS_NS[0], 125);
+        assert_eq!(*PUD_PERIODS_NS.last().unwrap(), 16_000);
+    }
+}

@@ -1,0 +1,103 @@
+//! Countermeasure 3 (§8.1): clustered multiple-row activation.
+//!
+//! Double-sided SiMRA is only possible because today's row decoders
+//! activate row groups whose physical members can *sandwich* an unactivated
+//! victim. A decoder that guarantees physically contiguous activation
+//! clusters eliminates sandwiched victims entirely, downgrading SiMRA's
+//! read-disturbance effect to the far milder single-sided case (Fig. 16).
+
+use pud_dram::{Chip, ChipGeometry, RowAddr, SubarrayId};
+use pudhammer::patterns::{simra_ds_kernels, simra_victims, Kernel};
+
+/// A clustered row-decoder design: logical groups map to physically
+/// contiguous blocks of the given sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusteredDecoder {
+    /// Maximum cluster size supported.
+    pub max_rows: u8,
+}
+
+impl ClusteredDecoder {
+    /// The physical rows a clustered activation of `n` rows at `base`
+    /// drives: always `base .. base+n` (contiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the decoder's maximum or is zero.
+    pub fn activate(&self, base: RowAddr, n: u8) -> Vec<RowAddr> {
+        assert!(n > 0 && n <= self.max_rows, "cluster size out of range");
+        (base.0..base.0 + u32::from(n)).map(RowAddr).collect()
+    }
+
+    /// Whether any victim is sandwiched by a clustered activation
+    /// (never — adjacent rows are always co-activated).
+    pub fn sandwiches_victims(&self, base: RowAddr, n: u8, geometry: &ChipGeometry) -> bool {
+        let rows = self.activate(base, n);
+        let lo = rows[0].0.saturating_sub(1);
+        let hi = rows[rows.len() - 1].0 + 1;
+        (lo..=hi.min(geometry.rows_per_bank() - 1)).any(|v| {
+            let v = RowAddr(v);
+            !rows.contains(&v)
+                && rows.contains(&RowAddr(v.0.wrapping_sub(1)))
+                && rows.contains(&RowAddr(v.0 + 1))
+        })
+    }
+}
+
+/// Compares the attack surface of a conventional chip's decoder against the
+/// clustered design: number of double-sided SiMRA kernels available per
+/// subarray.
+pub fn double_sided_surface(chip: &Chip, sa: SubarrayId) -> usize {
+    let mut kernels: Vec<Kernel> = Vec::new();
+    for n in [2u8, 4, 8, 16] {
+        kernels.extend(simra_ds_kernels(chip, sa, n));
+    }
+    kernels.iter().map(|k| simra_victims(chip, k).0.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pud_dram::profiles::TESTED_MODULES;
+
+    #[test]
+    fn clustered_activation_never_sandwiches() {
+        let d = ClusteredDecoder { max_rows: 32 };
+        let g = ChipGeometry::scaled_for_tests();
+        for n in [2u8, 4, 8, 16, 32] {
+            for base in (0..64).step_by(8) {
+                assert!(
+                    !d.sandwiches_victims(RowAddr(base), n, &g),
+                    "n={n} base={base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conventional_decoder_exposes_sandwiched_victims() {
+        let p = &TESTED_MODULES[1];
+        let chip = Chip::new(
+            ChipGeometry::scaled_for_tests(),
+            p.mapping(),
+            p.cell_layout(),
+        );
+        let surface = double_sided_surface(&chip, SubarrayId(1));
+        assert!(surface > 0, "the stock decoder must be attackable");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_cluster_panics() {
+        let d = ClusteredDecoder { max_rows: 8 };
+        let _ = d.activate(RowAddr(0), 16);
+    }
+
+    #[test]
+    fn clusters_are_contiguous() {
+        let d = ClusteredDecoder { max_rows: 32 };
+        let rows = d.activate(RowAddr(40), 8);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.windows(2).all(|w| w[1].0 - w[0].0 == 1));
+    }
+}

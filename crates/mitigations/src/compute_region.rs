@@ -1,0 +1,119 @@
+//! Countermeasure 1 (§8.1): separating PuD-enabled rows.
+//!
+//! Prior PuD architectures split a subarray into a small *compute region*
+//! (3–32 rows) and a *storage region*. Constraining SiMRA to the compute
+//! region and allowing at most one CoMRA operand outside it confines the
+//! worst read-disturbance effects to a handful of rows that can simply be
+//! refreshed every few operations, while the storage region only needs its
+//! existing RowHammer mitigation retuned for single-sided CoMRA's <2 %
+//! HC_first reduction (Fig. 7).
+
+use pud_dram::profiles::{self, ModuleProfile};
+
+/// A compute/storage split of a subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeRegionPlan {
+    /// Rows reserved for computation (the paper cites 3–32 of ~1024).
+    pub compute_rows: u32,
+    /// Rows in the subarray overall.
+    pub subarray_rows: u32,
+    /// SiMRA operations allowed between refreshes of a compute-region row.
+    pub ops_per_refresh: u32,
+}
+
+impl ComputeRegionPlan {
+    /// A plan safe against the observed SiMRA HC_first of `profile`.
+    ///
+    /// The refresh interval is chosen with a 2× safety margin under the
+    /// family's minimum SiMRA HC_first (e.g. 26 ⇒ refresh each compute row
+    /// within every 13 operations; the paper suggests ~20 for HC_first 40+).
+    pub fn for_profile(
+        profile: &ModuleProfile,
+        compute_rows: u32,
+        subarray_rows: u32,
+    ) -> Option<ComputeRegionPlan> {
+        let hc = profile.simra?.min;
+        let ops = ((hc / 2.0).floor() as u32).max(1);
+        Some(ComputeRegionPlan {
+            compute_rows,
+            subarray_rows,
+            ops_per_refresh: ops,
+        })
+    }
+
+    /// Fraction of SiMRA operation slots consumed by compute-region
+    /// refreshes, spreading one row refresh after every
+    /// `ops_per_refresh / compute_rows` operations.
+    ///
+    /// A refresh (ACT+PRE, ~50 ns) costs about one SiMRA op slot, so the
+    /// throughput overhead is `compute_rows / ops_per_refresh`.
+    pub fn throughput_overhead(&self) -> f64 {
+        f64::from(self.compute_rows) / f64::from(self.ops_per_refresh)
+    }
+
+    /// Whether every compute row gets refreshed before any row can
+    /// accumulate `ops_per_refresh` operations (the security condition).
+    pub fn is_secure_against(&self, hc_first: f64) -> bool {
+        f64::from(self.ops_per_refresh) < hc_first
+    }
+
+    /// Storage-region guidance: the retuned RowHammer threshold factor for
+    /// single-sided CoMRA exposure (the paper: reduction <2 %, Fig. 7).
+    pub fn storage_threshold_factor() -> f64 {
+        0.98
+    }
+}
+
+/// Evaluates the compute-region countermeasure across the SiMRA-capable
+/// fleet, returning `(family key, plan, overhead)` rows.
+pub fn evaluate_fleet(compute_rows: u32) -> Vec<(String, ComputeRegionPlan, f64)> {
+    profiles::TESTED_MODULES
+        .iter()
+        .filter_map(|p| {
+            let plan = ComputeRegionPlan::for_profile(p, compute_rows, 1024)?;
+            let overhead = plan.throughput_overhead();
+            Some((p.key(), plan, overhead))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_secure_by_construction() {
+        for (key, plan, _) in evaluate_fleet(32) {
+            let profile = profiles::TESTED_MODULES
+                .iter()
+                .find(|p| p.key() == key)
+                .unwrap();
+            assert!(plan.is_secure_against(profile.simra.unwrap().min), "{key}");
+        }
+    }
+
+    #[test]
+    fn worst_family_needs_frequent_refreshes() {
+        // The 8Gb A-die (HC_first 26) allows only ~13 ops between refreshes:
+        // with a 32-row compute region that is a >100% throughput overhead —
+        // quantifying the paper's "might cause performance and energy
+        // overheads" caveat.
+        let rows = evaluate_fleet(32);
+        let worst = rows.iter().max_by(|a, b| a.2.total_cmp(&b.2)).unwrap();
+        assert!(worst.2 > 1.0, "worst overhead {}", worst.2);
+        // A small 4-row compute region keeps the overhead moderate.
+        let small = evaluate_fleet(4);
+        let worst_small = small.iter().map(|r| r.2).fold(0.0, f64::max);
+        assert!(worst_small < 0.5, "small-region overhead {worst_small}");
+    }
+
+    #[test]
+    fn only_simra_capable_families_get_plans() {
+        assert_eq!(evaluate_fleet(8).len(), 4);
+    }
+
+    #[test]
+    fn storage_factor_matches_fig7() {
+        assert!((ComputeRegionPlan::storage_threshold_factor() - 0.98).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! PuDHammer countermeasures (§8 of the paper).
+//!
+//! Three chip/interface-level countermeasure sketches from §8.1 —
+//! compute-region separation, weighted activation accounting, and clustered
+//! multiple-row activation — plus re-exports of the §8.2 PRAC adaptation
+//! evaluated in `pud-memsim`.
+//!
+//! # Example
+//!
+//! ```
+//! use pud_mitigations::weighted::ActivationWeights;
+//!
+//! let w = ActivationWeights::fleet_safe();
+//! // 20 SiMRA operations must be counted as at least one full RowHammer
+//! // threshold's worth of activations on the most vulnerable module.
+//! assert!(w.weigh(0, 0, 20) >= w.rowhammer_threshold);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustered;
+pub mod compute_region;
+pub mod weighted;
+
+pub use pud_memsim::{fig25, Fig25, Fig25Config, Mitigation};

@@ -1,0 +1,302 @@
+//! §6 experiments: combined RowHammer + multiple-row-activation patterns,
+//! Figs. 21–23.
+//!
+//! Methodology (Fig. 20): hammer the victim with the multiple-row
+//! activation technique(s) up to a fraction of each technique's own
+//! HC_first, then continue with double-sided RowHammer until the first
+//! bitflip, and report the change vs RowHammer-only.
+
+use std::fmt;
+
+use pud_bender::Executor;
+use pud_dram::{BankId, DataPattern, RowAddr};
+
+use crate::experiments::{measure_with_dp, Scale};
+use crate::fleet::Fleet;
+use crate::hcfirst::prepare;
+use crate::patterns::{comra_ds_for, rowhammer_ds_for, Kernel};
+use crate::report::{fmt_hc, Table};
+use crate::stats::{fraction_where, percent_change, Summary};
+
+/// The pre-hammer fractions tested (10 %, 50 %, 90 % of the technique's
+/// HC_first — §6.1).
+pub const FRACTIONS: [f64; 3] = [0.1, 0.5, 0.9];
+
+/// Which multiple-row activation technique(s) precede the RowHammer phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StagePlan {
+    /// CoMRA then RowHammer (Fig. 21).
+    Comra,
+    /// SiMRA then RowHammer (Fig. 22).
+    Simra,
+    /// CoMRA, then SiMRA, then RowHammer (Fig. 23).
+    ComraThenSimra,
+}
+
+/// Result of one combined-pattern experiment.
+///
+/// Following the paper's metric (Fig. 20: the "B−C decrease"), the
+/// HC_first of a combined pattern is the *RowHammer-phase* hammer count to
+/// first flip after the fixed pre-hammer stages, compared against the
+/// RowHammer-only HC_first.
+#[derive(Debug, Clone)]
+pub struct Combined {
+    /// The staging plan.
+    pub plan: StagePlan,
+    /// Per-fraction: `(fraction, changes vs RowHammer-only, HC summary)`.
+    pub per_fraction: Vec<(f64, Vec<f64>, Option<Summary>)>,
+    /// RowHammer-only baseline over the same victims.
+    pub baseline: Option<Summary>,
+}
+
+impl Combined {
+    /// Average HC_first reduction factor at a fraction.
+    pub fn mean_reduction(&self, fraction: f64) -> Option<f64> {
+        let (_, changes, _) = self
+            .per_fraction
+            .iter()
+            .find(|(fr, _, _)| (*fr - fraction).abs() < 1e-9)?;
+        if changes.is_empty() {
+            return None;
+        }
+        let mean_change = changes.iter().sum::<f64>() / changes.len() as f64;
+        Some(1.0 / (1.0 + mean_change / 100.0))
+    }
+
+    /// Fraction of victims with lower combined HC_first at `fraction`.
+    pub fn fraction_reduced(&self, fraction: f64) -> f64 {
+        self.per_fraction
+            .iter()
+            .find(|(fr, _, _)| (*fr - fraction).abs() < 1e-9)
+            .map_or(0.0, |(_, c, _)| fraction_where(c, |x| x < 0.0))
+    }
+}
+
+/// Fig. 21: RowHammer combined with CoMRA.
+pub fn fig21(scale: &Scale) -> Combined {
+    run_combined(scale, StagePlan::Comra)
+}
+
+/// Fig. 22: RowHammer combined with SiMRA.
+pub fn fig22(scale: &Scale) -> Combined {
+    run_combined(scale, StagePlan::Simra)
+}
+
+/// Fig. 23: RowHammer combined with CoMRA *and* SiMRA — the most effective
+/// pattern of the paper (Observation 24).
+pub fn fig23(scale: &Scale) -> Combined {
+    run_combined(scale, StagePlan::ComraThenSimra)
+}
+
+fn run_combined(scale: &Scale, plan: StagePlan) -> Combined {
+    // §6.2: the experiment runs on the chips used for SiMRA
+    // characterization.
+    let mut fleet = Fleet::build_simra_capable(scale.fleet);
+    let cap = (scale.fleet.victims_per_subarray as usize) * 6;
+    let dp = DataPattern::CHECKER_55;
+    let mut per_fraction: Vec<(f64, Vec<f64>, Vec<f64>)> = FRACTIONS
+        .iter()
+        .map(|&fr| (fr, Vec::new(), Vec::new()))
+        .collect();
+    let mut baseline_vals = Vec::new();
+    for chip in &mut fleet.chips {
+        let bank = chip.bank();
+        for (simra_kernel, victim) in crate::experiments::simra::ds_targets(chip, 4, cap) {
+            let Some(rh_kernel) = rowhammer_ds_for(chip.exec.chip(), victim) else {
+                continue;
+            };
+            let comra_kernel = comra_ds_for(chip.exec.chip(), victim, false);
+            let Some(h_rh) = measure_with_dp(scale, &mut chip.exec, bank, &rh_kernel, victim, dp)
+            else {
+                continue;
+            };
+            baseline_vals.push(h_rh as f64);
+            // Per-technique baselines (same data pattern for consistency).
+            let mut stage_kernels: Vec<(Kernel, u64)> = Vec::new();
+            let stages_ok = match plan {
+                StagePlan::Comra => comra_kernel
+                    .and_then(|k| {
+                        measure_with_dp(scale, &mut chip.exec, bank, &k, victim, dp)
+                            .map(|h| stage_kernels.push((k, h)))
+                    })
+                    .is_some(),
+                StagePlan::Simra => {
+                    measure_with_dp(scale, &mut chip.exec, bank, &simra_kernel, victim, dp)
+                        .map(|h| stage_kernels.push((simra_kernel, h)))
+                        .is_some()
+                }
+                StagePlan::ComraThenSimra => {
+                    let c = comra_kernel.and_then(|k| {
+                        measure_with_dp(scale, &mut chip.exec, bank, &k, victim, dp).map(|h| (k, h))
+                    });
+                    let s = measure_with_dp(scale, &mut chip.exec, bank, &simra_kernel, victim, dp)
+                        .map(|h| (simra_kernel, h));
+                    match (c, s) {
+                        (Some(c), Some(s)) => {
+                            stage_kernels.push(c);
+                            stage_kernels.push(s);
+                            true
+                        }
+                        _ => false,
+                    }
+                }
+            };
+            if !stages_ok {
+                continue;
+            }
+            for (fr, changes, totals) in &mut per_fraction {
+                let stages: Vec<(Kernel, u64)> = stage_kernels
+                    .iter()
+                    .map(|&(k, h)| (k, ((h as f64) * *fr) as u64))
+                    .collect();
+                if let Some(rh_phase) =
+                    combined_hc(scale, &mut chip.exec, bank, &stages, &rh_kernel, victim, dp)
+                {
+                    changes.push(percent_change(rh_phase as f64, h_rh as f64));
+                    totals.push(rh_phase as f64);
+                }
+            }
+        }
+    }
+    Combined {
+        plan,
+        per_fraction: per_fraction
+            .into_iter()
+            .map(|(fr, ch, tot)| {
+                let s = Summary::from_values(&tot);
+                (fr, ch, s)
+            })
+            .collect(),
+        baseline: Summary::from_values(&baseline_vals),
+    }
+}
+
+/// Measures the RowHammer-phase hammer count to first flip of a staged
+/// pattern: fixed pre-hammer stages followed by a RowHammer search phase.
+/// Returns 0 if the stages themselves flip the victim.
+fn combined_hc(
+    scale: &Scale,
+    exec: &mut Executor,
+    bank: BankId,
+    stages: &[(Kernel, u64)],
+    rh_kernel: &Kernel,
+    victim: RowAddr,
+    dp: DataPattern,
+) -> Option<u64> {
+    let mut check = |rh_count: u64| -> bool {
+        prepare(exec, bank, rh_kernel, victim, dp, dp.negated());
+        for (k, c) in stages {
+            if *c > 0 {
+                let aggressors = k.aggressors();
+                for a in aggressors {
+                    exec.write_row(bank, a, dp);
+                }
+                let report = exec.run(&k.program(bank, *c));
+                if report.flips.iter().any(|f| f.phys_row == victim) {
+                    return true;
+                }
+            }
+        }
+        let report = exec.run(&rh_kernel.program(bank, rh_count));
+        report.flips.iter().any(|f| f.phys_row == victim)
+    };
+    let mut hi = 1u64;
+    while !check(hi) {
+        if hi >= scale.search.max_hammers {
+            return None;
+        }
+        hi = (hi * 4).min(scale.search.max_hammers);
+    }
+    if hi > 1 {
+        let mut lo = hi / 4;
+        while (hi - lo) as f64 > scale.search.tolerance * hi as f64 && hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if check(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+    }
+    Some(hi)
+}
+
+impl fmt::Display for Combined {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.plan {
+            StagePlan::Comra => "Fig. 21 — RowHammer + CoMRA",
+            StagePlan::Simra => "Fig. 22 — RowHammer + SiMRA",
+            StagePlan::ComraThenSimra => "Fig. 23 — RowHammer + CoMRA + SiMRA",
+        };
+        let mut t = Table::new(
+            name,
+            &[
+                "Pre-hammer",
+                "Reduced rows",
+                "Mean reduction",
+                "Total HC (mean)",
+            ],
+        );
+        for (fr, changes, summary) in &self.per_fraction {
+            let mean_red = self.mean_reduction(*fr).unwrap_or(1.0);
+            t.push_row(vec![
+                format!("{:.0}%", fr * 100.0),
+                format!("{:.1}%", fraction_where(changes, |x| x < 0.0) * 100.0),
+                format!("{mean_red:.2}x"),
+                summary.map_or("-".into(), |s| fmt_hc(s.mean)),
+            ]);
+        }
+        write!(f, "{t}")?;
+        if let Some(b) = &self.baseline {
+            writeln!(
+                f,
+                "RowHammer-only baseline mean HC_first: {}",
+                fmt_hc(b.mean)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        let mut s = Scale::quick();
+        s.fleet.victims_per_subarray = 1;
+        s
+    }
+
+    #[test]
+    fn fig21_combined_rh_comra_reduces_hc() {
+        let r = fig21(&tiny_scale());
+        // Observation 22: the reduction grows with the CoMRA fraction.
+        let red10 = r.mean_reduction(0.1).unwrap();
+        let red90 = r.mean_reduction(0.9).unwrap();
+        assert!(red90 > red10, "90%: {red90} vs 10%: {red10}");
+        assert!(red90 > 1.05, "90% reduction {red90}");
+        assert!(r.fraction_reduced(0.9) > 0.8);
+    }
+
+    #[test]
+    fn fig22_simra_combination_matches_the_paper_factor() {
+        let r = fig22(&tiny_scale());
+        let red = r.mean_reduction(0.9).unwrap();
+        // Paper: 1.22x at the 90% pre-hammer level.
+        assert!((1.1..1.35).contains(&red), "reduction {red}");
+        assert!(r.fraction_reduced(0.9) > 0.9);
+    }
+
+    #[test]
+    fn fig23_triple_is_most_effective() {
+        let scale = tiny_scale();
+        let comra = fig21(&scale);
+        let triple = fig23(&scale);
+        let c = comra.mean_reduction(0.9).unwrap();
+        let t = triple.mean_reduction(0.9).unwrap();
+        // Observation 24: the triple combination beats RowHammer+CoMRA.
+        assert!(t > c, "triple {t} vs comra {c}");
+        assert!(t > 1.2, "triple reduction {t}");
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's experiments, one module per section.
+//!
+//! Every public function regenerates one table or figure of the paper and
+//! returns a typed result whose `Display` implementation prints the same
+//! rows/series the paper reports. The bench harness (`pud-bench`) and the
+//! `repro` binary are thin wrappers over these functions.
+
+pub mod combined;
+pub mod comra;
+pub mod simra;
+pub mod table2;
+pub mod trr_eval;
+
+use pud_dram::DataPattern;
+
+use crate::fleet::FleetConfig;
+use crate::hcfirst::HcSearch;
+use crate::patterns::Kernel;
+
+/// Experiment scale: fleet density, search parameters, and whether the full
+/// per-row WCDP search is performed (quick runs fix the usual worst-case
+/// patterns instead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Fleet construction parameters.
+    pub fleet: FleetConfig,
+    /// HC_first search parameters.
+    pub search: HcSearch,
+    /// Run the full four-pattern WCDP search per row (×4 cost).
+    pub use_wcdp: bool,
+    /// Hammer count per aggressor for the §7 TRR experiments.
+    pub trr_hammers: u64,
+}
+
+impl Scale {
+    /// Quick scale for tests and CI benches.
+    pub fn quick() -> Scale {
+        Scale {
+            fleet: FleetConfig::quick(),
+            search: HcSearch::default(),
+            use_wcdp: false,
+            trr_hammers: 200_000,
+        }
+    }
+
+    /// Paper-density scale for full reproduction runs.
+    pub fn full() -> Scale {
+        Scale {
+            fleet: FleetConfig::full(),
+            search: HcSearch {
+                repeats: 5,
+                ..HcSearch::default()
+            },
+            use_wcdp: true,
+            trr_hammers: 500_000,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale::quick()
+    }
+}
+
+/// The default aggressor data pattern for a kernel class when the full
+/// WCDP search is skipped: checkerboard for RowHammer/CoMRA-class kernels
+/// (Observation 3), all-zeros for SiMRA (Observations 13–14: the victim
+/// then holds 0xFF, the most flippable pattern for 1→0 disturbance).
+pub fn default_aggressor_dp(kernel: &Kernel) -> DataPattern {
+    match kernel {
+        Kernel::Simra { .. } => DataPattern::ZEROS,
+        _ => DataPattern::CHECKER_55,
+    }
+}
+
+pub(crate) fn measure_with_policy(
+    scale: &Scale,
+    exec: &mut pud_bender::Executor,
+    bank: pud_dram::BankId,
+    kernel: &Kernel,
+    victim: pud_dram::RowAddr,
+) -> Option<u64> {
+    if scale.use_wcdp {
+        crate::wcdp::find_wcdp(exec, bank, kernel, victim, &scale.search).hc
+    } else {
+        let dp = default_aggressor_dp(kernel);
+        crate::hcfirst::measure_hc_first(
+            exec,
+            bank,
+            kernel,
+            victim,
+            dp,
+            dp.negated(),
+            &scale.search,
+        )
+    }
+}
+
+pub(crate) fn measure_with_dp(
+    scale: &Scale,
+    exec: &mut pud_bender::Executor,
+    bank: pud_dram::BankId,
+    kernel: &Kernel,
+    victim: pud_dram::RowAddr,
+    dp: DataPattern,
+) -> Option<u64> {
+    crate::hcfirst::measure_hc_first(exec, bank, kernel, victim, dp, dp.negated(), &scale.search)
+}
+
+/// One HC_first measurement over the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Chip manufacturer.
+    pub mfr: pud_dram::Manufacturer,
+    /// Victim row (physical).
+    pub victim: pud_dram::RowAddr,
+    /// Victim location within its subarray.
+    pub region: pud_dram::SubarrayRegion,
+    /// Measured HC_first (`None`: no flip within the search cap).
+    pub hc: Option<u64>,
+}
+
+/// Measures HC_first for every fleet victim under the kernel produced by
+/// `make_kernel`, using `dp` as the aggressor pattern (or the per-class
+/// default policy when `None`).
+pub(crate) fn collect_hc(
+    scale: &Scale,
+    fleet: &mut crate::fleet::Fleet,
+    make_kernel: impl Fn(&pud_dram::Chip, pud_dram::RowAddr) -> Option<Kernel>,
+    dp: Option<DataPattern>,
+) -> Vec<Record> {
+    let mut records = Vec::new();
+    for chip in &mut fleet.chips {
+        let bank = chip.bank();
+        for victim in chip.victim_rows() {
+            let Some(kernel) = make_kernel(chip.exec.chip(), victim) else {
+                continue;
+            };
+            let hc = match dp {
+                Some(dp) => measure_with_dp(scale, &mut chip.exec, bank, &kernel, victim, dp),
+                None => measure_with_policy(scale, &mut chip.exec, bank, &kernel, victim),
+            };
+            records.push(Record {
+                mfr: chip.profile.chip_vendor,
+                victim,
+                region: chip.exec.chip().geometry().region_of(victim),
+                hc,
+            });
+        }
+    }
+    records
+}
+
+/// Finite HC values of a record subset.
+pub(crate) fn hc_values<'a>(
+    records: impl IntoIterator<Item = &'a Record>,
+    filter: impl Fn(&Record) -> bool,
+) -> Vec<f64> {
+    records
+        .into_iter()
+        .filter(|r| filter(r))
+        .filter_map(|r| r.hc.map(|h| h as f64))
+        .collect()
+}
+
+/// Test/debug-only re-exports of internal helpers.
+#[doc(hidden)]
+pub fn measure_with_dp_pub(
+    scale: &Scale,
+    exec: &mut pud_bender::Executor,
+    bank: pud_dram::BankId,
+    kernel: &Kernel,
+    victim: pud_dram::RowAddr,
+    dp: DataPattern,
+) -> Option<u64> {
+    measure_with_dp(scale, exec, bank, kernel, victim, dp)
+}
+
+/// Test/debug-only re-export of the SiMRA target enumeration.
+#[doc(hidden)]
+pub fn simra_debug_targets(
+    chip: &crate::fleet::ChipUnderTest,
+    n: u8,
+    cap: usize,
+) -> Vec<(Kernel, pud_dram::RowAddr)> {
+    simra::ds_targets(chip, n, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pud_dram::{Picos, RowAddr};
+
+    #[test]
+    fn default_patterns_per_kernel_class() {
+        let rh = Kernel::RowHammerSingle {
+            a: RowAddr(1),
+            t_aggon: Picos::from_ns(36.0),
+        };
+        assert_eq!(default_aggressor_dp(&rh), DataPattern::CHECKER_55);
+        let si = Kernel::Simra {
+            r1: RowAddr(0),
+            r2: RowAddr(2),
+            act_to_pre: Picos::from_ns(3.0),
+            pre_to_act: Picos::from_ns(3.0),
+            t_aggon: Picos::from_ns(36.0),
+        };
+        assert_eq!(default_aggressor_dp(&si), DataPattern::ZEROS);
+    }
+
+    #[test]
+    fn scales_differ() {
+        assert!(Scale::full().use_wcdp);
+        assert!(!Scale::quick().use_wcdp);
+        assert!(Scale::full().trr_hammers > Scale::quick().trr_hammers);
+    }
+}

@@ -1,0 +1,204 @@
+//! Tables 1/2: the tested module fleet with measured minimum/average
+//! HC_first for double-sided RowHammer, CoMRA, and SiMRA, side by side with
+//! the paper's reported anchors.
+
+use std::fmt;
+
+use pud_dram::DataPattern;
+
+use crate::experiments::{measure_with_dp, Scale};
+use crate::fleet::Fleet;
+use crate::patterns::{comra_ds_for, rowhammer_ds_for};
+use crate::report::{fmt_hc, Table};
+
+/// Measured `(min, avg)` HC_first of one technique on one family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinAvg {
+    /// Minimum across tested victims.
+    pub min: f64,
+    /// Average across tested victims.
+    pub avg: f64,
+}
+
+impl MinAvg {
+    fn from_values(values: &[f64]) -> Option<MinAvg> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(MinAvg {
+            min: values.iter().copied().fold(f64::MAX, f64::min),
+            avg: values.iter().sum::<f64>() / values.len() as f64,
+        })
+    }
+}
+
+/// One family's row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The module family.
+    pub profile: &'static pud_dram::ModuleProfile,
+    /// Measured RowHammer min/avg.
+    pub rowhammer: Option<MinAvg>,
+    /// Measured CoMRA min/avg.
+    pub comra: Option<MinAvg>,
+    /// Measured SiMRA min/avg (SiMRA-capable families only).
+    pub simra: Option<MinAvg>,
+}
+
+/// The reproduced Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Rows in Table 2 order.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Runs the Table 2 reproduction.
+pub fn table2(scale: &Scale) -> Table2 {
+    let mut fleet = Fleet::build(scale.fleet);
+    let cap = (scale.fleet.victims_per_subarray as usize) * 6;
+    let mut rows = Vec::new();
+    for chip in &mut fleet.chips {
+        if chip.chip_index != 0 {
+            continue;
+        }
+        let bank = chip.bank();
+        let mut rh_vals = Vec::new();
+        let mut comra_vals = Vec::new();
+        for victim in chip.victim_rows() {
+            if let Some(k) = rowhammer_ds_for(chip.exec.chip(), victim) {
+                if let Some(h) = measure_with_dp(
+                    scale,
+                    &mut chip.exec,
+                    bank,
+                    &k,
+                    victim,
+                    DataPattern::CHECKER_55,
+                ) {
+                    rh_vals.push(h as f64);
+                }
+            }
+            if let Some(k) = comra_ds_for(chip.exec.chip(), victim, false) {
+                if let Some(h) = measure_with_dp(
+                    scale,
+                    &mut chip.exec,
+                    bank,
+                    &k,
+                    victim,
+                    DataPattern::CHECKER_55,
+                ) {
+                    comra_vals.push(h as f64);
+                }
+            }
+        }
+        let mut simra_vals = Vec::new();
+        if chip.profile.supports_simra() {
+            for n in crate::experiments::simra::DS_GROUP_SIZES {
+                for (kernel, victim) in crate::experiments::simra::ds_targets(chip, n, cap) {
+                    if let Some(h) = measure_with_dp(
+                        scale,
+                        &mut chip.exec,
+                        bank,
+                        &kernel,
+                        victim,
+                        DataPattern::ZEROS,
+                    ) {
+                        simra_vals.push(h as f64);
+                    }
+                }
+            }
+        }
+        rows.push(Table2Row {
+            profile: chip.profile,
+            rowhammer: MinAvg::from_values(&rh_vals),
+            comra: MinAvg::from_values(&comra_vals),
+            simra: MinAvg::from_values(&simra_vals),
+        });
+    }
+    Table2 { rows }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(
+            "Table 2 — measured vs paper min (avg) HC_first",
+            &[
+                "Family",
+                "Mfr",
+                "Die",
+                "Den.",
+                "RH meas",
+                "RH paper",
+                "CoMRA meas",
+                "CoMRA paper",
+                "SiMRA meas",
+                "SiMRA paper",
+            ],
+        );
+        let fmt_ma = |m: &Option<MinAvg>| {
+            m.map_or("-".to_string(), |m| {
+                format!("{} ({})", fmt_hc(m.min), fmt_hc(m.avg))
+            })
+        };
+        let fmt_anchor =
+            |a: &pud_dram::profiles::HcAnchor| format!("{} ({})", fmt_hc(a.min), fmt_hc(a.avg));
+        for row in &self.rows {
+            let p = row.profile;
+            t.push_row(vec![
+                p.module_id.to_string(),
+                p.chip_vendor.to_string(),
+                p.die_rev.to_string(),
+                p.density.to_string(),
+                fmt_ma(&row.rowhammer),
+                fmt_anchor(&p.rowhammer),
+                fmt_ma(&row.comra),
+                fmt_anchor(&p.comra),
+                fmt_ma(&row.simra),
+                p.simra.as_ref().map_or("N/A".into(), fmt_anchor),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_minimums_track_the_anchors() {
+        let mut scale = Scale::quick();
+        scale.fleet.victims_per_subarray = 1;
+        let t = table2(&scale);
+        assert_eq!(t.rows.len(), 14);
+        for row in &t.rows {
+            let p = row.profile;
+            let rh = row.rowhammer.expect("RowHammer always measurable");
+            // The hero row pins the family minimum near the anchor.
+            let ratio = rh.min / p.rowhammer.min;
+            assert!(
+                (0.4..3.0).contains(&ratio),
+                "{}: measured RH min {} vs anchor {}",
+                p.module_id,
+                rh.min,
+                p.rowhammer.min
+            );
+            let comra = row.comra.expect("CoMRA always measurable");
+            assert!(
+                comra.min < rh.min,
+                "{}: CoMRA min must undercut RowHammer",
+                p.module_id
+            );
+            assert_eq!(row.simra.is_some(), p.supports_simra(), "{}", p.module_id);
+            if let Some(s) = row.simra {
+                let anchor = p.simra.unwrap();
+                assert!(
+                    s.min < anchor.min * 20.0,
+                    "{}: SiMRA min {} far from anchor {}",
+                    p.module_id,
+                    s.min,
+                    anchor.min
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The simulated test fleet: one executor per tested chip, with the
+//! paper's subarray/victim sampling methodology.
+
+use pud_bender::Executor;
+use pud_dram::{
+    profiles::{self, ModuleProfile},
+    BankId, ChipGeometry, Manufacturer, RowAddr, SubarrayId,
+};
+
+/// Scale and sampling configuration for experiments.
+///
+/// The paper tests six subarrays per module (two each from the beginning,
+/// middle, and end of the bank) and all rows within them (§4.2). The
+/// reproduction samples a configurable number of victims per subarray so
+/// quick runs stay quick; `--full`-style runs raise the sampling density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Fleet seed — all per-row vulnerability derives from it.
+    pub seed: u64,
+    /// Chip geometry for every simulated chip.
+    pub geometry: ChipGeometry,
+    /// Chips instantiated per module family.
+    pub chips_per_family: u32,
+    /// Victim rows sampled per tested subarray.
+    pub victims_per_subarray: u32,
+}
+
+impl FleetConfig {
+    /// Quick configuration for tests and CI benches.
+    pub fn quick() -> FleetConfig {
+        FleetConfig {
+            seed: 0x5AFA_11,
+            geometry: ChipGeometry::scaled_for_tests(),
+            chips_per_family: 1,
+            victims_per_subarray: 4,
+        }
+    }
+
+    /// Denser configuration for full reproduction runs.
+    pub fn full() -> FleetConfig {
+        FleetConfig {
+            seed: 0x5AFA_11,
+            geometry: ChipGeometry::paper_scale(),
+            chips_per_family: 2,
+            victims_per_subarray: 32,
+        }
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig::quick()
+    }
+}
+
+/// One chip under test: its profile, index, and a live executor.
+pub struct ChipUnderTest {
+    /// The module family this chip belongs to.
+    pub profile: &'static ModuleProfile,
+    /// Chip index within the family (chip 0 carries the family's
+    /// most-vulnerable row).
+    pub chip_index: u32,
+    /// The command-level executor bound to the chip.
+    pub exec: Executor,
+    config: FleetConfig,
+}
+
+impl std::fmt::Debug for ChipUnderTest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChipUnderTest")
+            .field("family", &self.profile.key())
+            .field("chip_index", &self.chip_index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChipUnderTest {
+    /// The bank all characterization runs on (the paper tests one bank per
+    /// module).
+    pub fn bank(&self) -> BankId {
+        BankId(0)
+    }
+
+    /// The six tested subarrays: two from the beginning, two from the
+    /// middle, two from the end of the bank (§4.2).
+    pub fn tested_subarrays(&self) -> Vec<SubarrayId> {
+        let n = self.config.geometry.subarrays_per_bank;
+        if n < 6 {
+            return (0..n).map(SubarrayId).collect();
+        }
+        let mid = n / 2;
+        vec![
+            SubarrayId(0),
+            SubarrayId(1),
+            SubarrayId(mid - 1),
+            SubarrayId(mid),
+            SubarrayId(n - 2),
+            SubarrayId(n - 1),
+        ]
+    }
+
+    /// Sampled victim rows (physical) across the tested subarrays, spread
+    /// evenly over the five subarray regions; always includes the chip's
+    /// designated most-vulnerable row when it has one.
+    pub fn victim_rows(&self) -> Vec<RowAddr> {
+        let g = self.config.geometry;
+        let per_sa = self.config.victims_per_subarray.max(1);
+        let mut victims = Vec::new();
+        for sa in self.tested_subarrays() {
+            let base = g.subarray_base(sa).0;
+            let rows = g.rows_per_subarray;
+            // Keep two rows of margin at subarray edges so every victim has
+            // in-subarray aggressors at distance ≤ 2.
+            let usable = rows.saturating_sub(4);
+            for i in 0..per_sa {
+                let offset = 2 + (u64::from(i) * u64::from(usable) / u64::from(per_sa)) as u32;
+                // Odd physical offsets stay sandwichable by SiMRA groups.
+                let row = RowAddr((base + offset) | 1);
+                if !victims.contains(&row) {
+                    victims.push(row);
+                }
+            }
+        }
+        if let Some((bank, hero)) = self.exec.engine().model().hero_row() {
+            debug_assert_eq!(bank, self.bank());
+            if !victims.contains(&hero) {
+                victims.push(hero);
+            }
+        }
+        victims
+    }
+}
+
+/// The whole simulated fleet.
+pub struct Fleet {
+    /// Chips under test.
+    pub chips: Vec<ChipUnderTest>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("chips", &self.chips.len())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds the full 14-family fleet.
+    pub fn build(config: FleetConfig) -> Fleet {
+        Fleet::build_filtered(config, |_| true)
+    }
+
+    /// Builds only the SiMRA-capable (SK Hynix) part of the fleet.
+    pub fn build_simra_capable(config: FleetConfig) -> Fleet {
+        Fleet::build_filtered(config, |p| p.supports_simra())
+    }
+
+    /// Builds the fleet for one manufacturer.
+    pub fn build_manufacturer(config: FleetConfig, mfr: Manufacturer) -> Fleet {
+        Fleet::build_filtered(config, move |p| p.chip_vendor == mfr)
+    }
+
+    /// Builds a fleet from the families accepted by `filter`.
+    pub fn build_filtered(config: FleetConfig, filter: impl Fn(&ModuleProfile) -> bool) -> Fleet {
+        let mut chips = Vec::new();
+        for profile in &profiles::TESTED_MODULES {
+            if !filter(profile) {
+                continue;
+            }
+            for chip_index in 0..config.chips_per_family {
+                chips.push(ChipUnderTest {
+                    profile,
+                    chip_index,
+                    exec: Executor::new(profile, config.geometry, chip_index, config.seed),
+                    config,
+                });
+            }
+        }
+        Fleet { chips }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_fleet_has_all_families() {
+        let fleet = Fleet::build(FleetConfig::quick());
+        assert_eq!(fleet.chips.len(), 14);
+        let simra = Fleet::build_simra_capable(FleetConfig::quick());
+        assert_eq!(simra.chips.len(), 4);
+        let micron = Fleet::build_manufacturer(FleetConfig::quick(), Manufacturer::Micron);
+        assert_eq!(micron.chips.len(), 4);
+    }
+
+    #[test]
+    fn chips_per_family_scales_fleet() {
+        let mut cfg = FleetConfig::quick();
+        cfg.chips_per_family = 3;
+        let fleet = Fleet::build(cfg);
+        assert_eq!(fleet.chips.len(), 42);
+    }
+
+    #[test]
+    fn tested_subarrays_cover_begin_middle_end() {
+        let fleet = Fleet::build(FleetConfig::quick());
+        let sas = fleet.chips[0].tested_subarrays();
+        assert_eq!(sas.len(), 6);
+        let n = FleetConfig::quick().geometry.subarrays_per_bank;
+        assert!(sas.contains(&SubarrayId(0)));
+        assert!(sas.contains(&SubarrayId(n - 1)));
+    }
+
+    #[test]
+    fn victims_include_hero_and_stay_in_bounds() {
+        let fleet = Fleet::build(FleetConfig::quick());
+        for chip in &fleet.chips {
+            let victims = chip.victim_rows();
+            assert!(!victims.is_empty());
+            let hero = chip.exec.engine().model().hero_row();
+            if chip.chip_index == 0 {
+                let (_, hero_row) = hero.unwrap();
+                assert!(victims.contains(&hero_row), "{}", chip.profile.key());
+            }
+            let g = FleetConfig::quick().geometry;
+            for v in victims {
+                assert!(v.0 < g.rows_per_bank());
+                assert!(v.0 % 2 == 1, "victims are odd physical rows");
+            }
+        }
+    }
+
+    #[test]
+    fn victims_are_deterministic() {
+        let a = Fleet::build(FleetConfig::quick());
+        let b = Fleet::build(FleetConfig::quick());
+        assert_eq!(a.chips[0].victim_rows(), b.chips[0].victim_rows());
+    }
+}

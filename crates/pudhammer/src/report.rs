@@ -1,0 +1,126 @@
+//! Plain-text rendering of experiment results (tables and series), used by
+//! the bench harness and the `repro` binary to print the rows/series the
+//! paper's tables and figures report.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (w, c) in widths.iter().zip(cells) {
+                parts.push(format!("{c:>w$}", w = w));
+            }
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a hammer count like the paper (e.g. `25.0K`, `447`).
+pub fn fmt_hc(hc: f64) -> String {
+    if !hc.is_finite() {
+        ">max".to_string()
+    } else if hc >= 1_000_000.0 {
+        format!("{:.2}M", hc / 1_000_000.0)
+    } else if hc >= 10_000.0 {
+        format!("{:.1}K", hc / 1_000.0)
+    } else {
+        format!("{hc:.0}")
+    }
+}
+
+/// Formats an `Option<u64>` hammer count.
+pub fn fmt_hc_opt(hc: Option<u64>) -> String {
+    hc.map_or_else(|| ">max".to_string(), |v| fmt_hc(v as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long-header"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["333".into(), "4".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long-header"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn hc_formatting() {
+        assert_eq!(fmt_hc(447.0), "447");
+        assert_eq!(fmt_hc(25_000.0), "25.0K");
+        assert_eq!(fmt_hc(1_480_000.0), "1.48M");
+        assert_eq!(fmt_hc(f64::INFINITY), ">max");
+        assert_eq!(fmt_hc_opt(None), ">max");
+        assert_eq!(fmt_hc_opt(Some(26)), "26");
+    }
+}

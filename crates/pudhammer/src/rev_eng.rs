@@ -1,0 +1,338 @@
+//! Reverse engineering of in-DRAM structure (§3.2 and §4.2 / §5.2
+//! methodology): subarray boundaries via RowClone success, physical row
+//! adjacency via read disturbance, and SiMRA row groups via the
+//! overwrite-probe technique.
+
+use pud_bender::{ops, Executor, TestProgram};
+use pud_dram::{BankId, DataPattern, Picos, RowAddr, SubarrayId};
+
+/// Recovered subarray boundaries: each entry is the first logical row of a
+/// subarray (ascending).
+///
+/// Methodology (§4.2): the RowClone/CoMRA copy succeeds only when source
+/// and destination share a subarray, so scanning consecutive row pairs with
+/// copy probes exposes the boundaries.
+pub fn subarray_boundaries(exec: &mut Executor, bank: BankId) -> Vec<RowAddr> {
+    let rows = exec.chip().geometry().rows_per_bank();
+    let mut boundaries = vec![RowAddr(0)];
+    for r in 0..rows - 1 {
+        let src = RowAddr(r);
+        let dst = RowAddr(r + 1);
+        exec.write_row(bank, src, DataPattern::CHECKER_55);
+        exec.write_row(bank, dst, DataPattern::ZEROS);
+        let copied = ops::in_dram_copy(exec, bank, src, dst)
+            .is_some_and(|d| d.matches_pattern(DataPattern::CHECKER_55));
+        if !copied {
+            boundaries.push(dst);
+        }
+    }
+    exec.quiesce();
+    boundaries
+}
+
+/// Finds the physical neighbours of `aggressor` (logical) by hammering it
+/// single-sided far past any threshold and reporting which rows flipped —
+/// the disturbance-based adjacency probing prior mapping reverse
+/// engineering relies on.
+pub fn physical_neighbors(
+    exec: &mut Executor,
+    bank: BankId,
+    aggressor: RowAddr,
+    hammers: u64,
+) -> Vec<RowAddr> {
+    exec.quiesce();
+    // Distance-1 neighbours flip far earlier than distance-2 ones; fill
+    // everything nearby so flips are observable regardless of direction.
+    let phys_agg = exec.chip().to_physical(aggressor);
+    for delta in -3i64..=3 {
+        if let Some(r) = phys_agg.offset(delta) {
+            if r.0 < exec.chip().geometry().rows_per_bank() && r != phys_agg {
+                let logical = exec.chip().to_logical(r);
+                exec.write_row(bank, logical, DataPattern::CHECKER_AA);
+            }
+        }
+    }
+    exec.write_row(bank, aggressor, DataPattern::CHECKER_55);
+    let program = ops::single_sided_rowhammer(bank, aggressor, ops::t_ras(), hammers);
+    let report = exec.run(&program);
+    let mut flipped: Vec<RowAddr> = report
+        .flips
+        .iter()
+        .filter(|f| f.phys_row.0.abs_diff(phys_agg.0) == 1)
+        .map(|f| f.logical_row)
+        .collect();
+    flipped.sort_unstable();
+    flipped.dedup();
+    exec.quiesce();
+    flipped
+}
+
+/// Reconstructs the physical ordering of a set of logical rows from their
+/// disturbance adjacency — the final step of mapping reverse engineering
+/// (§3.2): hammer each row, observe which in-set rows flip, build the
+/// neighbour chain, and walk it from an endpoint.
+///
+/// Returns the rows in physical wordline order (or its reverse — the two
+/// are indistinguishable without an external anchor), or `None` if the
+/// adjacency graph is not a single chain (e.g. the rows are not physically
+/// contiguous).
+pub fn recover_physical_order(
+    exec: &mut Executor,
+    bank: BankId,
+    rows: &[RowAddr],
+    hammers: u64,
+) -> Option<Vec<RowAddr>> {
+    if rows.len() < 2 {
+        return Some(rows.to_vec());
+    }
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); rows.len()];
+    for (i, &row) in rows.iter().enumerate() {
+        let neighbors = physical_neighbors(exec, bank, row, hammers);
+        for n in neighbors {
+            if let Some(j) = rows.iter().position(|&r| r == n) {
+                if !adjacency[i].contains(&j) {
+                    adjacency[i].push(j);
+                }
+                if !adjacency[j].contains(&i) {
+                    adjacency[j].push(i);
+                }
+            }
+        }
+    }
+    // A contiguous block yields a path: exactly two endpoints of degree 1.
+    let endpoints: Vec<usize> = (0..rows.len())
+        .filter(|&i| adjacency[i].len() == 1)
+        .collect();
+    if endpoints.len() != 2 {
+        return None;
+    }
+    let mut order = Vec::with_capacity(rows.len());
+    let mut prev = usize::MAX;
+    let mut cur = endpoints[0];
+    loop {
+        order.push(rows[cur]);
+        let next = adjacency[cur].iter().copied().find(|&n| n != prev);
+        match next {
+            Some(n) => {
+                prev = cur;
+                cur = n;
+            }
+            None => break,
+        }
+    }
+    (order.len() == rows.len()).then_some(order)
+}
+
+/// Reverse engineers the simultaneously activated row group of an
+/// ACT‑PRE‑ACT address pair using the overwrite probe of prior work
+/// (§5.2): rows that were open during the burst get overwritten by a
+/// following WR command.
+pub fn discover_simra_group(
+    exec: &mut Executor,
+    bank: BankId,
+    r1: RowAddr,
+    r2: RowAddr,
+) -> Vec<RowAddr> {
+    let geometry = *exec.chip().geometry();
+    let Some(sa) = geometry.subarray_of(exec.chip().to_physical(r1)) else {
+        return Vec::new();
+    };
+    // Initialize the whole subarray with a background pattern.
+    let background = DataPattern::ZEROS;
+    let marker = DataPattern::CHECKER_55;
+    let logical_rows: Vec<RowAddr> = geometry
+        .subarray_rows(sa)
+        .map(|p| exec.chip().to_logical(p))
+        .collect();
+    for &row in &logical_rows {
+        exec.write_row(bank, row, background);
+    }
+    // ACT r1 – PRE – ACT r2 with violated delays, then WR the marker.
+    let d = Picos::from_ns(pud_disturb::calib::SIMRA_DELAY_NS);
+    let mut p = TestProgram::new();
+    p.act(bank, r1, d)
+        .pre(bank, d)
+        .act(bank, r2, ops::t_ras())
+        .wr(bank, marker, Picos::from_ns(10.0))
+        .pre(bank, ops::t_rp());
+    exec.run(&p);
+    let mut members: Vec<RowAddr> = logical_rows
+        .iter()
+        .copied()
+        .filter(|&row| {
+            exec.read_row(bank, row)
+                .is_some_and(|d| d.matches_pattern(marker))
+        })
+        .collect();
+    members.sort_unstable();
+    exec.quiesce();
+    members
+}
+
+/// Behavioural on-die-ECC probe (§3.1, third interference-elimination
+/// measure): induces exactly one read-disturbance bitflip on a vulnerable
+/// row and checks whether it is visible on readback — an on-die ECC would
+/// silently correct a single flipped bit per codeword.
+///
+/// Returns `true` when raw bitflips are observable (no masking ECC), which
+/// is required before any HC_first characterization.
+pub fn verify_raw_bitflips_observable(exec: &mut Executor, bank: BankId) -> bool {
+    exec.quiesce();
+    let Some((_, hero)) = exec.engine().model().hero_row() else {
+        return false;
+    };
+    let victim_logical = exec.chip().to_logical(hero);
+    let below = exec.chip().to_logical(RowAddr(hero.0 - 1));
+    let above = exec.chip().to_logical(RowAddr(hero.0 + 1));
+    for delta in -2i64..=2 {
+        if let Some(r) = hero.offset(delta) {
+            let logical = exec.chip().to_logical(r);
+            let dp = if delta.abs() == 1 {
+                DataPattern::CHECKER_55
+            } else {
+                DataPattern::CHECKER_AA
+            };
+            exec.write_row(bank, logical, dp);
+        }
+    }
+    // Hammer until the first flip is reported, then cross-check the row
+    // image read back over the interface.
+    let mut total = 0u64;
+    let step = 4096u64;
+    while total < 8_000_000 {
+        let report = exec.run(&ops::double_sided_rowhammer(bank, below, above, ops::t_ras(), step));
+        total += step;
+        if report.flips.iter().any(|f| f.phys_row == hero) {
+            let image = exec
+                .read_row(bank, victim_logical)
+                .expect("victim was written");
+            let visible = !image.matches_pattern(DataPattern::CHECKER_AA);
+            exec.quiesce();
+            return visible;
+        }
+    }
+    exec.quiesce();
+    false
+}
+
+/// Scans a subarray for SiMRA group sizes available on the chip, returning
+/// the distinct group sizes found (2–32 on SiMRA-capable chips, empty on
+/// others).
+pub fn available_group_sizes(exec: &mut Executor, bank: BankId, sa: SubarrayId) -> Vec<usize> {
+    let base = exec.chip().geometry().subarray_base(sa);
+    let base = exec.chip().to_logical(base);
+    let mut sizes = Vec::new();
+    for bits in 1..=5u32 {
+        let mask = (1u32 << bits) - 1;
+        let (r1, r2) = pud_bender::simra_decode::pair_for_mask(RowAddr(base.0 + 32), mask);
+        let group = discover_simra_group(exec, bank, r1, r2);
+        if group.len() >= 2 && !sizes.contains(&group.len()) {
+            sizes.push(group.len());
+        }
+    }
+    sizes.sort_unstable();
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pud_dram::{profiles::TESTED_MODULES, ChipGeometry};
+
+    fn exec(idx: usize) -> Executor {
+        Executor::new(
+            &TESTED_MODULES[idx],
+            ChipGeometry::scaled_for_tests(),
+            0,
+            42,
+        )
+    }
+
+    #[test]
+    fn subarray_boundaries_are_recovered_exactly() {
+        let mut e = exec(1);
+        let found = subarray_boundaries(&mut e, BankId(0));
+        let g = e.chip().geometry();
+        let expected: Vec<RowAddr> = (0..g.subarrays_per_bank)
+            .map(|s| g.subarray_base(SubarrayId(s)))
+            .collect();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn physical_neighbors_expose_the_mapping() {
+        let mut e = exec(1);
+        let aggressor = RowAddr(10);
+        let neighbors = physical_neighbors(&mut e, BankId(0), aggressor, 4_000_000);
+        let phys = e.chip().to_physical(aggressor);
+        let expect: Vec<RowAddr> = [phys.0 - 1, phys.0 + 1]
+            .iter()
+            .map(|&p| e.chip().to_logical(RowAddr(p)))
+            .collect();
+        for n in expect {
+            assert!(neighbors.contains(&n), "missing neighbor {n}");
+        }
+    }
+
+    #[test]
+    fn simra_group_discovery_matches_decode() {
+        let mut e = exec(1); // SK Hynix
+        let (r1, r2) = pud_bender::simra_decode::pair_for_mask(RowAddr(40), 0b101);
+        let found = discover_simra_group(&mut e, BankId(0), r1, r2);
+        let expected = pud_bender::simra_decode::simra_group(e.chip().geometry(), r1, r2).unwrap();
+        assert_eq!(found, expected);
+        assert_eq!(found.len(), 4);
+    }
+
+    #[test]
+    fn non_simra_chips_yield_no_groups() {
+        let mut e = exec(6); // Micron
+        let sizes = available_group_sizes(&mut e, BankId(0), SubarrayId(1));
+        assert!(sizes.is_empty(), "{sizes:?}");
+    }
+
+    #[test]
+    fn physical_order_recovery_inverts_the_row_scramble() {
+        let mut e = exec(1); // SK Hynix Lut8 scramble
+                             // One aligned 8-row logical group: its recovered order must match
+                             // the physical positions the decoder assigns.
+        let rows: Vec<RowAddr> = (16..24).map(RowAddr).collect();
+        let recovered =
+            recover_physical_order(&mut e, BankId(0), &rows, 4_000_000).expect("chain recovered");
+        let mut expected: Vec<RowAddr> = rows.clone();
+        expected.sort_by_key(|&r| e.chip().to_physical(r).0);
+        let reversed: Vec<RowAddr> = expected.iter().rev().copied().collect();
+        assert!(
+            recovered == expected || recovered == reversed,
+            "recovered {recovered:?} expected {expected:?}"
+        );
+    }
+
+    #[test]
+    fn non_contiguous_rows_fail_order_recovery() {
+        let mut e = exec(1);
+        let rows = vec![RowAddr(16), RowAddr(17), RowAddr(40)];
+        assert!(recover_physical_order(&mut e, BankId(0), &rows, 4_000_000).is_none());
+    }
+
+    #[test]
+    fn sk_hynix_exposes_group_sizes_2_to_32() {
+        let mut e = exec(1);
+        let sizes = available_group_sizes(&mut e, BankId(0), SubarrayId(1));
+        assert_eq!(sizes, vec![2, 4, 8, 16, 32]);
+    }
+}
+
+#[cfg(test)]
+mod ecc_tests {
+    use super::*;
+    use pud_dram::{profiles::TESTED_MODULES, ChipGeometry};
+
+    #[test]
+    fn raw_bitflips_are_observable_on_the_fleet() {
+        // §3.1: the tested modules carry no masking ECC, so the first
+        // induced bitflip must be visible on readback.
+        let mut e = Executor::new(&TESTED_MODULES[1], ChipGeometry::scaled_for_tests(), 0, 42);
+        assert!(verify_raw_bitflips_observable(&mut e, BankId(0)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Distribution statistics used throughout the characterization.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus mean of a sample (the paper's box plots).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns `None` for an empty sample.
+    pub fn from_values(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let t = idx - lo as f64;
+            v[lo] * (1.0 - t) + v[hi] * t
+        };
+        Some(Summary {
+            n: v.len(),
+            min: v[0],
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            max: v[v.len() - 1],
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.0} p25={:.0} med={:.0} p75={:.0} max={:.0} mean={:.0}",
+            self.n, self.min, self.p25, self.median, self.p75, self.max, self.mean
+        )
+    }
+}
+
+/// Percent change from `old` to `new` (negative = reduction), the metric of
+/// the paper's "change in HC_first" distributions (Figs. 4, 13, 21–23).
+pub fn percent_change(new: f64, old: f64) -> f64 {
+    (new - old) / old * 100.0
+}
+
+/// Fraction of values satisfying a predicate.
+pub fn fraction_where(values: &[f64], pred: impl Fn(f64) -> bool) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| pred(v)).count() as f64 / values.len() as f64
+}
+
+/// Sorted copy of a change distribution, most positive first (the x-axis
+/// ordering of the paper's change plots).
+pub fn sorted_changes(changes: &[f64]) -> Vec<f64> {
+    let mut v: Vec<f64> = changes.to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("finite changes"));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+    }
+
+    #[test]
+    fn summary_interpolates_quartiles() {
+        let s = Summary::from_values(&[0.0, 10.0]).unwrap();
+        assert_eq!(s.p25, 2.5);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.p75, 7.5);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_non_finite() {
+        assert!(Summary::from_values(&[]).is_none());
+        assert!(Summary::from_values(&[f64::INFINITY]).is_none());
+        let s = Summary::from_values(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.n, 2);
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert_eq!(percent_change(50.0, 100.0), -50.0);
+        assert_eq!(percent_change(150.0, 100.0), 50.0);
+    }
+
+    #[test]
+    fn fraction_and_sorting() {
+        let v = [3.0, -1.0, 2.0, -5.0];
+        assert_eq!(fraction_where(&v, |x| x < 0.0), 0.5);
+        assert_eq!(sorted_changes(&v), vec![3.0, 2.0, -1.0, -5.0]);
+        assert_eq!(fraction_where(&[], |_| true), 0.0);
+    }
+}

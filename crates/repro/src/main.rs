@@ -1,0 +1,87 @@
+//! `repro` — regenerates every table and figure of the PuDHammer paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <target> [--full]
+//! repro all [--full]
+//! repro list
+//! ```
+//!
+//! Targets: `table2`, `fig4` … `fig11`, `fig13` … `fig19`, `fig21` …
+//! `fig25`. `--full` runs at paper density (slower).
+
+use std::env;
+use std::process::ExitCode;
+
+use pudhammer::experiments::{self, Scale};
+
+const TARGETS: [&str; 21] = [
+    "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19", "fig21", "fig22", "fig23", "fig24", "fig25",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let Some(target) = target else {
+        eprintln!("usage: repro <target|all|list> [--full]");
+        eprintln!("targets: {}", TARGETS.join(", "));
+        return ExitCode::FAILURE;
+    };
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    match target.as_str() {
+        "list" => {
+            for t in TARGETS {
+                println!("{t}");
+            }
+        }
+        "all" => {
+            for t in TARGETS {
+                run_target(t, &scale, full);
+            }
+        }
+        t if TARGETS.contains(&t) => run_target(t, &scale, full),
+        other => {
+            eprintln!("unknown target: {other}");
+            eprintln!("targets: {}", TARGETS.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_target(target: &str, scale: &Scale, full: bool) {
+    match target {
+        "table2" => println!("{}", experiments::table2::table2(scale)),
+        "fig4" => println!("{}", experiments::comra::fig4(scale)),
+        "fig5" => println!("{}", experiments::comra::fig5(scale)),
+        "fig6" => println!("{}", experiments::comra::fig6(scale)),
+        "fig7" => println!("{}", experiments::comra::fig7(scale)),
+        "fig8" => println!("{}", experiments::comra::fig8(scale)),
+        "fig9" => println!("{}", experiments::comra::fig9(scale)),
+        "fig10" => println!("{}", experiments::comra::fig10(scale)),
+        "fig11" => println!("{}", experiments::comra::fig11(scale)),
+        "fig13" => println!("{}", experiments::simra::fig13(scale)),
+        "fig14" => println!("{}", experiments::simra::fig14(scale)),
+        "fig15" => println!("{}", experiments::simra::fig15(scale)),
+        "fig16" => println!("{}", experiments::simra::fig16(scale)),
+        "fig17" => println!("{}", experiments::simra::fig17(scale)),
+        "fig18" => println!("{}", experiments::simra::fig18(scale)),
+        "fig19" => println!("{}", experiments::simra::fig19(scale)),
+        "fig21" => println!("{}", experiments::combined::fig21(scale)),
+        "fig22" => println!("{}", experiments::combined::fig22(scale)),
+        "fig23" => println!("{}", experiments::combined::fig23(scale)),
+        "fig24" => println!("{}", experiments::trr_eval::fig24(scale)),
+        "fig25" => {
+            let cfg = if full {
+                pud_memsim::Fig25Config::full()
+            } else {
+                pud_memsim::Fig25Config::quick()
+            };
+            println!("{}", pud_memsim::fig25::fig25(&cfg));
+        }
+        _ => unreachable!("validated by caller"),
+    }
+}

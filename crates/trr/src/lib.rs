@@ -1,0 +1,42 @@
+//! In-DRAM Target Row Refresh (TRR) models and bypass patterns.
+//!
+//! Reproduces §7 of the paper: a sampling-based TRR mechanism (as uncovered
+//! by U-TRR on the tested SK Hynix module), a U-TRR-style discovery
+//! procedure, and the N-sided / dummy-row access patterns used to measure
+//! how RowHammer, CoMRA, and SiMRA interact with TRR.
+//!
+//! The headline result this crate reproduces (Fig. 24): CoMRA and SiMRA
+//! bypass TRR — SiMRA bitflips drop only ~15 % under TRR while RowHammer
+//! bitflips drop by ~99.9 %, because (1) a SiMRA operation exposes only two
+//! row addresses on the bus while activating up to 32 rows, and (2) SiMRA's
+//! HC_first (as low as 26) is reached well within one refresh interval.
+//!
+//! # Example
+//!
+//! ```
+//! use pud_bender::{Executor, TestEnv};
+//! use pud_dram::{profiles, BankId, ChipGeometry, RowAddr};
+//! use pud_trr::{SamplingTrr, SamplingTrrConfig, uncover};
+//!
+//! let profile = &profiles::TESTED_MODULES[1];
+//! let mut exec = Executor::new(profile, ChipGeometry::scaled_for_tests(), 0, 1);
+//! exec.set_env(TestEnv::with_refresh());
+//! exec.set_observer(Box::new(SamplingTrr::new(
+//!     SamplingTrrConfig::default(),
+//!     profile.mapping(),
+//!     7,
+//! )));
+//! let aggressor = exec.chip().to_logical(RowAddr(40));
+//! let discovery = uncover(&mut exec, BankId(0), aggressor, 18);
+//! assert!(discovery.detects_aggressors);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod patterns;
+mod sampling;
+mod utrr;
+
+pub use sampling::{SamplingTrr, SamplingTrrConfig};
+pub use utrr::{uncover, TrrDiscovery};

@@ -1,0 +1,110 @@
+//! U-TRR-style discovery of an in-DRAM TRR mechanism.
+//!
+//! The paper uncovers the tested module's TRR with U-TRR [125], which plants
+//! retention-profiled canary rows around an aggressor and infers from their
+//! decay which REF commands carried a TRR victim refresh. Our analog uses
+//! the disturbance engine's accumulated-charge bookkeeping as the canary:
+//! a victim whose accumulated disturbance vanished across a REF was
+//! preventively refreshed by that REF.
+
+use pud_bender::{ops, Executor, TestProgram};
+use pud_dram::{BankId, Picos, RowAddr};
+
+/// What the discovery procedure learned about a module's TRR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrrDiscovery {
+    /// Whether any preventive victim refresh was observed (i.e. the module
+    /// has an aggressor-tracking mechanism).
+    pub detects_aggressors: bool,
+    /// REF indices (1-based, within the probe sequence) that carried a
+    /// victim refresh.
+    pub trr_ref_indices: Vec<u64>,
+    /// Estimated period, in REF commands, between TRR-capable REFs.
+    pub trr_ref_period: Option<u64>,
+}
+
+/// Probes the TRR mechanism of `exec`'s chip: hammers `aggressor`
+/// repeatedly and watches, across `refs` REF commands, which of them reset
+/// the accumulated disturbance on the aggressor's victim.
+///
+/// Run with refresh enabled and the TRR observer installed.
+pub fn uncover(exec: &mut Executor, bank: BankId, aggressor: RowAddr, refs: u64) -> TrrDiscovery {
+    let victim_phys = exec
+        .chip()
+        .to_physical(aggressor)
+        .offset(1)
+        .expect("aggressor has an upper neighbour");
+    let mut indices = Vec::new();
+    for i in 1..=refs {
+        // A short single-sided burst keeps the sampler focused on our
+        // aggressor, then one REF.
+        let mut p: TestProgram = ops::single_sided_rowhammer(bank, aggressor, ops::t_ras(), 64);
+        p.refresh(Picos::from_ns(350.0));
+        exec.run(&p);
+        let (a_rh, _) = exec.engine().accumulated(bank, victim_phys);
+        if a_rh == 0.0 {
+            indices.push(i);
+        }
+    }
+    let period = estimate_period(&indices);
+    TrrDiscovery {
+        detects_aggressors: !indices.is_empty(),
+        trr_ref_indices: indices,
+        trr_ref_period: period,
+    }
+}
+
+fn estimate_period(indices: &[u64]) -> Option<u64> {
+    if indices.len() < 2 {
+        return None;
+    }
+    let mut gaps: Vec<u64> = indices.windows(2).map(|w| w[1] - w[0]).collect();
+    gaps.sort_unstable();
+    Some(gaps[gaps.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{SamplingTrr, SamplingTrrConfig};
+    use pud_bender::TestEnv;
+    use pud_dram::{profiles::TESTED_MODULES, ChipGeometry};
+
+    #[test]
+    fn uncovers_a_sampling_trr() {
+        let profile = &TESTED_MODULES[1];
+        let geometry = ChipGeometry::scaled_for_tests();
+        let mut exec = Executor::new(profile, geometry, 0, 3);
+        exec.set_env(TestEnv::with_refresh());
+        exec.set_observer(Box::new(SamplingTrr::new(
+            SamplingTrrConfig::default(),
+            profile.mapping(),
+            5,
+        )));
+        let aggressor = exec.chip().to_logical(RowAddr(40));
+        let d = uncover(&mut exec, BankId(0), aggressor, 18);
+        assert!(d.detects_aggressors);
+        assert_eq!(d.trr_ref_period, Some(3), "{:?}", d.trr_ref_indices);
+    }
+
+    #[test]
+    fn no_mechanism_is_detected_without_observer() {
+        let profile = &TESTED_MODULES[1];
+        let geometry = ChipGeometry::scaled_for_tests();
+        let mut exec = Executor::new(profile, geometry, 0, 3);
+        exec.set_env(TestEnv::with_refresh());
+        // Probe an aggressor whose victim is far from the periodic-refresh
+        // pointer so the chunked refresh does not interfere.
+        let aggressor = exec.chip().to_logical(RowAddr(200));
+        let d = uncover(&mut exec, BankId(0), aggressor, 12);
+        assert!(!d.detects_aggressors, "{:?}", d.trr_ref_indices);
+        assert_eq!(d.trr_ref_period, None);
+    }
+
+    #[test]
+    fn period_estimation_uses_median_gap() {
+        assert_eq!(estimate_period(&[3, 6, 9, 12]), Some(3));
+        assert_eq!(estimate_period(&[5]), None);
+        assert_eq!(estimate_period(&[]), None);
+    }
+}

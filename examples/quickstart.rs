@@ -1,0 +1,83 @@
+//! Quickstart: measure how much CoMRA and SiMRA lower a DRAM row's
+//! HC_first compared to double-sided RowHammer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pudhammer_suite::dram::{BankId, DataPattern};
+use pudhammer_suite::hammer::fleet::{Fleet, FleetConfig};
+use pudhammer_suite::hammer::hcfirst::{measure_hc_first, HcSearch};
+use pudhammer_suite::hammer::patterns::{
+    comra_ds_for, rowhammer_ds_for, simra_ds_kernels, simra_victims,
+};
+
+fn main() {
+    // Build the simulated fleet and pick the SK Hynix 8 Gb A-die chip —
+    // the module family the paper's §7/§8 analyses focus on.
+    let mut fleet = Fleet::build(FleetConfig::quick());
+    let chip = fleet
+        .chips
+        .iter_mut()
+        .find(|c| c.profile.module_id == "HMA81GU7AFR8N-UH")
+        .expect("the Table 2 fleet contains the 8Gb A-die");
+    println!(
+        "chip under test: {} ({})",
+        chip.profile.module_id,
+        chip.profile.key()
+    );
+
+    let bank: BankId = chip.bank();
+    let search = HcSearch::default();
+    let dp = DataPattern::CHECKER_55;
+
+    // Find a victim that a SiMRA-4 group sandwiches, so all three
+    // techniques can target the same row.
+    let sa = chip.tested_subarrays()[1];
+    let simra_kernel = simra_ds_kernels(chip.exec.chip(), sa, 4)[0];
+    let (sandwiched, _) = simra_victims(chip.exec.chip(), &simra_kernel);
+    let victim = sandwiched[0];
+    println!("victim: physical row {victim}");
+
+    // Double-sided RowHammer baseline.
+    let rh = rowhammer_ds_for(chip.exec.chip(), victim).expect("victim has neighbours");
+    let hc_rh = measure_hc_first(&mut chip.exec, bank, &rh, victim, dp, dp.negated(), &search)
+        .expect("RowHammer flips within the window");
+
+    // CoMRA: repeated in-DRAM copy with the pair sandwiching the victim.
+    let comra = comra_ds_for(chip.exec.chip(), victim, false).expect("victim has neighbours");
+    let hc_comra = measure_hc_first(
+        &mut chip.exec,
+        bank,
+        &comra,
+        victim,
+        dp,
+        dp.negated(),
+        &search,
+    )
+    .expect("CoMRA flips within the window");
+
+    // SiMRA: simultaneous 4-row activation (worst-case 0x00 aggressors).
+    let zeros = DataPattern::ZEROS;
+    let hc_simra = measure_hc_first(
+        &mut chip.exec,
+        bank,
+        &simra_kernel,
+        victim,
+        zeros,
+        zeros.negated(),
+        &search,
+    )
+    .expect("SiMRA flips within the window");
+
+    println!("HC_first, double-sided RowHammer : {hc_rh}");
+    println!(
+        "HC_first, double-sided CoMRA     : {hc_comra} ({:.2}x lower)",
+        hc_rh as f64 / hc_comra as f64
+    );
+    println!(
+        "HC_first, double-sided SiMRA-4   : {hc_simra} ({:.2}x lower)",
+        hc_rh as f64 / hc_simra as f64
+    );
+    assert!(hc_comra < hc_rh, "Observation 1");
+    assert!(hc_simra < hc_rh, "Observation 12");
+    println!("PuD operations exacerbate read disturbance — Takeaways 1 and 5 reproduced.");
+}

@@ -1,0 +1,92 @@
+//! The §7 attack: bypassing in-DRAM Target Row Refresh with SiMRA.
+//!
+//! Uncovers the module's TRR mechanism U-TRR-style, then compares how many
+//! bitflips RowHammer and SiMRA induce with the mitigation active.
+//!
+//! Run with: `cargo run --release --example trr_bypass_attack`
+
+use pudhammer_suite::bender::{Executor, TestEnv};
+use pudhammer_suite::dram::{profiles, BankId, ChipGeometry, DataPattern, RowAddr};
+use pudhammer_suite::hammer::patterns::{simra_ds_kernels, simra_members};
+use pudhammer_suite::trr::{patterns, uncover, SamplingTrr, SamplingTrrConfig};
+
+fn protected_executor(seed: u64) -> Executor {
+    let profile = profiles::most_simra_vulnerable();
+    let mut exec = Executor::new(profile, ChipGeometry::scaled_for_tests(), 0, 7);
+    exec.set_env(TestEnv::with_refresh());
+    exec.set_observer(Box::new(SamplingTrr::new(
+        SamplingTrrConfig::default(),
+        profile.mapping(),
+        seed,
+    )));
+    exec
+}
+
+fn main() {
+    let profile = profiles::most_simra_vulnerable();
+    println!(
+        "target: {} ({}, SiMRA HC_first down to {})",
+        profile.module_id,
+        profile.key(),
+        profile.simra.expect("SiMRA-capable").min
+    );
+    let bank = BankId(0);
+
+    // --- Step 1: uncover the TRR mechanism (U-TRR analog) ---------------
+    let mut probe = protected_executor(1);
+    let aggressor = probe.chip().to_logical(RowAddr(40));
+    let discovery = uncover(&mut probe, bank, aggressor, 18);
+    println!(
+        "U-TRR: aggressor tracking detected = {}, TRR-capable REF period = {:?} REFs",
+        discovery.detects_aggressors, discovery.trr_ref_period
+    );
+
+    // --- Step 2: RowHammer under TRR (mostly mitigated) -----------------
+    let mut exec = protected_executor(2);
+    let hero = exec.engine().model().hero_row().expect("chip 0").1;
+    let aggs = [RowAddr(hero.0 - 1), RowAddr(hero.0 + 1)];
+    for r in hero.0 - 2..=hero.0 + 2 {
+        let logical = exec.chip().to_logical(RowAddr(r));
+        let dp = if aggs.contains(&RowAddr(r)) {
+            DataPattern::CHECKER_55
+        } else {
+            DataPattern::CHECKER_AA
+        };
+        exec.write_row(bank, logical, dp);
+    }
+    let agg_logical: Vec<RowAddr> = aggs.iter().map(|&a| exec.chip().to_logical(a)).collect();
+    let dummy = exec.chip().to_logical(RowAddr(5));
+    let program = patterns::rowhammer_evasion(bank, &agg_logical, dummy, 120_000);
+    let rh_flips = exec.run(&program).flips.len();
+    println!("2-sided RowHammer, 120K hammers under TRR: {rh_flips} bitflips");
+
+    // --- Step 3: SiMRA under TRR (bypasses it) --------------------------
+    let mut exec = protected_executor(3);
+    let sa = exec.chip().geometry().subarray_of(hero).expect("in range");
+    let kernel = simra_ds_kernels(exec.chip(), sa, 16)[0];
+    let members = simra_members(exec.chip(), &kernel).expect("SiMRA kernel");
+    for r in members[0].0.saturating_sub(1)..=members[members.len() - 1].0 + 1 {
+        let logical = exec.chip().to_logical(RowAddr(r));
+        let dp = if members.contains(&RowAddr(r)) {
+            DataPattern::ZEROS
+        } else {
+            DataPattern::ONES
+        };
+        exec.write_row(bank, logical, dp);
+    }
+    let pudhammer_suite::hammer::patterns::Kernel::Simra { r1, r2, .. } = kernel else {
+        unreachable!("simra_ds_kernels returns SiMRA kernels")
+    };
+    let program = patterns::simra_evasion(bank, r1, r2, 120_000);
+    let simra_flips = exec.run(&program).flips.len();
+    println!("SiMRA-16, 120K operations under TRR: {simra_flips} bitflips");
+
+    assert!(
+        simra_flips as f64 > (rh_flips as f64).max(1.0) * 10.0,
+        "SiMRA should bypass TRR (Observation 25)"
+    );
+    println!(
+        "SiMRA induced {:.0}x more bitflips than RowHammer despite TRR — Takeaway 9 reproduced.",
+        simra_flips as f64 / (rh_flips as f64).max(1.0)
+    );
+}

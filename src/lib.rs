@@ -1,0 +1,23 @@
+//! Umbrella crate for the PuDHammer reproduction workspace.
+//!
+//! This package exists to host the workspace-level `examples/` and `tests/`
+//! directories; it re-exports every member crate so examples and integration
+//! tests can reach the whole system through one dependency.
+//!
+//! See the individual crates for the real functionality:
+//!
+//! - [`pud_dram`] — DRAM device model (hierarchy, mapping, cell layout).
+//! - [`pud_disturb`] — calibrated read-disturbance engine.
+//! - [`pud_bender`] — DRAM Bender-style command-level test infrastructure.
+//! - [`pud_trr`] — in-DRAM Target Row Refresh models and bypass patterns.
+//! - [`pudhammer`] — the characterization library (the paper's contribution).
+//! - [`pud_memsim`] — cycle-level memory-system simulator for PRAC evaluation.
+//! - [`pud_mitigations`] — countermeasure analyses (§8.1 of the paper).
+
+pub use pud_bender as bender;
+pub use pud_disturb as disturb;
+pub use pud_dram as dram;
+pub use pud_memsim as memsim;
+pub use pud_mitigations as mitigations;
+pub use pud_trr as trr;
+pub use pudhammer as hammer;

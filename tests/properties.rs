@@ -1,0 +1,163 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning the DRAM model, the disturbance engine, and the executor.
+
+use proptest::prelude::*;
+
+use pudhammer_suite::bender::{ops, simra_decode, Executor};
+use pudhammer_suite::disturb::{
+    AggressionKind, DataSummary, DisturbEngine, HammerEvent, LogLogCurve, VulnModel,
+};
+use pudhammer_suite::dram::{
+    profiles::TESTED_MODULES, BankId, ChipGeometry, DataPattern, Picos, RowAddr, RowData,
+    RowMapping, SubarrayRegion,
+};
+
+fn geometry() -> ChipGeometry {
+    ChipGeometry::scaled_for_tests()
+}
+
+proptest! {
+    #[test]
+    fn row_mapping_is_bijective(row in 0u32..100_000) {
+        for mapping in [
+            RowMapping::Sequential,
+            RowMapping::MirrorPairs,
+            RowMapping::for_manufacturer(pudhammer_suite::dram::Manufacturer::SkHynix),
+            RowMapping::for_manufacturer(pudhammer_suite::dram::Manufacturer::Micron),
+        ] {
+            let phys = mapping.to_physical(RowAddr(row));
+            prop_assert_eq!(mapping.to_logical(phys), RowAddr(row));
+            // Mappings are local to aligned 8-row groups.
+            prop_assert_eq!(phys.0 & !7, row & !7);
+        }
+    }
+
+    #[test]
+    fn row_data_flip_is_involutive(cols in 1u32..500, col_frac in 0.0f64..1.0, byte in 0u8..=255) {
+        let pattern = DataPattern(byte);
+        let mut row = RowData::filled(cols, pattern);
+        let col = ((cols - 1) as f64 * col_frac) as u32;
+        let orig = row.bit(col);
+        row.flip_bit(col);
+        prop_assert_eq!(row.bit(col), !orig);
+        row.flip_bit(col);
+        prop_assert!(row.matches_pattern(pattern));
+    }
+
+    #[test]
+    fn diff_count_matches_diff_columns(cols in 64u32..512, flips in prop::collection::vec(0u32..512, 0..16)) {
+        let a = RowData::filled(cols, DataPattern::ZEROS);
+        let mut b = a.clone();
+        for f in &flips {
+            if f < &cols {
+                b.set_bit(*f, true);
+            }
+        }
+        prop_assert_eq!(a.diff_count(&b) as usize, a.diff_columns(&b).len());
+    }
+
+    #[test]
+    fn majority_is_idempotent_and_bounded(byte in 0u8..=255) {
+        let p = DataPattern(byte);
+        let r = RowData::filled(128, p);
+        prop_assert_eq!(RowData::majority(&[&r, &r, &r]), r.clone());
+        // Majority with all-ones and all-zeros equals the row itself (MAJ3
+        // with complementary constants is the identity).
+        let ones = RowData::filled(128, DataPattern::ONES);
+        let zeros = RowData::filled(128, DataPattern::ZEROS);
+        prop_assert_eq!(RowData::majority3(&r, &ones, &zeros), r);
+    }
+
+    #[test]
+    fn subarray_regions_partition_rows(total in 5u32..2000, idx_frac in 0.0f64..1.0) {
+        let index = ((total - 1) as f64 * idx_frac) as u32;
+        let region = SubarrayRegion::classify(index, total);
+        prop_assert!(region.index() < 5);
+        // Region boundaries are monotone in the index.
+        if index + 1 < total {
+            let next = SubarrayRegion::classify(index + 1, total);
+            prop_assert!(next.index() >= region.index());
+        }
+    }
+
+    #[test]
+    fn loglog_curves_are_monotone_between_monotone_anchors(
+        x in 1.0f64..100_000.0,
+        y in 1.0f64..100_000.0,
+    ) {
+        let c = LogLogCurve::new(&[(1.0, 1.0), (10.0, 3.0), (1_000.0, 50.0), (100_000.0, 400.0)]);
+        let (lo, hi) = (x.min(y), x.max(y));
+        prop_assert!(c.eval(lo) <= c.eval(hi) + 1e-9);
+    }
+
+    #[test]
+    fn vulnerability_sampling_is_pure(row in 0u32..1024, bank in 0u8..2) {
+        let model = VulnModel::new(&TESTED_MODULES[1], geometry(), 0, 99);
+        let a = model.row_vuln(BankId(bank), RowAddr(row));
+        let b = model.row_vuln(BankId(bank), RowAddr(row));
+        prop_assert_eq!(a, b);
+        prop_assert!(a.t_rh >= TESTED_MODULES[1].rowhammer.min);
+        prop_assert!(a.beta >= 0.8 && a.beta <= 1.4);
+        for n in [2u8, 4, 8, 16, 32] {
+            prop_assert!(a.simra_n_factor(n) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn engine_accumulation_is_linear(reps in 1u64..2000, split in 1u64..1999) {
+        let split = split.min(reps);
+        let mk = || DisturbEngine::new(&TESTED_MODULES[1], geometry(), 0, 1);
+        let ev = |n: u64| HammerEvent::reference(
+            BankId(0),
+            RowAddr(9),
+            AggressionKind::RowHammerDouble,
+            DataSummary::from_pattern(DataPattern::CHECKER_55),
+            n,
+        );
+        let mut victim = RowData::filled(1024, DataPattern::CHECKER_AA);
+        let mut e1 = mk();
+        e1.hammer(&ev(reps), &mut victim);
+        let mut e2 = mk();
+        e2.hammer(&ev(split), &mut victim);
+        e2.hammer(&ev(reps - split), &mut victim);
+        let (a1, _) = e1.accumulated(BankId(0), RowAddr(9));
+        let (a2, _) = e2.accumulated(BankId(0), RowAddr(9));
+        prop_assert!((a1 - a2).abs() < 1e-6 * a1.max(1.0));
+    }
+
+    #[test]
+    fn simra_groups_are_powers_of_two_and_contain_both_addresses(
+        base in 0u32..96,
+        mask in 1u32..32,
+    ) {
+        let g = geometry();
+        let (r1, r2) = simra_decode::pair_for_mask(RowAddr(base), mask);
+        if let Some(group) = simra_decode::simra_group(&g, r1, r2) {
+            prop_assert!(group.len().is_power_of_two());
+            prop_assert_eq!(group.len(), 1 << mask.count_ones());
+            prop_assert!(group.contains(&r1));
+            prop_assert!(group.contains(&r2));
+            // Sorted and unique.
+            prop_assert!(group.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn executor_rowclone_copies_any_pattern(byte in 0u8..=255, src in 2u32..60, offset in 1u32..30) {
+        let dst = src + offset;
+        prop_assume!(geometry().same_subarray(RowAddr(src), RowAddr(dst)));
+        let mut exec = Executor::new(&TESTED_MODULES[1], geometry(), 0, 3);
+        let bank = BankId(0);
+        let pattern = DataPattern(byte);
+        exec.write_row(bank, RowAddr(src), pattern);
+        exec.write_row(bank, RowAddr(dst), pattern.negated());
+        let out = ops::in_dram_copy(&mut exec, bank, RowAddr(src), RowAddr(dst));
+        prop_assert!(out.expect("copy result").matches_pattern(pattern));
+    }
+
+    #[test]
+    fn picos_roundtrip(ns in 0.0f64..1e9) {
+        let p = Picos::from_ns(ns);
+        prop_assert!((p.as_ns() - ns).abs() <= 0.000_501);
+    }
+}
