@@ -21,9 +21,15 @@ fn main() {
     prac_ao_vs_po();
     trr_sampling_rate();
     clustered_decoder_surface();
+    eprintln!();
+    eprint!(
+        "{}",
+        pud_observe::export::render_text(&pud_observe::snapshot())
+    );
 }
 
 fn prac_ao_vs_po() {
+    let _span = pud_observe::span("ablation.prac_ao_vs_po");
     println!("== ablation: PRAC-AO (sequential counters) vs PRAC-PO ==");
     let mix = &workload::build_mixes(1, 7)[0];
     for period in [250u64, 1_000, 4_000] {
@@ -50,6 +56,7 @@ fn prac_ao_vs_po() {
 }
 
 fn trr_sampling_rate() {
+    let _span = pud_observe::span("ablation.trr_sampling_rate");
     println!("== ablation: TRR-capable REF period vs RowHammer/SiMRA bitflips ==");
     let profile = profiles::most_simra_vulnerable();
     let geometry = ChipGeometry::scaled_for_tests();
@@ -122,6 +129,7 @@ fn init_simra(exec: &mut Executor, bank: BankId, kernel: &Kernel) {
 }
 
 fn clustered_decoder_surface() {
+    let _span = pud_observe::span("ablation.clustered_decoder_surface");
     println!("== ablation: double-sided SiMRA attack surface per decoder design ==");
     let p = &profiles::TESTED_MODULES[1];
     let chip = Chip::new(

@@ -1,17 +1,23 @@
-//! Criterion micro-benchmarks of the simulator kernels: the disturbance
-//! engine's hammer path, the HC_first bisection, the executor's batched
-//! hammer loops, and one memory-system simulation slice.
+//! Micro-benchmarks of the simulator kernels: the disturbance engine's
+//! hammer path, the HC_first bisection, the executor's batched hammer
+//! loops, and one memory-system simulation slice.
+//!
+//! Runs on the dependency-free `pud_bench::run_micro` runner; each bench's
+//! per-iteration timings also land in the `bench.*` histograms of the
+//! global `pud-observe` registry, dumped at the end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use pud_bench::run_micro;
 use pud_bender::{ops, Executor};
 use pud_disturb::{AggressionKind, DataSummary, DisturbEngine, HammerEvent};
 use pud_dram::{profiles::TESTED_MODULES, BankId, ChipGeometry, DataPattern, RowAddr, RowData};
 use pudhammer::hcfirst::{measure_hc_first, HcSearch};
 use pudhammer::patterns::rowhammer_ds_for;
 
-fn bench_engine_hammer(c: &mut Criterion) {
+const SAMPLES: u64 = 10;
+
+fn bench_engine_hammer() {
     let profile = &TESTED_MODULES[1];
     let mut engine = DisturbEngine::new(profile, ChipGeometry::scaled_for_tests(), 0, 42);
     let mut victim = RowData::filled(1024, DataPattern::CHECKER_AA);
@@ -22,69 +28,66 @@ fn bench_engine_hammer(c: &mut Criterion) {
         DataSummary::from_pattern(DataPattern::CHECKER_55),
         100,
     );
-    c.bench_function("engine_hammer_batch100", |b| {
-        b.iter(|| {
-            let flips = engine.hammer(black_box(&ev), &mut victim);
-            engine.restore(BankId(0), RowAddr(10));
-            black_box(flips)
-        })
+    run_micro("engine_hammer_batch100", SAMPLES, 100, || {
+        let flips = engine.hammer(black_box(&ev), &mut victim);
+        engine.restore(BankId(0), RowAddr(10));
+        black_box(flips)
     });
 }
 
-fn bench_executor_loop(c: &mut Criterion) {
+fn bench_executor_loop() {
     let profile = &TESTED_MODULES[1];
     let mut exec = Executor::new(profile, ChipGeometry::scaled_for_tests(), 0, 42);
     let bank = BankId(0);
     let a = exec.chip().to_logical(RowAddr(20));
     let b_row = exec.chip().to_logical(RowAddr(22));
     let program = ops::double_sided_rowhammer(bank, a, b_row, ops::t_ras(), 10_000);
-    c.bench_function("executor_ds_rowhammer_10k", |b| {
-        b.iter(|| {
-            exec.quiesce();
-            black_box(exec.run(black_box(&program)))
-        })
+    run_micro("executor_ds_rowhammer_10k", SAMPLES, 1, || {
+        exec.quiesce();
+        black_box(exec.run(black_box(&program)))
     });
 }
 
-fn bench_hc_first_search(c: &mut Criterion) {
+fn bench_hc_first_search() {
     let profile = &TESTED_MODULES[1];
     let mut exec = Executor::new(profile, ChipGeometry::scaled_for_tests(), 0, 42);
     let victim = RowAddr(33);
     let kernel = rowhammer_ds_for(exec.chip(), victim).expect("victim has neighbours");
     let search = HcSearch::default();
-    c.bench_function("hc_first_bisection", |b| {
-        b.iter(|| {
-            black_box(measure_hc_first(
-                &mut exec,
-                BankId(0),
-                &kernel,
-                victim,
-                DataPattern::CHECKER_55,
-                DataPattern::CHECKER_AA,
-                &search,
-            ))
-        })
+    run_micro("hc_first_bisection", SAMPLES, 1, || {
+        black_box(measure_hc_first(
+            &mut exec,
+            BankId(0),
+            &kernel,
+            victim,
+            DataPattern::CHECKER_55,
+            DataPattern::CHECKER_AA,
+            &search,
+        ))
     });
 }
 
-fn bench_memsim_slice(c: &mut Criterion) {
+fn bench_memsim_slice() {
     let mix = &pud_memsim::workload::build_mixes(1, 3)[0];
-    c.bench_function("memsim_20k_instr", |b| {
-        b.iter(|| {
-            black_box(pud_memsim::fig25::run_single(
-                mix,
-                1_000,
-                pud_memsim::Mitigation::PracPoWeighted,
-                20_000,
-                9,
-            ))
-        })
+    run_micro("memsim_20k_instr", SAMPLES, 1, || {
+        black_box(pud_memsim::fig25::run_single(
+            mix,
+            1_000,
+            pud_memsim::Mitigation::PracPoWeighted,
+            20_000,
+            9,
+        ))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_engine_hammer, bench_executor_loop, bench_hc_first_search, bench_memsim_slice
+fn main() {
+    bench_engine_hammer();
+    bench_executor_loop();
+    bench_hc_first_search();
+    bench_memsim_slice();
+    eprintln!();
+    eprint!(
+        "{}",
+        pud_observe::export::render_text(&pud_observe::snapshot())
+    );
 }
-criterion_main!(benches);

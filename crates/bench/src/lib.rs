@@ -27,3 +27,28 @@ pub fn run_experiment<T: Display>(name: &str, f: impl FnOnce() -> T) {
     println!("{result}");
     println!("[{name}] regenerated in {:.2?}\n", elapsed);
 }
+
+/// Times `f` for `samples` samples of `inner` iterations each, after one
+/// warm-up sample. Per-iteration nanoseconds go into the global histogram
+/// `bench.<name>` (so `--metrics`-style consumers see them) and a summary
+/// line is printed. Returns the mean ns/iteration.
+pub fn run_micro<T>(name: &str, samples: u64, inner: u64, mut f: impl FnMut() -> T) -> f64 {
+    let inner = inner.max(1);
+    for _ in 0..inner {
+        std::hint::black_box(f());
+    }
+    let hist = pud_observe::histogram(&format!("bench.{name}"));
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..inner {
+            std::hint::black_box(f());
+        }
+        hist.record(start.elapsed().as_nanos() as u64 / u128::from(inner) as u64);
+    }
+    let snap = hist.snapshot();
+    println!(
+        "[{name}] {samples} samples x {inner} iters: mean {:.0} ns/iter (min {}, p50<={}, max {})",
+        snap.mean, snap.min, snap.p50, snap.max
+    );
+    snap.mean
+}

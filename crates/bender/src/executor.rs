@@ -10,9 +10,11 @@
 //! a whole SiMRA row group (on chips that support it).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pud_disturb::{AggressionKind, Bitflip, DataSummary, DisturbEngine, FlipClass, HammerEvent};
 use pud_dram::{BankId, Chip, ChipGeometry, DataPattern, ModuleProfile, Picos, RowAddr, RowData};
+use pud_observe::{Counter, SharedSink, TraceEvent, TraceKind};
 
 use crate::command::DramCommand;
 use crate::env::TestEnv;
@@ -124,6 +126,41 @@ enum Episode {
     },
 }
 
+/// Cached handles into the global metrics registry, fetched once per
+/// executor so the command loop never takes the registry lock.
+#[derive(Debug, Clone)]
+struct ExecMetrics {
+    acts: Arc<Counter>,
+    pres: Arc<Counter>,
+    reads: Arc<Counter>,
+    writes: Arc<Counter>,
+    refs: Arc<Counter>,
+    timing_violations: Arc<Counter>,
+    comra_copies: Arc<Counter>,
+    simra_groups: Arc<Counter>,
+    partial_activations: Arc<Counter>,
+    trr_interventions: Arc<Counter>,
+    flips: Arc<Counter>,
+}
+
+impl ExecMetrics {
+    fn from_global() -> ExecMetrics {
+        ExecMetrics {
+            acts: pud_observe::counter("bender.acts"),
+            pres: pud_observe::counter("bender.pres"),
+            reads: pud_observe::counter("bender.reads"),
+            writes: pud_observe::counter("bender.writes"),
+            refs: pud_observe::counter("bender.refs"),
+            timing_violations: pud_observe::counter("bender.timing_violations"),
+            comra_copies: pud_observe::counter("bender.comra_copies"),
+            simra_groups: pud_observe::counter("bender.simra_groups"),
+            partial_activations: pud_observe::counter("bender.partial_activations"),
+            trr_interventions: pud_observe::counter("bender.trr_interventions"),
+            flips: pud_observe::counter("bender.flips"),
+        }
+    }
+}
+
 /// DRAM Bender-style executor bound to one chip.
 pub struct Executor {
     chip: Chip,
@@ -137,8 +174,11 @@ pub struct Executor {
     hist: HashMap<(u8, u32), VictimHist>,
     refresh_acc: f64,
     refresh_ptr: u32,
+    refs_seen: u64,
     recording: Option<Vec<HammerEvent>>,
     report: RunReport,
+    metrics: ExecMetrics,
+    trace: Option<SharedSink>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -175,8 +215,36 @@ impl Executor {
             hist: HashMap::new(),
             refresh_acc: 0.0,
             refresh_ptr: 0,
+            refs_seen: 0,
             recording: None,
             report: RunReport::default(),
+            metrics: ExecMetrics::from_global(),
+            // Attach to the process-wide sink (if one is installed) at
+            // construction; `None` keeps the emit sites a single branch.
+            trace: pud_observe::global_sink(),
+        }
+    }
+
+    /// Attaches a trace sink, replacing any previous one.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Detaches the trace sink, returning it (restores the null fast path).
+    pub fn take_trace_sink(&mut self) -> Option<SharedSink> {
+        self.trace.take()
+    }
+
+    /// Emits one trace event if a sink is attached. With no sink this is a
+    /// single `Option` check — the overhead budget of the hot loops.
+    #[inline]
+    fn trace(&self, kind: TraceKind) {
+        if let Some(sink) = &self.trace {
+            let ev = TraceEvent {
+                t_ns: self.clock.as_ns(),
+                kind,
+            };
+            sink.lock().expect("trace sink poisoned").record(&ev);
         }
     }
 
@@ -333,6 +401,13 @@ impl Executor {
             .saturating_add(body_time.saturating_mul(remaining));
         let body_acts: u64 = body.iter().map(Step::act_count).sum();
         self.acts += body_acts * remaining;
+        self.metrics.acts.add(body_acts * remaining);
+        // Per-command events are elided for replayed iterations; one batch
+        // marker keeps the trace accountable for them.
+        self.trace(TraceKind::LoopBatch {
+            iterations: remaining,
+            acts: body_acts * remaining,
+        });
         let now = self.clock;
         for ev in &recorded {
             if let Some(h) = self.hist.get_mut(&(ev.bank.0, ev.victim.0)) {
@@ -343,16 +418,46 @@ impl Executor {
 
     fn exec_cmd(&mut self, cmd: DramCommand) {
         match cmd {
-            DramCommand::Act { bank, row } => self.do_act(bank, row),
-            DramCommand::Pre { bank } => self.do_pre(bank),
+            DramCommand::Act { bank, row } => {
+                self.trace(TraceKind::Act {
+                    bank: bank.0,
+                    row: row.0,
+                });
+                self.do_act(bank, row);
+            }
+            DramCommand::Pre { bank } => {
+                self.metrics.pres.incr();
+                self.trace(TraceKind::Pre { bank: bank.0 });
+                self.do_pre(bank);
+            }
             DramCommand::PreAll => {
                 for b in 0..self.banks.len() as u8 {
+                    self.metrics.pres.incr();
+                    self.trace(TraceKind::Pre { bank: b });
                     self.do_pre(BankId(b));
                 }
             }
-            DramCommand::Rd { bank } => self.do_rd(bank),
-            DramCommand::Wr { bank, pattern } => self.do_wr(bank, pattern),
-            DramCommand::Ref => self.do_ref(),
+            DramCommand::Rd { bank } => {
+                self.metrics.reads.incr();
+                self.trace(TraceKind::Rd { bank: bank.0 });
+                self.do_rd(bank);
+            }
+            DramCommand::Wr { bank, pattern } => {
+                self.metrics.writes.incr();
+                self.trace(TraceKind::Wr { bank: bank.0 });
+                self.do_wr(bank, pattern);
+            }
+            DramCommand::Ref => {
+                self.metrics.refs.incr();
+                self.trace(TraceKind::Ref);
+                self.do_ref();
+                self.refs_seen += 1;
+                if self.refs_seen.is_multiple_of(REFS_PER_WINDOW as u64) {
+                    self.trace(TraceKind::RefreshWindow {
+                        refs: self.refs_seen,
+                    });
+                }
+            }
             DramCommand::Nop => {}
         }
     }
@@ -364,6 +469,7 @@ impl Executor {
             obs.on_act(bank, logical);
         }
         self.acts += 1;
+        self.metrics.acts.incr();
         if !self.banks[bank.0 as usize].open.is_empty() {
             // Implicit close of a still-open episode.
             self.do_pre(bank);
@@ -375,12 +481,23 @@ impl Executor {
         if let (Some(pre_t), Some((prev_phys, prev_logical, prev_on))) = (st.last_pre, st.closed) {
             let gap = now - pre_t;
             if gap.as_ns() < TRP_VIOLATION_NS && prev_phys != phys {
+                self.metrics.timing_violations.incr();
+                self.trace(TraceKind::TimingViolation {
+                    bank: bank.0,
+                    gap_ns: gap.as_ns(),
+                });
                 if prev_on.as_ns() >= CHARGE_RESTORE_NS {
                     // CoMRA: the bitlines still carry the source row's data;
                     // activating the destination copies it (RowClone in COTS
                     // chips, §4.1). Works only within a subarray.
                     if self.chip.geometry().same_subarray(prev_phys, phys) {
                         self.copy_row(bank, prev_phys, phys);
+                        self.metrics.comra_copies.incr();
+                        self.trace(TraceKind::ComraCopy {
+                            bank: bank.0,
+                            src: prev_phys.0,
+                            dst: phys.0,
+                        });
                         episode = Episode::ComraPair {
                             src: prev_phys,
                             dst: phys,
@@ -402,7 +519,15 @@ impl Executor {
                             // Partial activation engages only every other
                             // member (Observation 20).
                             members = members.iter().step_by(2).copied().collect();
+                            self.metrics.partial_activations.incr();
                         }
+                        self.metrics.simra_groups.incr();
+                        self.trace(TraceKind::SimraGroup {
+                            bank: bank.0,
+                            first: members[0].0,
+                            rows: members.len().min(u16::MAX as usize) as u16,
+                            partial,
+                        });
                         self.charge_share(bank, &members, prev_phys);
                         open_rows.clone_from(&members);
                         episode = Episode::Simra {
@@ -534,6 +659,11 @@ impl Executor {
             for (bank, logical) in obs.on_ref(BankId(0)) {
                 let phys = self.chip.to_physical(logical);
                 self.engine.restore(bank, phys);
+                self.metrics.trr_interventions.incr();
+                self.trace(TraceKind::TrrIntervention {
+                    bank: bank.0,
+                    row: logical.0,
+                });
             }
             self.observer = Some(obs);
         }
@@ -809,6 +939,7 @@ impl Executor {
         let victim_data = bank.row_mut_or(ev.victim, default_fill);
         let flips: Vec<Bitflip> = self.engine.hammer(ev, victim_data);
         if !flips.is_empty() {
+            self.metrics.flips.add(flips.len() as u64);
             let logical = self.chip.to_logical(ev.victim);
             self.report
                 .flips

@@ -1,0 +1,167 @@
+//! Integration tests of the executor's trace instrumentation: the exact
+//! event sequence emitted for a SiMRA hammer loop, loop-batch accounting,
+//! and CoMRA copy events.
+
+use std::sync::{Arc, Mutex};
+
+use pud_bender::{ops, Executor};
+use pud_dram::{profiles::TESTED_MODULES, BankId, ChipGeometry, DataPattern, Picos, RowAddr};
+use pud_observe::{RingBufferSink, TraceKind};
+
+fn executor() -> Executor {
+    // TESTED_MODULES[1] is the SK Hynix module — the only manufacturer
+    // whose chips perform SiMRA (§5).
+    Executor::new(&TESTED_MODULES[1], ChipGeometry::scaled_for_tests(), 0, 77)
+}
+
+fn traced_executor() -> (Executor, Arc<Mutex<RingBufferSink>>) {
+    let mut exec = executor();
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(4096)));
+    exec.set_trace_sink(ring.clone());
+    (exec, ring)
+}
+
+fn kind_names(ring: &Arc<Mutex<RingBufferSink>>) -> Vec<&'static str> {
+    ring.lock()
+        .unwrap()
+        .events()
+        .map(|e| e.kind.name())
+        .collect()
+}
+
+#[test]
+fn simra_hammer_loop_emits_exact_event_sequence() {
+    // One double-sided SiMRA hammer cycle is ACT r1 – PRE – ACT r2 – PRE
+    // with both delays at the nominal 3 ns (Fig. 12c). The second ACT
+    // violates t_RP, so the executor detects a 4-row group activation:
+    // the violation and group events trail the ACT that triggered them.
+    let (mut exec, ring) = traced_executor();
+    let prog = ops::simra_mask(BankId(0), RowAddr(40), 0b101, 2);
+    exec.run(&prog);
+    let expected = [
+        "act",
+        "pre",
+        "act",
+        "timing_violation",
+        "simra_group",
+        "pre",
+        "act",
+        "pre",
+        "act",
+        "timing_violation",
+        "simra_group",
+        "pre",
+    ];
+    assert_eq!(kind_names(&ring), expected);
+    let guard = ring.lock().unwrap();
+    let events = guard.to_vec();
+    // Timestamps never go backwards.
+    for w in events.windows(2) {
+        assert!(w[0].t_ns <= w[1].t_ns, "{:?} before {:?}", w[0], w[1]);
+    }
+    for ev in &events {
+        match ev.kind {
+            TraceKind::TimingViolation { bank, gap_ns } => {
+                assert_eq!(bank, 0);
+                assert!(
+                    (gap_ns - 3.0).abs() < 1e-9,
+                    "pre-to-act gap is the nominal 3 ns, got {gap_ns}"
+                );
+            }
+            TraceKind::SimraGroup {
+                bank,
+                rows,
+                partial,
+                ..
+            } => {
+                assert_eq!(bank, 0);
+                assert_eq!(rows, 4, "mask 0b101 selects a 4-row group");
+                assert!(!partial, "3 ns first activation fully engages the group");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(guard.dropped(), 0);
+}
+
+#[test]
+fn batched_loop_emits_loop_batch_marker() {
+    // Loops longer than three iterations are replayed in bulk after two
+    // live iterations; the trace stays accountable through one batch
+    // marker carrying the elided iteration and ACT counts.
+    let (mut exec, ring) = traced_executor();
+    let a = exec.chip().to_logical(RowAddr(20));
+    let b = exec.chip().to_logical(RowAddr(22));
+    exec.run(&ops::double_sided_rowhammer(
+        BankId(0),
+        a,
+        b,
+        ops::t_ras(),
+        10,
+    ));
+    let guard = ring.lock().unwrap();
+    let batches: Vec<_> = guard
+        .events()
+        .filter_map(|e| match e.kind {
+            TraceKind::LoopBatch { iterations, acts } => Some((iterations, acts)),
+            _ => None,
+        })
+        .collect();
+    // 2 live iterations (4 ACTs traced individually) + 8 replayed.
+    assert_eq!(batches, vec![(8, 16)]);
+    let live_acts = guard
+        .events()
+        .filter(|e| matches!(e.kind, TraceKind::Act { .. }))
+        .count();
+    assert_eq!(live_acts, 4);
+}
+
+#[test]
+fn comra_copy_emits_copy_event_and_counts() {
+    let (mut exec, ring) = traced_executor();
+    let before = pud_observe::snapshot()
+        .counter("bender.comra_copies")
+        .unwrap_or(0);
+    exec.write_row(BankId(0), RowAddr(8), DataPattern::CHECKER_55);
+    let copied = ops::in_dram_copy(&mut exec, BankId(0), RowAddr(8), RowAddr(9));
+    assert!(copied.is_some(), "same-subarray copy succeeds");
+    let copies: Vec<_> = ring
+        .lock()
+        .unwrap()
+        .events()
+        .filter_map(|e| match e.kind {
+            TraceKind::ComraCopy { src, dst, .. } => Some((src, dst)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(copies.len(), 1);
+    let after = pud_observe::snapshot()
+        .counter("bender.comra_copies")
+        .unwrap_or(0);
+    assert!(after > before, "global comra_copies counter advanced");
+}
+
+#[test]
+fn refresh_commands_are_traced() {
+    let (mut exec, ring) = traced_executor();
+    let mut prog = pud_bender::TestProgram::new();
+    prog.act(BankId(0), RowAddr(10), ops::t_ras())
+        .pre(BankId(0), ops::t_rp())
+        .refresh(Picos::from_ns(350.0));
+    exec.run(&prog);
+    let names = kind_names(&ring);
+    assert!(names.contains(&"ref"), "{names:?}");
+}
+
+#[test]
+fn detached_sink_restores_fast_path() {
+    let (mut exec, ring) = traced_executor();
+    assert!(exec.take_trace_sink().is_some());
+    exec.run(&ops::single_sided_rowhammer(
+        BankId(0),
+        RowAddr(10),
+        ops::t_ras(),
+        2,
+    ));
+    assert!(ring.lock().unwrap().is_empty(), "no events after detach");
+}

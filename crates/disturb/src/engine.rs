@@ -402,7 +402,7 @@ mod tests {
     use super::*;
     use crate::event::HammerEvent;
     use pud_dram::profiles::TESTED_MODULES;
-    use pud_dram::{Celsius, DataPattern, Picos};
+    use pud_dram::{DataPattern, Picos};
 
     fn engine(profile_idx: usize) -> DisturbEngine {
         DisturbEngine::new(

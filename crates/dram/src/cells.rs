@@ -7,14 +7,13 @@
 //! "complicated true/anti cell pattern" prevents observing bitflips with
 //! solid 0x00/0xFF patterns within a refresh window).
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{Manufacturer, RowAddr};
 
 /// The true-/anti-cell organization of a chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CellLayout {
     /// Every cell is a true cell.
+    #[default]
     AllTrue,
     /// Rows alternate between all-true and all-anti in fixed-size blocks.
     RowBlocks {
@@ -41,8 +40,8 @@ impl CellLayout {
     pub fn is_true_cell(&self, row: RowAddr, col: u32) -> bool {
         match *self {
             CellLayout::AllTrue => true,
-            CellLayout::RowBlocks { block } => (row.0 / block.max(1)) % 2 == 0,
-            CellLayout::Interleaved => (row.0 + col) % 2 == 0,
+            CellLayout::RowBlocks { block } => (row.0 / block.max(1)).is_multiple_of(2),
+            CellLayout::Interleaved => (row.0 + col).is_multiple_of(2),
         }
     }
 
@@ -78,12 +77,6 @@ impl CellLayout {
             .filter(|&c| self.charge_for(row, c, pattern.bit(c)))
             .count();
         charged as f64 / 8.0
-    }
-}
-
-impl Default for CellLayout {
-    fn default() -> CellLayout {
-        CellLayout::AllTrue
     }
 }
 

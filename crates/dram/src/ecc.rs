@@ -6,12 +6,10 @@
 //! ECC scheme per module family and provides the predicate the methodology
 //! checks; `pudhammer::rev_eng` adds a behavioural probe on top.
 
-use serde::{Deserialize, Serialize};
-
 use crate::profiles::ModuleProfile;
 
 /// The error-correction scheme of a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EccScheme {
     /// No error correction: raw bitflips are visible to the host.
     None,

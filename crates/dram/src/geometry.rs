@@ -2,8 +2,6 @@
 //! plus the subarray-region classification used for spatial-variation
 //! analysis (§4.2 "Victim Row Location in the Subarray").
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::{RowAddr, SubarrayId};
 
 /// Static geometry of one DRAM chip.
@@ -12,7 +10,7 @@ use crate::types::{RowAddr, SubarrayId};
 /// fleet fits in memory and experiments finish quickly) while preserving the
 /// structural facts the paper relies on: multiple subarrays per bank, ~512
 /// rows per subarray, and isolation between subarrays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChipGeometry {
     /// Number of banks in the chip.
     pub banks: u8,
@@ -102,7 +100,7 @@ impl Default for ChipGeometry {
 ///
 /// The paper classifies a victim row's location into five regions and shows
 /// that HC_first varies across them (Observations 10, 11, 21).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SubarrayRegion {
     /// First 20 % of rows.
     Beginning,

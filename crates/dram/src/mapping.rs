@@ -11,14 +11,13 @@
 //! pairwise mirroring. Each is a bijection on row addresses within a bank so
 //! reverse engineering in `pudhammer::rev_eng` can recover it exactly.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::RowAddr;
 
 /// A bijective logical↔physical row address mapping within a bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RowMapping {
     /// Physical order equals logical order.
+    #[default]
     Sequential,
     /// Adjacent even/odd logical rows are swapped (`phys = logical ^ 1`).
     ///
@@ -32,7 +31,7 @@ pub enum RowMapping {
 }
 
 /// A permutation of `0..8` applied within each aligned 8-row group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Lut8 {
     perm: [u8; 8],
 }
@@ -124,12 +123,6 @@ impl RowMapping {
         let below = phys.offset(-i64::from(dist)).map(|p| self.to_logical(p));
         let above = phys.offset(i64::from(dist)).map(|p| self.to_logical(p));
         (below, above)
-    }
-}
-
-impl Default for RowMapping {
-    fn default() -> RowMapping {
-        RowMapping::Sequential
     }
 }
 

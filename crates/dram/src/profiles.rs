@@ -5,15 +5,13 @@
 //! organization, and the minimum/average HC_first anchors for double-sided
 //! RowHammer, CoMRA, and SiMRA that calibrate the disturbance model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cells::CellLayout;
 use crate::mapping::RowMapping;
 use crate::types::{ChipDensity, ChipOrg, DieRevision, Manufacturer};
 
 /// Minimum and average HC_first observed across all tested rows of a module
 /// family (Table 2 of the paper), in hammer counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HcAnchor {
     /// Minimum HC_first across all tested rows.
     pub min: f64,
@@ -30,7 +28,7 @@ impl HcAnchor {
 
 /// One row of Table 2: a family of identical modules and its calibration
 /// anchors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModuleProfile {
     /// Module vendor (assembler) name.
     pub module_vendor: &'static str,

@@ -1,11 +1,9 @@
 //! Per-row data storage.
 
-use serde::{Deserialize, Serialize};
-
 use crate::types::DataPattern;
 
 /// The data contents of one DRAM row, stored as a packed bit vector.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RowData {
     words: Vec<u64>,
     cols: u32,

@@ -3,14 +3,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// DRAM chip manufacturer.
 ///
 /// The paper characterizes chips from the four major DRAM manufacturers
 /// (Table 1). Vendor identity drives calibration profiles, row mapping, and
 /// cell layout choices throughout the workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Manufacturer {
     /// SK Hynix — the only manufacturer whose chips perform SiMRA (§5.3).
     SkHynix,
@@ -56,7 +54,7 @@ impl fmt::Display for Manufacturer {
 
 /// Die revision letter as printed in Table 1/2 (e.g. `A`, `B`, `C`, `D`, `E`,
 /// `F`, `R`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DieRevision(pub char);
 
 impl fmt::Display for DieRevision {
@@ -66,7 +64,7 @@ impl fmt::Display for DieRevision {
 }
 
 /// DRAM chip density.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ChipDensity {
     /// 4 Gbit.
     Gb4,
@@ -88,7 +86,7 @@ impl fmt::Display for ChipDensity {
 }
 
 /// DRAM chip data-bus organization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ChipOrg {
     /// 4-bit wide interface.
     X4,
@@ -116,9 +114,7 @@ impl fmt::Display for ChipOrg {
 /// SiMRA ACT‑PRE‑ACT sequence (Fig. 12c). Picosecond integer resolution keeps
 /// the type hashable and totally ordered while representing half-nanosecond
 /// steps exactly.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Picos(pub u64);
 
 impl Picos {
@@ -189,7 +185,7 @@ impl fmt::Display for Picos {
 ///
 /// The paper tests 50 °C, 60 °C, 70 °C, and 80 °C, conducting all other
 /// experiments at 80 °C (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Celsius(pub f64);
 
 impl Celsius {
@@ -211,7 +207,7 @@ impl fmt::Display for Celsius {
 /// The paper uses the four patterns widely used in memory reliability
 /// testing: `0x00`, `0xFF`, `0xAA`, and `0x55` (§4.2). Victim rows are
 /// initialized with the *negated* aggressor pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DataPattern(pub u8);
 
 impl DataPattern {
@@ -260,9 +256,7 @@ impl fmt::Display for DataPattern {
 }
 
 /// Bank index within a chip.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BankId(pub u8);
 
 impl From<u8> for BankId {
@@ -278,9 +272,7 @@ impl fmt::Display for BankId {
 }
 
 /// Subarray index within a bank.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SubarrayId(pub u16);
 
 impl From<u16> for SubarrayId {
@@ -301,9 +293,7 @@ impl fmt::Display for SubarrayId {
 /// i.e. wordline order) is contextual; [`crate::RowMapping`] converts between
 /// the two. The model follows the paper's methodology of reverse engineering
 /// the mapping and then reasoning in physical row order (§3.2).
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RowAddr(pub u32);
 
 impl RowAddr {

@@ -93,6 +93,7 @@ impl Fig25Config {
 
 /// Runs the Fig. 25 sweep.
 pub fn fig25(config: &Fig25Config) -> Fig25 {
+    let _span = pud_observe::span("experiment.fig25");
     let cfg = SystemConfig::default();
     let timing = DramTiming::default();
     let mixes = build_mixes(config.mixes, config.seed);

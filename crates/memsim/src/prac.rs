@@ -15,10 +15,12 @@
 //! each operation counted by its relative disturbance: SiMRA = 200,
 //! CoMRA = 10, ACT = 1 — §8.2 "Weighted Counting Optimization").
 
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use pud_observe::Counter;
 
 /// The kind of row activation, for weighted counting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActKind {
     /// A normal single-row activation.
     Normal,
@@ -29,7 +31,7 @@ pub enum ActKind {
 }
 
 /// Mitigation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mitigation {
     /// No read-disturbance mitigation (the evaluation baseline).
     None,
@@ -90,6 +92,8 @@ pub struct Prac {
     rows_per_bank: u32,
     counters: Vec<Vec<u64>>,
     rfms_serviced: u64,
+    backoffs_metric: Arc<Counter>,
+    rfm_metric: Arc<Counter>,
 }
 
 impl Prac {
@@ -100,6 +104,8 @@ impl Prac {
             rows_per_bank,
             counters: vec![vec![0; rows_per_bank as usize]; banks],
             rfms_serviced: 0,
+            backoffs_metric: pud_observe::counter("memsim.abo_backoffs"),
+            rfm_metric: pud_observe::counter("memsim.rfm_issued"),
         }
     }
 
@@ -164,6 +170,8 @@ impl Prac {
             }
         }
         self.rfms_serviced += rfms;
+        self.backoffs_metric.incr();
+        self.rfm_metric.add(rfms);
         rfms
     }
 

@@ -3,6 +3,9 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use pud_observe::Counter;
 
 use crate::prac::{ActKind, Mitigation, Prac};
 use crate::timing::{DramTiming, SystemConfig};
@@ -144,6 +147,9 @@ pub fn run_mix(
         .collect();
     let mut banks: Vec<BankSim> = vec![BankSim::default(); cfg.banks];
     let mut prac = Prac::new(mitigation, cfg.banks, cfg.rows_per_bank);
+    // Fetched once: `schedule` runs every simulated nanosecond, so the
+    // registry lock must stay out of the hot loop.
+    let scheduled_metric = pud_observe::counter("memsim.requests_scheduled");
     let mut queue: VecDeque<MemRequest> = VecDeque::with_capacity(cfg.queue_depth);
     let mut channel_busy_until = 0u64;
     let mut next_refresh = timing.t_refi;
@@ -164,28 +170,26 @@ pub fn run_mix(
             next_refresh += timing.t_refi;
         }
         // Synthetic PuD workload: one SiMRA-32 and one CoMRA per period.
-        if now >= next_pud {
-            if queue.len() + 2 <= cfg.queue_depth {
-                let pud_bank = cfg.banks - 1;
-                queue.push_back(MemRequest {
-                    core: usize::MAX,
-                    bank: pud_bank,
-                    row: 0,
-                    kind: ActKind::Simra,
-                    write: false,
-                    arrival: now,
-                });
-                queue.push_back(MemRequest {
-                    core: usize::MAX,
-                    bank: pud_bank,
-                    row: PUD_SIMRA_ROWS,
-                    kind: ActKind::Comra,
-                    write: false,
-                    arrival: now,
-                });
-                pud_ops += 2;
-                next_pud += pud_period_ns.expect("pud enabled");
-            }
+        if now >= next_pud && queue.len() + 2 <= cfg.queue_depth {
+            let pud_bank = cfg.banks - 1;
+            queue.push_back(MemRequest {
+                core: usize::MAX,
+                bank: pud_bank,
+                row: 0,
+                kind: ActKind::Simra,
+                write: false,
+                arrival: now,
+            });
+            queue.push_back(MemRequest {
+                core: usize::MAX,
+                bank: pud_bank,
+                row: PUD_SIMRA_ROWS,
+                kind: ActKind::Comra,
+                write: false,
+                arrival: now,
+            });
+            pud_ops += 2;
+            next_pud += pud_period_ns.expect("pud enabled");
         }
         // Core progress.
         for (i, core) in cores.iter_mut().enumerate() {
@@ -201,6 +205,7 @@ pub fn run_mix(
             &mut cores,
             &mut channel_busy_until,
             now,
+            &scheduled_metric,
         );
         if cores.iter().all(|c| c.finish_ns.is_some()) {
             break;
@@ -311,6 +316,7 @@ fn schedule(
     cores: &mut [CoreSim],
     channel_busy_until: &mut u64,
     now: u64,
+    scheduled_metric: &Arc<Counter>,
 ) {
     if queue.is_empty() {
         return;
@@ -340,6 +346,7 @@ fn schedule(
         return;
     }
     queue.remove(idx);
+    scheduled_metric.incr();
     let bank = &mut banks[req.bank];
     let completion;
     match req.kind {

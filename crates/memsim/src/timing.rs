@@ -6,10 +6,8 @@
 //! fine enough to resolve every DDR5 timing constraint that matters for
 //! the mitigation overhead shape.
 
-use serde::{Deserialize, Serialize};
-
 /// DDR5 timing parameters in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramTiming {
     /// ACT → column command.
     pub t_rcd: u64,
@@ -55,7 +53,7 @@ impl Default for DramTiming {
 
 /// System configuration (paper footnote 9: 4.2 GHz five-core, dual-rank
 /// DDR5, FR-FCFS+Cap of 4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Number of cores (including the PuD-issuing synthetic workload).
     pub cores: usize,

@@ -8,10 +8,8 @@
 //! locality, write fraction) representative of its published
 //! characterization.
 
-use serde::{Deserialize, Serialize};
-
 /// A synthetic benchmark profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadProfile {
     /// Display name (`suite.variant`).
     pub name: &'static str,

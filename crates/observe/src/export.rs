@@ -1,0 +1,122 @@
+//! Snapshot export: a human-readable text table and a JSON document.
+
+use crate::json::{number, JsonArray, JsonObject};
+use crate::metrics::{HistogramSnapshot, Snapshot};
+
+/// Renders a snapshot as an aligned plain-text table (intended for stderr).
+pub fn render_text(snap: &Snapshot) -> String {
+    if snap.is_empty() {
+        return "(no metrics recorded)\n".to_string();
+    }
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (name, v) in &snap.counters {
+        rows.push((name.clone(), v.to_string()));
+    }
+    for (name, v) in &snap.gauges {
+        rows.push((name.clone(), format!("{v}")));
+    }
+    for (name, h) in &snap.histograms {
+        rows.push((name.clone(), summarize_hist(h)));
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    out
+}
+
+fn summarize_hist(h: &HistogramSnapshot) -> String {
+    if h.count == 0 {
+        "n=0".to_string()
+    } else {
+        format!(
+            "n={} mean={:.1} min={} p50≤{} p90≤{} p99≤{} max={}",
+            h.count, h.mean, h.min, h.p50, h.p90, h.p99, h.max
+        )
+    }
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = JsonArray::new();
+    for &(le, n) in &h.buckets {
+        buckets = buckets.raw(&JsonObject::new().u64("le", le).u64("n", n).finish());
+    }
+    JsonObject::new()
+        .u64("count", h.count)
+        .raw("mean", &number(h.mean))
+        .u64("min", h.min)
+        .u64("max", h.max)
+        .u64("p50", h.p50)
+        .u64("p90", h.p90)
+        .u64("p99", h.p99)
+        .raw("buckets", &buckets.finish())
+        .finish()
+}
+
+/// Renders a snapshot as one JSON object with `counters` / `gauges` /
+/// `histograms` sub-objects.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut counters = JsonObject::new();
+    for (name, v) in &snap.counters {
+        counters = counters.u64(name, *v);
+    }
+    let mut gauges = JsonObject::new();
+    for (name, v) in &snap.gauges {
+        gauges = gauges.f64(name, *v);
+    }
+    let mut histograms = JsonObject::new();
+    for (name, h) in &snap.histograms {
+        histograms = histograms.raw(name, &hist_json(h));
+    }
+    JsonObject::new()
+        .raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &histograms.finish())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("bender.acts").add(1200);
+        r.gauge("run.scale").set(0.25);
+        let h = r.histogram("hcfirst.iterations");
+        for v in [3, 5, 9, 17] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn text_table_aligns_and_sorts() {
+        let text = render_text(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("bender.acts"));
+        assert!(lines[0].ends_with("1200"));
+        assert!(lines[1].starts_with("hcfirst.iterations"));
+        assert!(lines[1].contains("n=4"));
+        assert!(lines[2].starts_with("run.scale"));
+        assert_eq!(render_text(&Snapshot::default()), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn json_export_round_trips_values() {
+        let json = to_json(&sample());
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"bender.acts\":1200"));
+        assert!(json.contains("\"run.scale\":0.25"));
+        assert!(json.contains("\"count\":4"));
+        assert!(json.contains("\"buckets\":[{\"le\":"));
+        // Balanced braces — cheap structural sanity check.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

@@ -1,0 +1,196 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace is dependency-free by design, so trace events, metric
+//! snapshots, and run metadata are serialized through this module instead
+//! of an external serializer. Only what the observability layer needs is
+//! implemented: objects, arrays, strings with full escaping, integers,
+//! floats (non-finite values become `null`), and booleans.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value (`null` for NaN/infinity, which JSON
+/// cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental writer for one JSON object.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn sep(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(key));
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        self.sep(key);
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> JsonObject {
+        self.sep(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(mut self, key: &str, value: f64) -> JsonObject {
+        self.sep(key);
+        self.buf.push_str(&number(value));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> JsonObject {
+        self.sep(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim.
+    pub fn raw(mut self, key: &str, value: &str) -> JsonObject {
+        self.sep(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Finishes the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Incremental writer for one JSON array.
+#[derive(Debug, Clone, Default)]
+pub struct JsonArray {
+    buf: String,
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> JsonArray {
+        JsonArray::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+    }
+
+    /// Appends a pre-rendered JSON value verbatim.
+    pub fn raw(mut self, value: &str) -> JsonArray {
+        self.sep();
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Appends a string element.
+    pub fn str(mut self, value: &str) -> JsonArray {
+        self.sep();
+        let _ = write!(self.buf, "\"{}\"", escape(value));
+        self
+    }
+
+    /// Appends an unsigned integer element.
+    pub fn u64(mut self, value: u64) -> JsonArray {
+        self.sep();
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Finishes the array.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_control_and_quote_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("back\\slash"), "back\\\\slash");
+        assert_eq!(escape("line\nfeed\ttab\rret"), "line\\nfeed\\ttab\\rret");
+        assert_eq!(escape("\u{08}\u{0C}"), "\\b\\f");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+        assert_eq!(escape("unicode: µ§"), "unicode: µ§");
+    }
+
+    #[test]
+    fn object_builder_renders_all_field_kinds() {
+        let s = JsonObject::new()
+            .str("name", "act \"x\"")
+            .u64("count", 42)
+            .f64("gap_ns", 7.5)
+            .bool("partial", false)
+            .raw("nested", "[1,2]")
+            .finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"act \\\"x\\\"\",\"count\":42,\"gap_ns\":7.5,\
+             \"partial\":false,\"nested\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(
+            JsonObject::new().f64("x", f64::NAN).finish(),
+            "{\"x\":null}"
+        );
+    }
+
+    #[test]
+    fn array_builder() {
+        let a = JsonArray::new().u64(1).str("two").raw("{\"k\":3}").finish();
+        assert_eq!(a, "[1,\"two\",{\"k\":3}]");
+        assert_eq!(JsonArray::new().finish(), "[]");
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Zero-dependency observability substrate for the PuDHammer workspace.
+//!
+//! PuDHammer's methodology is command-level observability: the experiments
+//! only mean something if every ACT/PRE/REF, every violated timing, and
+//! every resulting flip can be accounted for. This crate provides the
+//! instrumentation the rest of the workspace emits into, with no external
+//! dependencies so the build stays hermetic:
+//!
+//! - [`metrics`] — atomic [`Counter`]s, [`Gauge`]s, and log-bucket
+//!   [`Histogram`]s in a named [`Registry`] with a process-wide default.
+//! - [`trace`] — a [`TraceSink`] trait plus ring-buffer / JSON-lines writer
+//!   sinks for structured command-stream events ([`TraceEvent`]).
+//! - [`span`] — RAII wall-clock spans recording into histograms.
+//! - [`json`] — the minimal hand-rolled JSON writer everything above uses.
+//! - [`export`] — snapshot rendering as an aligned text table or JSON.
+//!
+//! The cost model: fetching a handle takes a registry lock once; updating
+//! it is a relaxed atomic; an unattached trace sink is a single `Option`
+//! check at the emit site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{
+    bucket_bounds, bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use span::{span_in, SpanGuard};
+pub use trace::{
+    clear_global_sink, flush_global, global_sink, set_global_sink, shared, NullSink,
+    RingBufferSink, SharedSink, TraceEvent, TraceKind, TraceSink, WriterSink,
+};
+
+use std::sync::Arc;
+
+/// Fetches counter `name` from the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Fetches gauge `name` from the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Fetches histogram `name` from the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Starts a wall-clock span recording into the global histogram `name`.
+pub fn span(name: &str) -> SpanGuard {
+    span::span(name)
+}
+
+/// Snapshots the global registry.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Zeroes every metric in the global registry.
+pub fn reset() {
+    global().reset();
+}

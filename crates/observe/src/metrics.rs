@@ -1,0 +1,510 @@
+//! The metrics registry: atomic counters, gauges, and fixed-log-bucket
+//! histograms, cheap enough for the executor's command loop.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s fetched once
+//! from a [`Registry`] and then updated lock-free with relaxed atomics; the
+//! registry lock is only taken at registration and snapshot time. A global
+//! default registry ([`global`]) backs the convenience constructors in the
+//! crate root.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing event count.
+///
+/// Additions wrap on `u64` overflow (the semantics of `fetch_add`), so a
+/// counter never panics in a hot loop; see the overflow test.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` (wrapping on overflow).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating-point measurement (temperature, queue depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i` holds
+/// values in `[2^(i-1), 2^i)`, and the last bucket absorbs everything
+/// beyond `2^62`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-log-bucket histogram of `u64` samples (power-of-two buckets).
+///
+/// Recording is three relaxed atomic RMWs plus two atomic min/max updates —
+/// no allocation, no lock — which keeps it viable inside the HC_first
+/// bisection and the executor's batched hammer loops.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value falls into.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The `[lo, hi)` value range of bucket `i` (the last bucket's `hi` is
+/// `u64::MAX`).
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        _ if i >= HISTOGRAM_BUCKETS - 1 => (1 << (HISTOGRAM_BUCKETS - 2), u64::MAX),
+        _ => (1 << (i - 1), 1 << i),
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// The `p`-quantile (`0.0..=1.0`), reported as the *upper bound* of the
+    /// bucket containing it — an upward-rounded power-of-two estimate.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(HISTOGRAM_BUCKETS - 1).1
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_bounds(i).1, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Frozen histogram state carried by a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median estimate (bucket upper bound).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Non-empty buckets as `(bucket upper bound, sample count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// Names are free-form dotted paths (`bender.acts`, `hcfirst.iterations`).
+/// Fetching a handle registers it on first use; fetching the same name with
+/// a different metric kind panics (a programming error worth failing fast
+/// on).
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Fetches (registering on first use) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Fetches (registering on first use) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Fetches (registering on first use) the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Captures the current value of every registered metric, sorted by
+    /// name.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        let mut snap = Snapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+
+    /// Zeroes every registered metric, keeping registrations (and live
+    /// handles) valid.
+    pub fn reset(&self) {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        for metric in map.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+/// Frozen state of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// State of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// The process-wide default registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_resets() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(r.snapshot().counter("a"), Some(10));
+        r.reset();
+        assert_eq!(c.get(), 0, "live handles survive reset");
+    }
+
+    #[test]
+    fn counter_overflow_wraps() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        c.add(3);
+        assert_eq!(c.get(), 2, "fetch_add wraps instead of panicking");
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Bucket i covers [2^(i-1), 2^i): both edges land where expected.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi - 1), i);
+            assert_eq!(bucket_index(hi), i + 1);
+        }
+        assert_eq!(bucket_bounds(0), (0, 1));
+        assert_eq!(bucket_bounds(HISTOGRAM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn percentile_math_on_known_distribution() {
+        let h = Histogram::new();
+        // 90 samples of 1 and 10 samples of 1000.
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.count(), 100);
+        // Value 1 lives in bucket 1 (upper bound 2); 1000 in [512, 1024).
+        assert_eq!(h.percentile(0.5), 2);
+        assert_eq!(h.percentile(0.9), 2);
+        assert_eq!(h.percentile(0.91), 1024);
+        assert_eq!(h.percentile(1.0), 1024);
+        assert_eq!(h.percentile(0.0), 2, "p0 clamps to the first sample");
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        let mean = h.mean();
+        assert!((mean - (90.0 + 10_000.0) / 100.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.counter("z.last").add(1);
+        r.counter("a.first").add(2);
+        r.gauge("m.gauge").set(3.0);
+        r.histogram("h.hist").record(7);
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "a.first");
+        assert_eq!(s.counters[1].0, "z.last");
+        assert_eq!(s.gauge("m.gauge"), Some(3.0));
+        assert_eq!(s.histogram("h.hist").unwrap().count, 1);
+        assert!(!s.is_empty());
+        assert!(Snapshot::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.histogram("x");
+        let _ = r.counter("x");
+    }
+
+    #[test]
+    fn same_name_returns_same_instance() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        assert_eq!(r.counter("c").get(), 5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Scoped wall-clock spans.
+//!
+//! A span times the region between its creation and its drop and records
+//! the elapsed nanoseconds into a histogram — by convention named after the
+//! span itself (`experiment.fig13`, `fleet.sweep.hynix_8gb_a`). Spans are
+//! RAII guards, so early returns and `?` are timed correctly for free.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::{global, Histogram, Registry};
+
+/// RAII guard recording its lifetime into a histogram on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Elapsed nanoseconds so far (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.hist.record(self.elapsed_ns());
+    }
+}
+
+/// Starts a span recording into histogram `name` of the global registry.
+pub fn span(name: &str) -> SpanGuard {
+    span_in(global(), name)
+}
+
+/// Starts a span recording into histogram `name` of `registry`.
+pub fn span_in(registry: &Registry, name: &str) -> SpanGuard {
+    SpanGuard {
+        hist: registry.histogram(name),
+        start: Instant::now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_one_sample_on_drop() {
+        let r = Registry::new();
+        {
+            let s = span_in(&r, "unit.span");
+            std::hint::black_box(&s);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("unit.span").expect("registered");
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let r = Registry::new();
+        {
+            let _outer = span_in(&r, "outer");
+            {
+                let _inner = span_in(&r, "inner");
+            }
+            {
+                let _inner = span_in(&r, "inner");
+            }
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("outer").unwrap().count, 1);
+        assert_eq!(snap.histogram("inner").unwrap().count, 2);
+    }
+}

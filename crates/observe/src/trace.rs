@@ -1,0 +1,422 @@
+//! Structured command-stream tracing.
+//!
+//! The executor (and anything else on the command path) emits
+//! [`TraceEvent`]s to a [`TraceSink`]. Sinks are deliberately dumb: a
+//! bounded in-memory ring buffer for tests and post-mortem inspection, a
+//! writer sink emitting one JSON object per line, and a null sink. When no
+//! sink is attached the emit site is a single `Option` check — the
+//! null-sink fast path the benchmarks rely on.
+//!
+//! Event payloads use primitive fields only so this crate stays at the very
+//! bottom of the dependency graph.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonObject;
+
+/// What happened on the command bus (or inside the device) at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// ACT issued to `row` (logical) of `bank`.
+    Act {
+        /// Bank index.
+        bank: u8,
+        /// Logical row address.
+        row: u32,
+    },
+    /// PRE issued to `bank`.
+    Pre {
+        /// Bank index.
+        bank: u8,
+    },
+    /// RD issued to `bank`.
+    Rd {
+        /// Bank index.
+        bank: u8,
+    },
+    /// WR issued to `bank`.
+    Wr {
+        /// Bank index.
+        bank: u8,
+    },
+    /// REF issued.
+    Ref,
+    /// A PRE→ACT gap below the `t_RP` violation threshold was detected.
+    TimingViolation {
+        /// Bank index.
+        bank: u8,
+        /// The violated PRE→ACT gap in nanoseconds.
+        gap_ns: f64,
+    },
+    /// A violated activation performed an in-DRAM copy (CoMRA).
+    ComraCopy {
+        /// Bank index.
+        bank: u8,
+        /// Physical source row.
+        src: u32,
+        /// Physical destination row.
+        dst: u32,
+    },
+    /// An ACT-PRE-ACT burst decoded as a SiMRA group activation.
+    SimraGroup {
+        /// Bank index.
+        bank: u8,
+        /// First (lowest) physical row of the engaged group.
+        first: u32,
+        /// Number of simultaneously activated rows.
+        rows: u16,
+        /// Whether only every other member engaged (partial activation).
+        partial: bool,
+    },
+    /// A full refresh window's worth of REF commands has elapsed.
+    RefreshWindow {
+        /// Total REF commands issued so far.
+        refs: u64,
+    },
+    /// The TRR observer preventively refreshed a victim row.
+    TrrIntervention {
+        /// Bank index.
+        bank: u8,
+        /// Logical row refreshed.
+        row: u32,
+    },
+    /// A batched hammer loop replayed its recorded steady state in bulk
+    /// (per-command events are elided for these iterations).
+    LoopBatch {
+        /// Iterations replayed in bulk.
+        iterations: u64,
+        /// ACT commands those iterations account for.
+        acts: u64,
+    },
+}
+
+impl TraceKind {
+    /// Stable lowercase name of the event kind (the JSON `"event"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Act { .. } => "act",
+            TraceKind::Pre { .. } => "pre",
+            TraceKind::Rd { .. } => "rd",
+            TraceKind::Wr { .. } => "wr",
+            TraceKind::Ref => "ref",
+            TraceKind::TimingViolation { .. } => "timing_violation",
+            TraceKind::ComraCopy { .. } => "comra_copy",
+            TraceKind::SimraGroup { .. } => "simra_group",
+            TraceKind::RefreshWindow { .. } => "refresh_window",
+            TraceKind::TrrIntervention { .. } => "trr_intervention",
+            TraceKind::LoopBatch { .. } => "loop_batch",
+        }
+    }
+}
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Device-clock timestamp in nanoseconds.
+    pub t_ns: f64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Serializes the event as one JSON object.
+    pub fn to_json(&self) -> String {
+        let obj = JsonObject::new()
+            .str("event", self.kind.name())
+            .f64("t_ns", self.t_ns);
+        match self.kind {
+            TraceKind::Act { bank, row } => obj.u64("bank", bank.into()).u64("row", row.into()),
+            TraceKind::Pre { bank } | TraceKind::Rd { bank } | TraceKind::Wr { bank } => {
+                obj.u64("bank", bank.into())
+            }
+            TraceKind::Ref => obj,
+            TraceKind::TimingViolation { bank, gap_ns } => {
+                obj.u64("bank", bank.into()).f64("gap_ns", gap_ns)
+            }
+            TraceKind::ComraCopy { bank, src, dst } => obj
+                .u64("bank", bank.into())
+                .u64("src", src.into())
+                .u64("dst", dst.into()),
+            TraceKind::SimraGroup {
+                bank,
+                first,
+                rows,
+                partial,
+            } => obj
+                .u64("bank", bank.into())
+                .u64("first", first.into())
+                .u64("rows", rows.into())
+                .bool("partial", partial),
+            TraceKind::RefreshWindow { refs } => obj.u64("refs", refs),
+            TraceKind::TrrIntervention { bank, row } => {
+                obj.u64("bank", bank.into()).u64("row", row.into())
+            }
+            TraceKind::LoopBatch { iterations, acts } => {
+                obj.u64("iterations", iterations).u64("acts", acts)
+            }
+        }
+        .finish()
+    }
+}
+
+/// Receives trace events.
+pub trait TraceSink: Send {
+    /// Records one event.
+    fn record(&mut self, ev: &TraceEvent);
+    /// Flushes any buffered output.
+    fn flush(&mut self) {}
+}
+
+/// Discards every event (useful to measure tracing's dispatch overhead).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Keeps the most recent `capacity` events in memory, evicting the oldest.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> RingBufferSink {
+        let capacity = capacity.max(1);
+        RingBufferSink {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Copies the retained events out, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Number of events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears the ring.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(*ev);
+    }
+}
+
+/// Writes one JSON object per event to an [`io::Write`](std::io::Write)
+/// (JSON Lines). I/O errors are counted, not propagated — tracing must
+/// never abort an experiment.
+pub struct WriterSink<W: Write + Send> {
+    out: W,
+    written: u64,
+    errors: u64,
+}
+
+impl<W: Write + Send> WriterSink<W> {
+    /// Creates a sink writing to `out`.
+    pub fn new(out: W) -> WriterSink<W> {
+        WriterSink {
+            out,
+            written: 0,
+            errors: 0,
+        }
+    }
+
+    /// Events successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Write errors swallowed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for WriterSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterSink")
+            .field("written", &self.written)
+            .field("errors", &self.errors)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> TraceSink for WriterSink<W> {
+    fn record(&mut self, ev: &TraceEvent) {
+        match writeln!(self.out, "{}", ev.to_json()) {
+            Ok(()) => self.written += 1,
+            Err(_) => self.errors += 1,
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A sink shared between emitters (the executor clones the handle).
+pub type SharedSink = Arc<Mutex<dyn TraceSink>>;
+
+/// Wraps a sink for sharing.
+pub fn shared(sink: impl TraceSink + 'static) -> SharedSink {
+    Arc::new(Mutex::new(sink))
+}
+
+static GLOBAL_SINK: Mutex<Option<SharedSink>> = Mutex::new(None);
+
+/// Installs the process-wide default sink. Executors attach to it at
+/// construction time, so install it *before* building the fleet.
+pub fn set_global_sink(sink: SharedSink) {
+    *GLOBAL_SINK.lock().expect("global sink poisoned") = Some(sink);
+}
+
+/// The process-wide default sink, if installed.
+pub fn global_sink() -> Option<SharedSink> {
+    GLOBAL_SINK.lock().expect("global sink poisoned").clone()
+}
+
+/// Removes (and returns) the process-wide default sink.
+pub fn clear_global_sink() -> Option<SharedSink> {
+    GLOBAL_SINK.lock().expect("global sink poisoned").take()
+}
+
+/// Flushes the process-wide default sink, if installed.
+pub fn flush_global() {
+    if let Some(sink) = global_sink() {
+        sink.lock().expect("trace sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: f64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { t_ns, kind }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_order_and_evicts_oldest() {
+        let mut ring = RingBufferSink::new(3);
+        for i in 0..5u32 {
+            ring.record(&ev(i as f64, TraceKind::Act { bank: 0, row: i }));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let rows: Vec<u32> = ring
+            .events()
+            .map(|e| match e.kind {
+                TraceKind::Act { row, .. } => row,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rows, vec![2, 3, 4], "oldest events evicted first");
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_minimum_capacity_is_one() {
+        let mut ring = RingBufferSink::new(0);
+        ring.record(&ev(1.0, TraceKind::Ref));
+        ring.record(&ev(2.0, TraceKind::Ref));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.to_vec()[0].t_ns, 2.0);
+    }
+
+    #[test]
+    fn events_serialize_to_valid_json_shapes() {
+        let e = ev(
+            7.5,
+            TraceKind::SimraGroup {
+                bank: 1,
+                first: 64,
+                rows: 4,
+                partial: false,
+            },
+        );
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"simra_group\",\"t_ns\":7.5,\"bank\":1,\
+             \"first\":64,\"rows\":4,\"partial\":false}"
+        );
+        let c = ev(
+            1.0,
+            TraceKind::ComraCopy {
+                bank: 0,
+                src: 20,
+                dst: 22,
+            },
+        );
+        assert!(c.to_json().contains("\"src\":20"));
+        assert!(ev(0.0, TraceKind::Ref)
+            .to_json()
+            .starts_with("{\"event\":\"ref\""));
+    }
+
+    #[test]
+    fn writer_sink_emits_json_lines() {
+        let mut sink = WriterSink::new(Vec::new());
+        sink.record(&ev(1.0, TraceKind::Pre { bank: 2 }));
+        sink.record(&ev(2.0, TraceKind::RefreshWindow { refs: 8192 }));
+        sink.flush();
+        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.errors(), 0);
+        let text = String::from_utf8(sink.out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"refs\":8192"));
+    }
+
+    #[test]
+    fn global_sink_install_and_clear() {
+        // Serialize with other tests touching the global: this is the only
+        // test in this crate that does.
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(4)));
+        set_global_sink(ring.clone());
+        let got = global_sink().expect("installed");
+        got.lock().unwrap().record(&ev(1.0, TraceKind::Ref));
+        flush_global();
+        assert_eq!(ring.lock().unwrap().len(), 1);
+        assert!(clear_global_sink().is_some());
+        assert!(global_sink().is_none());
+    }
+}

@@ -74,17 +74,20 @@ impl Combined {
 
 /// Fig. 21: RowHammer combined with CoMRA.
 pub fn fig21(scale: &Scale) -> Combined {
+    let _span = pud_observe::span("experiment.fig21");
     run_combined(scale, StagePlan::Comra)
 }
 
 /// Fig. 22: RowHammer combined with SiMRA.
 pub fn fig22(scale: &Scale) -> Combined {
+    let _span = pud_observe::span("experiment.fig22");
     run_combined(scale, StagePlan::Simra)
 }
 
 /// Fig. 23: RowHammer combined with CoMRA *and* SiMRA — the most effective
 /// pattern of the paper (Observation 24).
 pub fn fig23(scale: &Scale) -> Combined {
+    let _span = pud_observe::span("experiment.fig23");
     run_combined(scale, StagePlan::ComraThenSimra)
 }
 

@@ -29,8 +29,9 @@ pub struct Fig4 {
 
 /// Runs the Fig. 4 experiment.
 pub fn fig4(scale: &Scale) -> Fig4 {
+    let _span = pud_observe::span("experiment.fig4");
     let mut fleet = Fleet::build(scale.fleet);
-    let rh = collect_hc(scale, &mut fleet, |c, v| rowhammer_ds_for(c, v), None);
+    let rh = collect_hc(scale, &mut fleet, rowhammer_ds_for, None);
     let comra = collect_hc(scale, &mut fleet, |c, v| comra_ds_for(c, v, false), None);
     let mut changes = Vec::new();
     let mut lowest: BTreeMap<Manufacturer, (f64, f64)> = BTreeMap::new();
@@ -89,6 +90,7 @@ pub struct Fig5 {
 
 /// Runs the Fig. 5 experiment.
 pub fn fig5(scale: &Scale) -> Fig5 {
+    let _span = pud_observe::span("experiment.fig5");
     let mut fleet = Fleet::build(scale.fleet);
     let mut cells = Vec::new();
     for dp in DataPattern::TESTED {
@@ -147,6 +149,7 @@ pub struct Fig6 {
 
 /// Runs the Fig. 6 experiment.
 pub fn fig6(scale: &Scale) -> Fig6 {
+    let _span = pud_observe::span("experiment.fig6");
     let mut fleet = Fleet::build(scale.fleet);
     let mut cells = Vec::new();
     for temp in Celsius::TESTED {
@@ -215,6 +218,7 @@ impl Fig7 {
 
 /// Runs the Fig. 7 experiment.
 pub fn fig7(scale: &Scale) -> Fig7 {
+    let _span = pud_observe::span("experiment.fig7");
     let mut fleet = Fleet::build(scale.fleet);
     let techniques: [(&'static str, KernelFn); 3] = [
         ("ss-CoMRA", &|c, v| {
@@ -293,6 +297,7 @@ pub struct Fig8 {
 
 /// Runs the Fig. 8 experiment.
 pub fn fig8(scale: &Scale) -> Fig8 {
+    let _span = pud_observe::span("experiment.fig8");
     let mut fleet = Fleet::build(scale.fleet);
     let mut cells = Vec::new();
     for t_on in taggon_sweep() {
@@ -356,6 +361,7 @@ pub struct Fig9 {
 
 /// Runs the Fig. 9 experiment.
 pub fn fig9(scale: &Scale) -> Fig9 {
+    let _span = pud_observe::span("experiment.fig9");
     let mut fleet = Fleet::build(scale.fleet);
     let mut cells = Vec::new();
     for delay_ns in [7.5, 9.0, 10.5, 12.0] {
@@ -450,6 +456,7 @@ impl Fig10 {
 
 /// Runs the Fig. 10 experiment.
 pub fn fig10(scale: &Scale) -> Fig10 {
+    let _span = pud_observe::span("experiment.fig10");
     let mut fleet = Fleet::build(scale.fleet);
     let dp = DataPattern::CHECKER_55;
     let mut ds_changes = Vec::new();
@@ -541,6 +548,7 @@ impl Fig11 {
 
 /// Runs the Fig. 11 experiment.
 pub fn fig11(scale: &Scale) -> Fig11 {
+    let _span = pud_observe::span("experiment.fig11");
     let mut fleet = Fleet::build(scale.fleet);
     let recs: Vec<Record> = collect_hc(scale, &mut fleet, |c, v| comra_ds_for(c, v, false), None);
     let mut cells = Vec::new();

@@ -132,6 +132,7 @@ pub(crate) fn collect_hc(
 ) -> Vec<Record> {
     let mut records = Vec::new();
     for chip in &mut fleet.chips {
+        let _sweep = pud_observe::span(&format!("fleet.sweep.{}", chip.profile.key()));
         let bank = chip.bank();
         for victim in chip.victim_rows() {
             let Some(kernel) = make_kernel(chip.exec.chip(), victim) else {

@@ -120,6 +120,7 @@ pub struct Fig13Row {
 
 /// Runs the Fig. 13 experiment.
 pub fn fig13(scale: &Scale) -> Fig13 {
+    let _span = pud_observe::span("experiment.fig13");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut per_n = Vec::new();
@@ -204,6 +205,7 @@ pub struct Fig14 {
 
 /// Runs the Fig. 14 experiment.
 pub fn fig14(scale: &Scale) -> Fig14 {
+    let _span = pud_observe::span("experiment.fig14");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut cells = Vec::new();
@@ -264,6 +266,7 @@ pub struct Fig15 {
 
 /// Runs the Fig. 15 experiment.
 pub fn fig15(scale: &Scale) -> Fig15 {
+    let _span = pud_observe::span("experiment.fig15");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut cells = Vec::new();
@@ -326,6 +329,7 @@ pub struct Fig16 {
 
 /// Runs the Fig. 16 experiment.
 pub fn fig16(scale: &Scale) -> Fig16 {
+    let _span = pud_observe::span("experiment.fig16");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut simra = Vec::new();
@@ -397,6 +401,7 @@ pub struct Fig17 {
 
 /// Runs the Fig. 17 experiment.
 pub fn fig17(scale: &Scale) -> Fig17 {
+    let _span = pud_observe::span("experiment.fig17");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut cells = Vec::new();
@@ -475,6 +480,7 @@ pub struct Fig18 {
 
 /// Runs the Fig. 18 experiment.
 pub fn fig18(scale: &Scale) -> Fig18 {
+    let _span = pud_observe::span("experiment.fig18");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let delays = [
@@ -545,6 +551,7 @@ pub struct Fig19 {
 
 /// Runs the Fig. 19 experiment.
 pub fn fig19(scale: &Scale) -> Fig19 {
+    let _span = pud_observe::span("experiment.fig19");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut cells = Vec::new();

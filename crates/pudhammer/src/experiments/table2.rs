@@ -54,6 +54,7 @@ pub struct Table2 {
 
 /// Runs the Table 2 reproduction.
 pub fn table2(scale: &Scale) -> Table2 {
+    let _span = pud_observe::span("experiment.table2");
     let mut fleet = Fleet::build(scale.fleet);
     let cap = (scale.fleet.victims_per_subarray as usize) * 6;
     let mut rows = Vec::new();

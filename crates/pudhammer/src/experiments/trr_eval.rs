@@ -79,6 +79,7 @@ impl Fig24 {
 
 /// Runs the Fig. 24 experiment.
 pub fn fig24(scale: &Scale) -> Fig24 {
+    let _span = pud_observe::span("experiment.fig24");
     let profile = profiles::most_simra_vulnerable();
     let geometry = scale.fleet.geometry;
     let reps = if scale.trr_hammers >= 500_000 { 5 } else { 2 };

@@ -29,7 +29,7 @@ impl FleetConfig {
     /// Quick configuration for tests and CI benches.
     pub fn quick() -> FleetConfig {
         FleetConfig {
-            seed: 0x5AFA_11,
+            seed: 0x005A_FA11,
             geometry: ChipGeometry::scaled_for_tests(),
             chips_per_family: 1,
             victims_per_subarray: 4,
@@ -39,7 +39,7 @@ impl FleetConfig {
     /// Denser configuration for full reproduction runs.
     pub fn full() -> FleetConfig {
         FleetConfig {
-            seed: 0x5AFA_11,
+            seed: 0x005A_FA11,
             geometry: ChipGeometry::paper_scale(),
             chips_per_family: 2,
             victims_per_subarray: 32,

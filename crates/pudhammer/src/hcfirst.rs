@@ -53,6 +53,9 @@ pub fn measure_hc_first(
     victim_dp: DataPattern,
     search: &HcSearch,
 ) -> Option<u64> {
+    let _span = pud_observe::span("hcfirst.search_ns");
+    pud_observe::counter("hcfirst.searches").incr();
+    pud_observe::histogram("hcfirst.repeats").record(u64::from(search.repeats.max(1)));
     let mut best: Option<u64> = None;
     for _ in 0..search.repeats.max(1) {
         let hc = search_once(exec, bank, kernel, victim, aggressor_dp, victim_dp, search);
@@ -73,33 +76,45 @@ fn search_once(
     victim_dp: DataPattern,
     search: &HcSearch,
 ) -> Option<u64> {
-    let mut check = |count: u64| -> bool {
-        prepare(exec, bank, kernel, victim, aggressor_dp, victim_dp);
-        let report = exec.run(&kernel.program(bank, count));
-        report.flips.iter().any(|f| f.phys_row == victim)
+    // Iterations-to-convergence (probe + bisection trials) and the final
+    // bracket width are the search's cost and precision; both go to the
+    // global histograms the `--metrics` report surfaces.
+    let mut iterations = 0u64;
+    let (result, bracket_width) = 'search: {
+        let mut check = |count: u64| -> bool {
+            iterations += 1;
+            prepare(exec, bank, kernel, victim, aggressor_dp, victim_dp);
+            let report = exec.run(&kernel.program(bank, count));
+            report.flips.iter().any(|f| f.phys_row == victim)
+        };
+        // Exponential probe for an upper bound.
+        let mut hi = 1u64;
+        while !check(hi) {
+            if hi >= search.max_hammers {
+                break 'search (None, None);
+            }
+            hi = (hi * 4).min(search.max_hammers);
+        }
+        if hi == 1 {
+            break 'search (Some(1), Some(0));
+        }
+        // Bisect within (hi/4, hi] until within tolerance.
+        let mut lo = hi / 4;
+        while (hi - lo) as f64 > search.tolerance * hi as f64 && hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if check(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        (Some(hi), Some(hi - lo))
     };
-    // Exponential probe for an upper bound.
-    let mut hi = 1u64;
-    while !check(hi) {
-        if hi >= search.max_hammers {
-            return None;
-        }
-        hi = (hi * 4).min(search.max_hammers);
+    pud_observe::histogram("hcfirst.iterations").record(iterations);
+    if let Some(width) = bracket_width {
+        pud_observe::histogram("hcfirst.bracket_width").record(width);
     }
-    if hi == 1 {
-        return Some(1);
-    }
-    // Bisect within (hi/4, hi] until within tolerance.
-    let mut lo = hi / 4;
-    while (hi - lo) as f64 > search.tolerance * hi as f64 && hi - lo > 1 {
-        let mid = lo + (hi - lo) / 2;
-        if check(mid) {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-    }
-    Some(hi)
+    result
 }
 
 /// Initializes a measurement trial: quiesces the device, fills aggressors

@@ -73,6 +73,32 @@ impl fmt::Display for Table {
     }
 }
 
+/// Renders a metrics snapshot as an aligned [`Table`] (the `--metrics`
+/// report of the `repro` binary).
+///
+/// Counters and gauges get one row each; histograms get one row with their
+/// count / mean / percentile summary (percentiles are log-bucket upper
+/// bounds, hence the `<=`).
+pub fn metrics_table(snap: &pud_observe::Snapshot) -> Table {
+    let mut t = Table::new("Run metrics", &["metric", "value"]);
+    for (name, v) in &snap.counters {
+        t.push_row(vec![name.clone(), v.to_string()]);
+    }
+    for (name, v) in &snap.gauges {
+        t.push_row(vec![name.clone(), format!("{v}")]);
+    }
+    for (name, h) in &snap.histograms {
+        t.push_row(vec![
+            name.clone(),
+            format!(
+                "n={} mean={:.1} p50<={} p99<={} max={}",
+                h.count, h.mean, h.p50, h.p99, h.max
+            ),
+        ]);
+    }
+    t
+}
+
 /// Formats a hammer count like the paper (e.g. `25.0K`, `447`).
 pub fn fmt_hc(hc: f64) -> String {
     if !hc.is_finite() {
@@ -112,6 +138,19 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new("x", &["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn metrics_table_has_one_row_per_metric() {
+        let r = pud_observe::Registry::new();
+        r.counter("bender.acts").add(7);
+        r.gauge("run.scale").set(1.0);
+        r.histogram("hcfirst.iterations").record(12);
+        let t = metrics_table(&r.snapshot());
+        assert_eq!(t.len(), 3);
+        let s = t.to_string();
+        assert!(s.contains("bender.acts"));
+        assert!(s.contains("n=1"));
     }
 
     #[test]

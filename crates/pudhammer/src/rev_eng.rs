@@ -200,7 +200,13 @@ pub fn verify_raw_bitflips_observable(exec: &mut Executor, bank: BankId) -> bool
     let mut total = 0u64;
     let step = 4096u64;
     while total < 8_000_000 {
-        let report = exec.run(&ops::double_sided_rowhammer(bank, below, above, ops::t_ras(), step));
+        let report = exec.run(&ops::double_sided_rowhammer(
+            bank,
+            below,
+            above,
+            ops::t_ras(),
+            step,
+        ));
         total += step;
         if report.flips.iter().any(|f| f.phys_row == hero) {
             let image = exec

@@ -1,9 +1,7 @@
 //! Distribution statistics used throughout the characterization.
 
-use serde::{Deserialize, Serialize};
-
 /// Five-number summary plus mean of a sample (the paper's box plots).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

@@ -3,34 +3,122 @@
 //! Usage:
 //!
 //! ```text
-//! repro <target> [--full]
-//! repro all [--full]
+//! repro <target> [--full] [--metrics] [--trace-out <path>] [--quiet]
+//! repro all [--full] [--metrics] [--trace-out <path>] [--quiet]
 //! repro list
 //! ```
 //!
 //! Targets: `table2`, `fig4` … `fig11`, `fig13` … `fig19`, `fig21` …
 //! `fig25`. `--full` runs at paper density (slower).
+//!
+//! Observability flags (see the README "Observability" section):
+//!
+//! - `--metrics` prints the global metrics registry (command counters,
+//!   HC_first search histograms, experiment spans) to stderr after the run;
+//! - `--trace-out <path>` streams every DRAM command-stream event the
+//!   executors emit as JSON lines to `path`;
+//! - `--quiet` suppresses the result tables (metrics/trace still emitted).
+//!
+//! `repro all` additionally prints one JSON run-metadata line summarizing
+//! the run (targets, elapsed time, key counters).
 
 use std::env;
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use pudhammer::experiments::{self, Scale};
+use pudhammer::report;
 
 const TARGETS: [&str; 21] = [
     "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14",
     "fig15", "fig16", "fig17", "fig18", "fig19", "fig21", "fig22", "fig23", "fig24", "fig25",
 ];
 
+struct Options {
+    full: bool,
+    metrics: bool,
+    quiet: bool,
+    trace_out: Option<String>,
+    target: Option<String>,
+}
+
+fn usage() {
+    eprintln!("usage: repro <target|all|list> [--full] [--metrics] [--trace-out <path>] [--quiet]");
+    eprintln!("targets: {}", TARGETS.join(", "));
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        full: false,
+        metrics: false,
+        quiet: false,
+        trace_out: None,
+        target: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--metrics" => opts.metrics = true,
+            "--quiet" => opts.quiet = true,
+            "--trace-out" => {
+                let Some(path) = it.next() else {
+                    return Err("--trace-out requires a path".to_string());
+                };
+                opts.trace_out = Some(path.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag: {flag}"));
+            }
+            target => {
+                if opts.target.is_some() {
+                    return Err(format!("unexpected extra argument: {target}"));
+                }
+                opts.target = Some(target.to_string());
+            }
+        }
+    }
+    Ok(opts)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
-    let Some(target) = target else {
-        eprintln!("usage: repro <target|all|list> [--full]");
-        eprintln!("targets: {}", TARGETS.join(", "));
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(target) = opts.target.clone() else {
+        usage();
         return ExitCode::FAILURE;
     };
-    let scale = if full { Scale::full() } else { Scale::quick() };
+    // Install the trace sink before any experiment constructs an executor:
+    // executors attach the global sink at construction time.
+    if let Some(path) = &opts.trace_out {
+        match File::create(path) {
+            Ok(f) => {
+                pud_observe::set_global_sink(pud_observe::shared(pud_observe::WriterSink::new(
+                    BufWriter::new(f),
+                )));
+            }
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let scale = if opts.full {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    let started = Instant::now();
+    let mut ran: Vec<&str> = Vec::new();
     match target.as_str() {
         "list" => {
             for t in TARGETS {
@@ -39,48 +127,101 @@ fn main() -> ExitCode {
         }
         "all" => {
             for t in TARGETS {
-                run_target(t, &scale, full);
+                run_target(t, &scale, &opts);
+                ran.push(t);
             }
         }
-        t if TARGETS.contains(&t) => run_target(t, &scale, full),
+        t if TARGETS.contains(&t) => {
+            run_target(t, &scale, &opts);
+            ran.push(t);
+        }
         other => {
             eprintln!("unknown target: {other}");
             eprintln!("targets: {}", TARGETS.join(", "));
             return ExitCode::FAILURE;
         }
     }
+    pud_observe::flush_global();
+    if target == "all" {
+        println!("{}", run_metadata(&ran, opts.full, started.elapsed()));
+    }
+    if opts.metrics {
+        eprint!("{}", report::metrics_table(&pud_observe::snapshot()));
+    }
     ExitCode::SUCCESS
 }
 
-fn run_target(target: &str, scale: &Scale, full: bool) {
+/// One JSON line summarizing a `repro all` run: what ran, how long it took,
+/// and the headline command-stream counters.
+fn run_metadata(targets: &[&str], full: bool, elapsed: std::time::Duration) -> String {
+    let snap = pud_observe::snapshot();
+    let mut list = pud_observe::json::JsonArray::new();
+    for t in targets {
+        list = list.str(t);
+    }
+    pud_observe::json::JsonObject::new()
+        .str("run", "repro-all")
+        .str("scale", if full { "full" } else { "quick" })
+        .u64("targets", targets.len() as u64)
+        .raw("target_list", &list.finish())
+        .f64("elapsed_s", elapsed.as_secs_f64())
+        .u64("acts", snap.counter("bender.acts").unwrap_or(0))
+        .u64("bitflips", snap.counter("bender.flips").unwrap_or(0))
+        .u64(
+            "timing_violations",
+            snap.counter("bender.timing_violations").unwrap_or(0),
+        )
+        .u64(
+            "comra_copies",
+            snap.counter("bender.comra_copies").unwrap_or(0),
+        )
+        .u64(
+            "simra_groups",
+            snap.counter("bender.simra_groups").unwrap_or(0),
+        )
+        .u64(
+            "hcfirst_searches",
+            snap.counter("hcfirst.searches").unwrap_or(0),
+        )
+        .finish()
+}
+
+fn run_target(target: &str, scale: &Scale, opts: &Options) {
+    let rendered = render_target(target, scale, opts.full);
+    if !opts.quiet {
+        println!("{rendered}");
+    }
+}
+
+fn render_target(target: &str, scale: &Scale, full: bool) -> String {
     match target {
-        "table2" => println!("{}", experiments::table2::table2(scale)),
-        "fig4" => println!("{}", experiments::comra::fig4(scale)),
-        "fig5" => println!("{}", experiments::comra::fig5(scale)),
-        "fig6" => println!("{}", experiments::comra::fig6(scale)),
-        "fig7" => println!("{}", experiments::comra::fig7(scale)),
-        "fig8" => println!("{}", experiments::comra::fig8(scale)),
-        "fig9" => println!("{}", experiments::comra::fig9(scale)),
-        "fig10" => println!("{}", experiments::comra::fig10(scale)),
-        "fig11" => println!("{}", experiments::comra::fig11(scale)),
-        "fig13" => println!("{}", experiments::simra::fig13(scale)),
-        "fig14" => println!("{}", experiments::simra::fig14(scale)),
-        "fig15" => println!("{}", experiments::simra::fig15(scale)),
-        "fig16" => println!("{}", experiments::simra::fig16(scale)),
-        "fig17" => println!("{}", experiments::simra::fig17(scale)),
-        "fig18" => println!("{}", experiments::simra::fig18(scale)),
-        "fig19" => println!("{}", experiments::simra::fig19(scale)),
-        "fig21" => println!("{}", experiments::combined::fig21(scale)),
-        "fig22" => println!("{}", experiments::combined::fig22(scale)),
-        "fig23" => println!("{}", experiments::combined::fig23(scale)),
-        "fig24" => println!("{}", experiments::trr_eval::fig24(scale)),
+        "table2" => experiments::table2::table2(scale).to_string(),
+        "fig4" => experiments::comra::fig4(scale).to_string(),
+        "fig5" => experiments::comra::fig5(scale).to_string(),
+        "fig6" => experiments::comra::fig6(scale).to_string(),
+        "fig7" => experiments::comra::fig7(scale).to_string(),
+        "fig8" => experiments::comra::fig8(scale).to_string(),
+        "fig9" => experiments::comra::fig9(scale).to_string(),
+        "fig10" => experiments::comra::fig10(scale).to_string(),
+        "fig11" => experiments::comra::fig11(scale).to_string(),
+        "fig13" => experiments::simra::fig13(scale).to_string(),
+        "fig14" => experiments::simra::fig14(scale).to_string(),
+        "fig15" => experiments::simra::fig15(scale).to_string(),
+        "fig16" => experiments::simra::fig16(scale).to_string(),
+        "fig17" => experiments::simra::fig17(scale).to_string(),
+        "fig18" => experiments::simra::fig18(scale).to_string(),
+        "fig19" => experiments::simra::fig19(scale).to_string(),
+        "fig21" => experiments::combined::fig21(scale).to_string(),
+        "fig22" => experiments::combined::fig22(scale).to_string(),
+        "fig23" => experiments::combined::fig23(scale).to_string(),
+        "fig24" => experiments::trr_eval::fig24(scale).to_string(),
         "fig25" => {
             let cfg = if full {
                 pud_memsim::Fig25Config::full()
             } else {
                 pud_memsim::Fig25Config::quick()
             };
-            println!("{}", pud_memsim::fig25::fig25(&cfg));
+            pud_memsim::fig25::fig25(&cfg).to_string()
         }
         _ => unreachable!("validated by caller"),
     }

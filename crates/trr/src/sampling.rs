@@ -6,9 +6,11 @@
 //! TRR-capable REF, then preventively refreshes that row's neighbours (§7).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use pud_bender::ActivityObserver;
 use pud_dram::{BankId, RowAddr, RowMapping};
+use pud_observe::Counter;
 
 /// Configuration of a sampling TRR mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +51,8 @@ pub struct SamplingTrr {
     refs: u64,
     trr_refreshes: u64,
     rng: u64,
+    capable_refs_metric: Arc<Counter>,
+    victim_refreshes_metric: Arc<Counter>,
 }
 
 impl SamplingTrr {
@@ -65,6 +69,8 @@ impl SamplingTrr {
             refs: 0,
             trr_refreshes: 0,
             rng: seed | 1,
+            capable_refs_metric: pud_observe::counter("trr.capable_refs"),
+            victim_refreshes_metric: pud_observe::counter("trr.victim_refreshes"),
         }
     }
 
@@ -93,21 +99,23 @@ impl ActivityObserver for SamplingTrr {
         // Reservoir sampling over the ACTs seen since the last TRR REF:
         // each ACT replaces the current sample with probability 1/k.
         self.seen_in_window += 1;
-        if self.next_u64() % self.seen_in_window == 0 {
+        if self.next_u64().is_multiple_of(self.seen_in_window) {
             self.sampled = Some((bank, logical_row));
         }
     }
 
     fn on_ref(&mut self, _bank_hint: BankId) -> Vec<(BankId, RowAddr)> {
         self.refs += 1;
-        if self.refs % self.config.refs_per_trr != 0 {
+        if !self.refs.is_multiple_of(self.config.refs_per_trr) {
             return Vec::new();
         }
         self.trr_refreshes += 1;
+        self.capable_refs_metric.incr();
         self.seen_in_window = 0;
         let Some((bank, aggressor)) = self.sampled.take() else {
             return Vec::new();
         };
+        self.victim_refreshes_metric.incr();
         let phys = self.mapping.to_physical(aggressor);
         let mut victims = Vec::new();
         for d in 1..=self.config.blast_radius {

@@ -13,11 +13,13 @@
 //! - [`pudhammer`] — the characterization library (the paper's contribution).
 //! - [`pud_memsim`] — cycle-level memory-system simulator for PRAC evaluation.
 //! - [`pud_mitigations`] — countermeasure analyses (§8.1 of the paper).
+//! - [`pud_observe`] — zero-dependency metrics, tracing, and spans.
 
 pub use pud_bender as bender;
 pub use pud_disturb as disturb;
 pub use pud_dram as dram;
 pub use pud_memsim as memsim;
 pub use pud_mitigations as mitigations;
+pub use pud_observe as observe;
 pub use pud_trr as trr;
 pub use pudhammer as hammer;
