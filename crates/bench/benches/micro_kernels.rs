@@ -12,8 +12,10 @@ use pud_bench::run_micro;
 use pud_bender::{ops, Executor};
 use pud_disturb::{AggressionKind, DataSummary, DisturbEngine, HammerEvent};
 use pud_dram::{profiles::TESTED_MODULES, BankId, ChipGeometry, DataPattern, RowAddr, RowData};
+use pudhammer::fleet::{sweep, ChipUnderTest, Fleet, FleetConfig};
 use pudhammer::hcfirst::{measure_hc_first, HcSearch};
 use pudhammer::patterns::rowhammer_ds_for;
+use pudhammer::wcdp::find_wcdp;
 
 const SAMPLES: u64 = 10;
 
@@ -67,6 +69,44 @@ fn bench_hc_first_search() {
     });
 }
 
+/// One chip's worth of sweep work: a four-pattern WCDP search on the
+/// chip's first victim, which also exercises the warm-started HC_first
+/// bracket (patterns two to four usually land in the previous bracket).
+fn sweep_work(_: usize, chip: &mut ChipUnderTest) {
+    let bank = chip.bank();
+    let victim = chip.victim_rows()[0];
+    let kernel = rowhammer_ds_for(chip.exec.chip(), victim).expect("victim has neighbours");
+    black_box(find_wcdp(
+        &mut chip.exec,
+        bank,
+        &kernel,
+        victim,
+        &HcSearch::default(),
+    ));
+}
+
+fn bench_fleet_sweep_serial_vs_parallel() {
+    let mut fleet = Fleet::build(FleetConfig::quick());
+    let serial = run_micro("fleet_sweep_serial", SAMPLES, 1, || {
+        sweep::sweep(1, &mut fleet.chips, sweep_work)
+    });
+    let parallel = run_micro("fleet_sweep_parallel4", SAMPLES, 1, || {
+        sweep::sweep(4, &mut fleet.chips, sweep_work)
+    });
+    let snap = pud_observe::snapshot();
+    let hits = snap.counter("hcfirst.warm.hits").unwrap_or(0);
+    let misses = snap.counter("hcfirst.warm.misses").unwrap_or(0);
+    let total = (hits + misses).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!(
+        "[fleet_sweep] 4-thread speedup: {:.2}x over serial on {cores} core(s) \
+         (the attainable ceiling is min(4, cores)x); \
+         warm-start hit rate {:.0}% ({hits}/{total})",
+        serial / parallel,
+        hits as f64 / total as f64 * 100.0,
+    );
+}
+
 fn bench_memsim_slice() {
     let mix = &pud_memsim::workload::build_mixes(1, 3)[0];
     run_micro("memsim_20k_instr", SAMPLES, 1, || {
@@ -84,6 +124,7 @@ fn main() {
     bench_engine_hammer();
     bench_executor_loop();
     bench_hc_first_search();
+    bench_fleet_sweep_serial_vs_parallel();
     bench_memsim_slice();
     eprintln!();
     eprint!(

@@ -39,7 +39,11 @@ const REFS_PER_WINDOW: f64 = 8192.0;
 /// The observer sees exactly what the chip sees: the *logical* row address
 /// of each ACT command — which is why SiMRA bypasses TRR: a 32-row
 /// activation presents only two addresses on the bus (§7, Observation 26).
-pub trait ActivityObserver {
+///
+/// Observers are `Send`: an executor (with its observer installed) must be
+/// movable to a fleet-sweep worker thread. Observers are still driven from
+/// exactly one thread at a time.
+pub trait ActivityObserver: Send {
     /// Called for every ACT command.
     fn on_act(&mut self, bank: BankId, logical_row: RowAddr);
     /// Called for every REF command; returns logical rows to preventively
@@ -126,8 +130,11 @@ enum Episode {
     },
 }
 
-/// Cached handles into the global metrics registry, fetched once per
-/// executor so the command loop never takes the registry lock.
+/// Cached handles into the metrics registry, fetched once per executor so
+/// the command loop never takes the registry lock. Which registry depends
+/// on the fetching thread: the thread's shard while a
+/// [`pud_observe::ShardGuard`] is installed, the global registry otherwise
+/// — see [`Executor::rebind_metrics`].
 #[derive(Debug, Clone)]
 struct ExecMetrics {
     acts: Arc<Counter>,
@@ -223,6 +230,18 @@ impl Executor {
             // construction; `None` keeps the emit sites a single branch.
             trace: pud_observe::global_sink(),
         }
+    }
+
+    /// Re-fetches the cached metric handles against the calling thread's
+    /// current registry.
+    ///
+    /// A fleet-sweep worker calls this after claiming a chip so the hot
+    /// command loop updates its thread-local shard instead of contending on
+    /// the global registry; the sweep calls it again (from the main thread,
+    /// after the shards drain) to point the handles back at the global
+    /// registry.
+    pub fn rebind_metrics(&mut self) {
+        self.metrics = ExecMetrics::from_global();
     }
 
     /// Attaches a trace sink, replacing any previous one.

@@ -8,15 +8,21 @@
 //!
 //! - [`metrics`] — atomic [`Counter`]s, [`Gauge`]s, and log-bucket
 //!   [`Histogram`]s in a named [`Registry`] with a process-wide default.
+//! - [`shard`] — per-thread registry shards ([`ShardGuard`]) so parallel
+//!   sweep workers record without contending, drained into the global
+//!   registry at sweep barriers.
 //! - [`trace`] — a [`TraceSink`] trait plus ring-buffer / JSON-lines writer
-//!   sinks for structured command-stream events ([`TraceEvent`]).
+//!   sinks for structured command-stream events ([`TraceEvent`]), and
+//!   [`merge_ordered`] for folding per-worker buffers back together.
 //! - [`span`] — RAII wall-clock spans recording into histograms.
 //! - [`json`] — the minimal hand-rolled JSON writer everything above uses.
 //! - [`export`] — snapshot rendering as an aligned text table or JSON.
 //!
-//! The cost model: fetching a handle takes a registry lock once; updating
-//! it is a relaxed atomic; an unattached trace sink is a single `Option`
-//! check at the emit site.
+//! The cost model: fetching a handle takes a registry lock once (on the
+//! thread's current registry — its shard while a [`ShardGuard`] is
+//! installed, the global registry otherwise); updating it is a relaxed
+//! atomic; an unattached trace sink is a single `Option` check at the emit
+//! site.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +30,7 @@
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod shard;
 pub mod span;
 pub mod trace;
 
@@ -31,30 +38,34 @@ pub use metrics::{
     bucket_bounds, bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot, HISTOGRAM_BUCKETS,
 };
+pub use shard::{sharded, ShardGuard};
 pub use span::{span_in, SpanGuard};
 pub use trace::{
-    clear_global_sink, flush_global, global_sink, set_global_sink, shared, NullSink,
+    clear_global_sink, flush_global, global_sink, merge_ordered, set_global_sink, shared, NullSink,
     RingBufferSink, SharedSink, TraceEvent, TraceKind, TraceSink, WriterSink,
 };
 
 use std::sync::Arc;
 
-/// Fetches counter `name` from the global registry.
+/// Fetches counter `name` from the calling thread's current registry (its
+/// shard while a [`ShardGuard`] is installed, the global registry
+/// otherwise).
 pub fn counter(name: &str) -> Arc<Counter> {
-    global().counter(name)
+    shard::with_current(|r| r.counter(name))
 }
 
-/// Fetches gauge `name` from the global registry.
+/// Fetches gauge `name` from the calling thread's current registry.
 pub fn gauge(name: &str) -> Arc<Gauge> {
-    global().gauge(name)
+    shard::with_current(|r| r.gauge(name))
 }
 
-/// Fetches histogram `name` from the global registry.
+/// Fetches histogram `name` from the calling thread's current registry.
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    global().histogram(name)
+    shard::with_current(|r| r.histogram(name))
 }
 
-/// Starts a wall-clock span recording into the global histogram `name`.
+/// Starts a wall-clock span recording into histogram `name` of the calling
+/// thread's current registry.
 pub fn span(name: &str) -> SpanGuard {
     span::span(name)
 }

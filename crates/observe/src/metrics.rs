@@ -46,6 +46,11 @@ impl Counter {
     fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
     }
+
+    /// Atomically takes the current value, leaving zero behind.
+    fn take(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
 }
 
 /// A last-write-wins floating-point measurement (temperature, queue depth).
@@ -222,6 +227,35 @@ impl Histogram {
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
     }
+
+    /// Folds another histogram's samples into this one bucket-wise, as if
+    /// every sample recorded there had been recorded here. Sums wrap on
+    /// overflow, matching [`Histogram::record`].
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Merges into `target` and resets this histogram.
+    fn drain_into(&self, target: &Histogram) {
+        target.merge_from(self);
+        self.reset();
+    }
 }
 
 /// Frozen histogram state carried by a [`Snapshot`].
@@ -330,6 +364,27 @@ impl Registry {
             }
         }
         snap
+    }
+
+    /// Moves every metric's accumulated state into `target` and zeroes this
+    /// registry: counters add, histograms merge bucket-wise, gauges
+    /// last-write-win. This is the shard flush point used by
+    /// [`crate::ShardGuard`] at sweep barriers — after draining, totals in
+    /// `target` match what direct (unsharded) recording would have produced.
+    pub fn drain_into(&self, target: &Registry) {
+        let map = self.metrics.lock().expect("metrics registry poisoned");
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let v = c.take();
+                    if v > 0 {
+                        target.counter(name).add(v);
+                    }
+                }
+                Metric::Gauge(g) => target.gauge(name).set(g.get()),
+                Metric::Histogram(h) => h.drain_into(&target.histogram(name)),
+            }
+        }
     }
 
     /// Zeroes every registered metric, keeping registrations (and live
@@ -506,5 +561,43 @@ mod tests {
         let r = Registry::new();
         r.counter("c").add(5);
         assert_eq!(r.counter("c").get(), 5);
+    }
+
+    #[test]
+    fn histogram_merge_preserves_all_statistics() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [0u64, 1000] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), combined.snapshot());
+        // Merging an empty histogram changes nothing (notably not min).
+        a.merge_from(&Histogram::new());
+        assert_eq!(a.snapshot(), combined.snapshot());
+    }
+
+    #[test]
+    fn drain_into_moves_and_zeroes() {
+        let shard = Registry::new();
+        let target = Registry::new();
+        shard.counter("c").add(7);
+        shard.histogram("h").record(42);
+        shard.gauge("g").set(2.5);
+        target.counter("c").add(1);
+        shard.drain_into(&target);
+        assert_eq!(target.counter("c").get(), 8);
+        assert_eq!(target.histogram("h").count(), 1);
+        assert_eq!(target.gauge("g").get(), 2.5);
+        // Source is zeroed: a second drain adds nothing.
+        shard.drain_into(&target);
+        assert_eq!(target.counter("c").get(), 8);
+        assert_eq!(target.histogram("h").count(), 1);
     }
 }

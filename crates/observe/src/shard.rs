@@ -1,0 +1,139 @@
+//! Per-thread metric shards for parallel sweeps.
+//!
+//! The global registry's handles are lock-free atomics, but when many
+//! sweep workers hammer the same counters the shared cache lines become
+//! the contention point. A [`ShardGuard`] installs a private, thread-local
+//! [`Registry`]: while it is alive, every handle fetched through the crate
+//! root ([`crate::counter`], [`crate::histogram`], [`crate::span`], …) on
+//! that thread resolves against the shard instead of the global registry,
+//! so hot-loop updates touch memory no other thread sees. When the guard
+//! is dropped (or [`ShardGuard::flush`] is called — the sweep barrier),
+//! the shard's contents are drained into the global registry: counters
+//! add, histograms merge bucket-wise, gauges last-write-win. Totals are
+//! therefore identical to unsharded recording at any thread count.
+//!
+//! Shards do not nest: installing a second guard on the same thread while
+//! one is alive is a programming error and panics.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::metrics::{global, Registry};
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+/// Resolves `f` against the calling thread's shard registry if one is
+/// installed, the global registry otherwise.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    CURRENT.with(|c| match &*c.borrow() {
+        Some(shard) => f(shard),
+        None => f(global()),
+    })
+}
+
+/// Whether the calling thread currently records into a shard.
+pub fn sharded() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// RAII guard holding a thread-local shard registry.
+///
+/// Dropping the guard drains the shard into the global registry and
+/// restores direct global recording for the thread.
+#[derive(Debug)]
+pub struct ShardGuard {
+    shard: Arc<Registry>,
+}
+
+impl ShardGuard {
+    /// Installs a fresh shard registry for the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread already has a shard installed (shards do not
+    /// nest).
+    pub fn install() -> ShardGuard {
+        let shard = Arc::new(Registry::new());
+        CURRENT.with(|c| {
+            let mut cur = c.borrow_mut();
+            assert!(cur.is_none(), "metric shards do not nest");
+            *cur = Some(Arc::clone(&shard));
+        });
+        ShardGuard { shard }
+    }
+
+    /// Drains the shard's accumulated metrics into the global registry,
+    /// leaving the shard installed (a mid-sweep barrier flush).
+    pub fn flush(&self) {
+        self.shard.drain_into(global());
+    }
+
+    /// The shard registry itself (for inspection in tests).
+    pub fn registry(&self) -> &Registry {
+        &self.shard
+    }
+}
+
+impl Drop for ShardGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        self.shard.drain_into(global());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_diverts_and_drains_on_drop() {
+        // Use names unique to this test: the global registry is shared
+        // with every other test in the process.
+        let before = global().counter("shard.test.divert").get();
+        {
+            let guard = ShardGuard::install();
+            assert!(sharded());
+            crate::counter("shard.test.divert").add(3);
+            crate::histogram("shard.test.hist").record(7);
+            // Still invisible globally.
+            assert_eq!(global().counter("shard.test.divert").get(), before);
+            assert_eq!(guard.registry().counter("shard.test.divert").get(), 3);
+        }
+        assert!(!sharded());
+        assert_eq!(global().counter("shard.test.divert").get(), before + 3);
+        assert_eq!(global().histogram("shard.test.hist").count(), 1);
+    }
+
+    #[test]
+    fn flush_is_a_barrier_not_a_teardown() {
+        let before = global().counter("shard.test.flush").get();
+        let guard = ShardGuard::install();
+        crate::counter("shard.test.flush").add(2);
+        guard.flush();
+        assert_eq!(global().counter("shard.test.flush").get(), before + 2);
+        // Post-flush recording accumulates again without double counting.
+        crate::counter("shard.test.flush").add(5);
+        drop(guard);
+        assert_eq!(global().counter("shard.test.flush").get(), before + 7);
+    }
+
+    #[test]
+    fn parallel_shards_sum_to_serial_totals() {
+        let before = global().histogram("shard.test.sum").snapshot();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    let _guard = ShardGuard::install();
+                    for i in 0..100 {
+                        crate::histogram("shard.test.sum").record(t * 100 + i);
+                    }
+                });
+            }
+        });
+        let after = global().histogram("shard.test.sum").snapshot();
+        assert_eq!(after.count, before.count + 400);
+        assert_eq!(after.max, 399);
+    }
+}

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::metrics::{global, Histogram, Registry};
+use crate::metrics::{Histogram, Registry};
 
 /// RAII guard recording its lifetime into a histogram on drop.
 #[derive(Debug)]
@@ -30,9 +30,12 @@ impl Drop for SpanGuard {
     }
 }
 
-/// Starts a span recording into histogram `name` of the global registry.
+/// Starts a span recording into histogram `name` of the calling thread's
+/// current registry (the thread's shard while a
+/// [`ShardGuard`](crate::ShardGuard) is installed, the global registry
+/// otherwise).
 pub fn span(name: &str) -> SpanGuard {
-    span_in(global(), name)
+    crate::shard::with_current(|r| span_in(r, name))
 }
 
 /// Starts a span recording into histogram `name` of `registry`.

@@ -323,6 +323,27 @@ pub fn flush_global() {
     }
 }
 
+/// Merges per-source event buffers into `sink`, ordered by timestamp.
+///
+/// Ties are broken by source index (lower buffer index first), and the
+/// sort is stable, so within one source the original emission order is
+/// preserved exactly. This is how a parallel fleet sweep's per-chip ring
+/// buffers are folded back into the attached sink: given identical
+/// per-chip sequences, the merged stream is identical regardless of the
+/// thread count that produced the buffers.
+pub fn merge_ordered(buffers: &[Vec<TraceEvent>], sink: &SharedSink) {
+    let mut tagged: Vec<(usize, &TraceEvent)> = buffers
+        .iter()
+        .enumerate()
+        .flat_map(|(i, buf)| buf.iter().map(move |e| (i, e)))
+        .collect();
+    tagged.sort_by(|a, b| a.1.t_ns.total_cmp(&b.1.t_ns).then(a.0.cmp(&b.0)));
+    let mut sink = sink.lock().expect("trace sink poisoned");
+    for (_, e) in tagged {
+        sink.record(e);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +425,28 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
         assert!(lines[1].contains("\"refs\":8192"));
+    }
+
+    #[test]
+    fn merge_ordered_interleaves_by_timestamp_then_source() {
+        let a = vec![
+            ev(1.0, TraceKind::Act { bank: 0, row: 10 }),
+            ev(3.0, TraceKind::Pre { bank: 0 }),
+        ];
+        let b = vec![
+            ev(2.0, TraceKind::Act { bank: 1, row: 20 }),
+            ev(3.0, TraceKind::Pre { bank: 1 }),
+        ];
+        let out = Arc::new(Mutex::new(RingBufferSink::new(16)));
+        let sink: SharedSink = out.clone();
+        merge_ordered(&[a, b], &sink);
+        let merged = out.lock().unwrap().to_vec();
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged[0].t_ns, 1.0);
+        assert_eq!(merged[1].t_ns, 2.0);
+        // Equal timestamps: the lower source index wins the tie.
+        assert_eq!(merged[2].kind, TraceKind::Pre { bank: 0 });
+        assert_eq!(merged[3].kind, TraceKind::Pre { bank: 1 });
     }
 
     #[test]

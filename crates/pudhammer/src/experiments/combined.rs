@@ -97,12 +97,13 @@ fn run_combined(scale: &Scale, plan: StagePlan) -> Combined {
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = (scale.fleet.victims_per_subarray as usize) * 6;
     let dp = DataPattern::CHECKER_55;
-    let mut per_fraction: Vec<(f64, Vec<f64>, Vec<f64>)> = FRACTIONS
-        .iter()
-        .map(|&fr| (fr, Vec::new(), Vec::new()))
-        .collect();
-    let mut baseline_vals = Vec::new();
-    for chip in &mut fleet.chips {
+    let threads = scale.sweep_threads(fleet.chips.len());
+    let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+        let mut per_fraction: Vec<(f64, Vec<f64>, Vec<f64>)> = FRACTIONS
+            .iter()
+            .map(|&fr| (fr, Vec::new(), Vec::new()))
+            .collect();
+        let mut baseline_vals = Vec::new();
         let bank = chip.bank();
         for (simra_kernel, victim) in crate::experiments::simra::ds_targets(chip, 4, cap) {
             let Some(rh_kernel) = rowhammer_ds_for(chip.exec.chip(), victim) else {
@@ -159,6 +160,19 @@ fn run_combined(scale: &Scale, plan: StagePlan) -> Combined {
                     totals.push(rh_phase as f64);
                 }
             }
+        }
+        (baseline_vals, per_fraction)
+    });
+    let mut per_fraction: Vec<(f64, Vec<f64>, Vec<f64>)> = FRACTIONS
+        .iter()
+        .map(|&fr| (fr, Vec::new(), Vec::new()))
+        .collect();
+    let mut baseline_vals = Vec::new();
+    for (chip_baseline, chip_fracs) in per_chip {
+        baseline_vals.extend(chip_baseline);
+        for ((_, changes, totals), (_, c, t)) in per_fraction.iter_mut().zip(chip_fracs) {
+            changes.extend(c);
+            totals.extend(t);
         }
     }
     Combined {

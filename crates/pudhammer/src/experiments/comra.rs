@@ -7,7 +7,7 @@ use std::fmt;
 use pud_bender::TestEnv;
 use pud_dram::{Celsius, DataPattern, Manufacturer, Picos, SubarrayRegion};
 
-use crate::experiments::{collect_hc, hc_values, measure_with_dp, Record, Scale};
+use crate::experiments::{collect_hc, hc_values, measure_with_dp_warm, Record, Scale};
 use crate::fleet::Fleet;
 use crate::patterns::{
     comra_ds_for, comra_ss_for, rowhammer_ds_for, rowhammer_far_ds_for, rowhammer_ss_for,
@@ -454,15 +454,19 @@ impl Fig10 {
     }
 }
 
-/// Runs the Fig. 10 experiment.
+/// Runs the Fig. 10 experiment. Chips are swept in parallel; within one
+/// victim the reversed-direction search warm-starts from the forward
+/// bracket (direction reversal moves HC_first by only a few percent, so
+/// the bracket usually validates).
 pub fn fig10(scale: &Scale) -> Fig10 {
     let _span = pud_observe::span("experiment.fig10");
     let mut fleet = Fleet::build(scale.fleet);
     let dp = DataPattern::CHECKER_55;
-    let mut ds_changes = Vec::new();
-    let mut ss_changes = Vec::new();
-    for chip in &mut fleet.chips {
+    let threads = scale.sweep_threads(fleet.chips.len());
+    let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
         let bank = chip.bank();
+        let mut ds_changes = Vec::new();
+        let mut ss_changes = Vec::new();
         for victim in chip.victim_rows() {
             let pairs: [(Option<_>, Option<_>); 2] = [
                 (
@@ -478,8 +482,11 @@ pub fn fig10(scale: &Scale) -> Fig10 {
                 let (Some(fwd), Some(rev)) = (fwd, rev) else {
                     continue;
                 };
-                let hf = measure_with_dp(scale, &mut chip.exec, bank, &fwd, victim, dp);
-                let hr = measure_with_dp(scale, &mut chip.exec, bank, &rev, victim, dp);
+                let mut warm = crate::hcfirst::WarmStart::new();
+                let hf =
+                    measure_with_dp_warm(scale, &mut chip.exec, bank, &fwd, victim, dp, &mut warm);
+                let hr =
+                    measure_with_dp_warm(scale, &mut chip.exec, bank, &rev, victim, dp, &mut warm);
                 if let (Some(a), Some(b)) = (hf, hr) {
                     let change = percent_change(b as f64, a as f64);
                     if idx == 0 {
@@ -490,6 +497,13 @@ pub fn fig10(scale: &Scale) -> Fig10 {
                 }
             }
         }
+        (ds_changes, ss_changes)
+    });
+    let mut ds_changes = Vec::new();
+    let mut ss_changes = Vec::new();
+    for (ds, ss) in per_chip {
+        ds_changes.extend(ds);
+        ss_changes.extend(ss);
     }
     Fig10 {
         ds_changes,

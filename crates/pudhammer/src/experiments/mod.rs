@@ -30,6 +30,10 @@ pub struct Scale {
     pub use_wcdp: bool,
     /// Hammer count per aggressor for the §7 TRR experiments.
     pub trr_hammers: u64,
+    /// Sweep worker threads (0 = auto: `PUD_THREADS` env or available
+    /// parallelism, capped at fleet size). Output is identical at any
+    /// value — see [`crate::fleet::sweep`].
+    pub threads: usize,
 }
 
 impl Scale {
@@ -40,6 +44,7 @@ impl Scale {
             search: HcSearch::default(),
             use_wcdp: false,
             trr_hammers: 200_000,
+            threads: 0,
         }
     }
 
@@ -53,7 +58,14 @@ impl Scale {
             },
             use_wcdp: true,
             trr_hammers: 500_000,
+            threads: 0,
         }
+    }
+
+    /// Effective sweep worker count for a fleet (or target list) of
+    /// `items` elements.
+    pub fn sweep_threads(&self, items: usize) -> usize {
+        crate::fleet::sweep::resolve_threads(self.threads, items)
     }
 }
 
@@ -108,6 +120,29 @@ pub(crate) fn measure_with_dp(
     crate::hcfirst::measure_hc_first(exec, bank, kernel, victim, dp, dp.negated(), &scale.search)
 }
 
+/// [`measure_with_dp`] with a caller-held warm-start cache, for call sites
+/// that measure one victim under several patterns or kernels in a row.
+pub(crate) fn measure_with_dp_warm(
+    scale: &Scale,
+    exec: &mut pud_bender::Executor,
+    bank: pud_dram::BankId,
+    kernel: &Kernel,
+    victim: pud_dram::RowAddr,
+    dp: DataPattern,
+    warm: &mut crate::hcfirst::WarmStart,
+) -> Option<u64> {
+    crate::hcfirst::measure_hc_first_warm(
+        exec,
+        bank,
+        kernel,
+        victim,
+        dp,
+        dp.negated(),
+        &scale.search,
+        warm,
+    )
+}
+
 /// One HC_first measurement over the fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Record {
@@ -123,17 +158,19 @@ pub struct Record {
 
 /// Measures HC_first for every fleet victim under the kernel produced by
 /// `make_kernel`, using `dp` as the aggressor pattern (or the per-class
-/// default policy when `None`).
+/// default policy when `None`). Chips are swept in parallel per
+/// [`Scale::threads`]; records come back in fleet order regardless.
 pub(crate) fn collect_hc(
     scale: &Scale,
     fleet: &mut crate::fleet::Fleet,
-    make_kernel: impl Fn(&pud_dram::Chip, pud_dram::RowAddr) -> Option<Kernel>,
+    make_kernel: impl Fn(&pud_dram::Chip, pud_dram::RowAddr) -> Option<Kernel> + Sync,
     dp: Option<DataPattern>,
 ) -> Vec<Record> {
-    let mut records = Vec::new();
-    for chip in &mut fleet.chips {
+    let threads = scale.sweep_threads(fleet.chips.len());
+    let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
         let _sweep = pud_observe::span(&format!("fleet.sweep.{}", chip.profile.key()));
         let bank = chip.bank();
+        let mut records = Vec::new();
         for victim in chip.victim_rows() {
             let Some(kernel) = make_kernel(chip.exec.chip(), victim) else {
                 continue;
@@ -149,8 +186,9 @@ pub(crate) fn collect_hc(
                 hc,
             });
         }
-    }
-    records
+        records
+    });
+    per_chip.into_iter().flatten().collect()
 }
 
 /// Finite HC values of a record subset.

@@ -6,7 +6,7 @@ use std::fmt;
 use pud_bender::TestEnv;
 use pud_dram::{Celsius, DataPattern, Picos, RowAddr, SubarrayRegion};
 
-use crate::experiments::{measure_with_dp, Scale};
+use crate::experiments::{measure_with_dp, measure_with_dp_warm, Scale};
 use crate::fleet::{ChipUnderTest, Fleet};
 use crate::patterns::{
     rowhammer_ds_for, rowhammer_ss_for, simra_ds_kernels, simra_ss_kernels, simra_victims, Kernel,
@@ -123,13 +123,15 @@ pub fn fig13(scale: &Scale) -> Fig13 {
     let _span = pud_observe::span("experiment.fig13");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
+    let threads = scale.sweep_threads(fleet.chips.len());
     let mut per_n = Vec::new();
     let mut lowest_rh = f64::INFINITY;
     for n in DS_GROUP_SIZES {
-        let mut changes = Vec::new();
-        let mut lowest = f64::INFINITY;
-        for chip in &mut fleet.chips {
+        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
             let bank = chip.bank();
+            let mut changes = Vec::new();
+            let mut lowest = f64::INFINITY;
+            let mut lowest_rh = f64::INFINITY;
             for (kernel, victim) in ds_targets(chip, n, cap) {
                 let hc_si = measure_with_dp(
                     scale,
@@ -160,6 +162,14 @@ pub fn fig13(scale: &Scale) -> Fig13 {
                     changes.push(percent_change(si as f64, rh as f64));
                 }
             }
+            (changes, lowest, lowest_rh)
+        });
+        let mut changes = Vec::new();
+        let mut lowest = f64::INFINITY;
+        for (chip_changes, chip_lowest, chip_lowest_rh) in per_chip {
+            changes.extend(chip_changes);
+            lowest = lowest.min(chip_lowest);
+            lowest_rh = lowest_rh.min(chip_lowest_rh);
         }
         per_n.push(Fig13Row {
             n,
@@ -204,24 +214,40 @@ pub struct Fig14 {
 }
 
 /// Runs the Fig. 14 experiment.
+///
+/// Each (kernel, victim) target is measured under all four tested data
+/// patterns back to back so the searches share a [`crate::hcfirst::WarmStart`]
+/// bracket, like the WCDP search does.
 pub fn fig14(scale: &Scale) -> Fig14 {
     let _span = pud_observe::span("experiment.fig14");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
+    let threads = scale.sweep_threads(fleet.chips.len());
     let mut cells = Vec::new();
     for n in DS_GROUP_SIZES {
-        for dp in DataPattern::TESTED {
-            let mut vals = Vec::new();
-            for chip in &mut fleet.chips {
-                let bank = chip.bank();
-                for (kernel, victim) in ds_targets(chip, n, cap) {
-                    if let Some(h) =
-                        measure_with_dp(scale, &mut chip.exec, bank, &kernel, victim, dp)
-                    {
-                        vals.push(h as f64);
+        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+            let bank = chip.bank();
+            let mut by_dp: Vec<Vec<f64>> = vec![Vec::new(); DataPattern::TESTED.len()];
+            for (kernel, victim) in ds_targets(chip, n, cap) {
+                let mut warm = crate::hcfirst::WarmStart::new();
+                for (i, dp) in DataPattern::TESTED.into_iter().enumerate() {
+                    if let Some(h) = measure_with_dp_warm(
+                        scale,
+                        &mut chip.exec,
+                        bank,
+                        &kernel,
+                        victim,
+                        dp,
+                        &mut warm,
+                    ) {
+                        by_dp[i].push(h as f64);
                     }
                 }
             }
+            by_dp
+        });
+        for (i, dp) in DataPattern::TESTED.into_iter().enumerate() {
+            let vals: Vec<f64> = per_chip.iter().flat_map(|c| c[i].iter().copied()).collect();
             cells.push((n, dp, Summary::from_values(&vals)));
         }
     }
@@ -269,16 +295,19 @@ pub fn fig15(scale: &Scale) -> Fig15 {
     let _span = pud_observe::span("experiment.fig15");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
+    let threads = scale.sweep_threads(fleet.chips.len());
     let mut cells = Vec::new();
     for temp in Celsius::TESTED {
-        for chip in &mut fleet.chips {
+        // One sweep per temperature: each chip sets its environment and
+        // measures every group size, so the per-chip operation sequence
+        // matches the serial path exactly.
+        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
             chip.exec
                 .set_env(TestEnv::characterization().at_temperature(temp));
-        }
-        for n in DS_GROUP_SIZES {
-            let mut vals = Vec::new();
-            for chip in &mut fleet.chips {
-                let bank = chip.bank();
+            let bank = chip.bank();
+            let mut by_n: Vec<Vec<f64>> = Vec::with_capacity(DS_GROUP_SIZES.len());
+            for n in DS_GROUP_SIZES {
+                let mut vals = Vec::new();
                 for (kernel, victim) in ds_targets(chip, n, cap) {
                     if let Some(h) = measure_with_dp(
                         scale,
@@ -291,7 +320,12 @@ pub fn fig15(scale: &Scale) -> Fig15 {
                         vals.push(h as f64);
                     }
                 }
+                by_n.push(vals);
             }
+            by_n
+        });
+        for (i, n) in DS_GROUP_SIZES.into_iter().enumerate() {
+            let vals: Vec<f64> = per_chip.iter().flat_map(|c| c[i].iter().copied()).collect();
             cells.push((n, temp, Summary::from_values(&vals)));
         }
     }
@@ -332,12 +366,14 @@ pub fn fig16(scale: &Scale) -> Fig16 {
     let _span = pud_observe::span("experiment.fig16");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
+    let threads = scale.sweep_threads(fleet.chips.len());
     let mut simra = Vec::new();
     let mut rh_vals = Vec::new();
     for n in SS_GROUP_SIZES {
-        let mut vals = Vec::new();
-        for chip in &mut fleet.chips {
+        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
             let bank = chip.bank();
+            let mut vals = Vec::new();
+            let mut rh_vals = Vec::new();
             for (kernel, victim) in ss_targets(chip, n, cap) {
                 if let Some(h) = measure_with_dp(
                     scale,
@@ -364,6 +400,12 @@ pub fn fig16(scale: &Scale) -> Fig16 {
                     }
                 }
             }
+            (vals, rh_vals)
+        });
+        let mut vals = Vec::new();
+        for (chip_vals, chip_rh) in per_chip {
+            vals.extend(chip_vals);
+            rh_vals.extend(chip_rh);
         }
         simra.push((n, Summary::from_values(&vals)));
     }
@@ -404,12 +446,14 @@ pub fn fig17(scale: &Scale) -> Fig17 {
     let _span = pud_observe::span("experiment.fig17");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
+    let threads = scale.sweep_threads(fleet.chips.len());
     let mut cells = Vec::new();
     for t_on in crate::experiments::comra::taggon_sweep() {
-        // RowPress baseline (double-sided RowHammer held open).
-        let mut press_vals = Vec::new();
-        for chip in &mut fleet.chips {
+        // One sweep per on-time: each chip runs the RowPress baseline
+        // (double-sided RowHammer held open) and then both SiMRA sizes.
+        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
             let bank = chip.bank();
+            let mut press_vals = Vec::new();
             for victim in chip.victim_rows() {
                 let Some(k) = rowhammer_ds_for(chip.exec.chip(), victim) else {
                     continue;
@@ -426,16 +470,9 @@ pub fn fig17(scale: &Scale) -> Fig17 {
                     press_vals.push(h as f64);
                 }
             }
-        }
-        cells.push((
-            "RowPress".to_string(),
-            t_on,
-            Summary::from_values(&press_vals),
-        ));
-        for n in [4u8, 16] {
-            let mut vals = Vec::new();
-            for chip in &mut fleet.chips {
-                let bank = chip.bank();
+            let mut by_n: Vec<Vec<f64>> = Vec::with_capacity(2);
+            for n in [4u8, 16] {
+                let mut vals = Vec::new();
                 for (kernel, victim) in ds_targets(chip, n, cap) {
                     let k = kernel.with_t_aggon(t_on);
                     if let Some(h) =
@@ -444,7 +481,24 @@ pub fn fig17(scale: &Scale) -> Fig17 {
                         vals.push(h as f64);
                     }
                 }
+                by_n.push(vals);
             }
+            (press_vals, by_n)
+        });
+        let press_vals: Vec<f64> = per_chip
+            .iter()
+            .flat_map(|(p, _)| p.iter().copied())
+            .collect();
+        cells.push((
+            "RowPress".to_string(),
+            t_on,
+            Summary::from_values(&press_vals),
+        ));
+        for (i, n) in [4u8, 16].into_iter().enumerate() {
+            let vals: Vec<f64> = per_chip
+                .iter()
+                .flat_map(|(_, by_n)| by_n[i].iter().copied())
+                .collect();
             cells.push((format!("SiMRA-{n}"), t_on, Summary::from_values(&vals)));
         }
     }
@@ -488,12 +542,13 @@ pub fn fig18(scale: &Scale) -> Fig18 {
         Picos::from_ns(3.0),
         Picos::from_ns(4.5),
     ];
+    let threads = scale.sweep_threads(fleet.chips.len());
     let mut cells = Vec::new();
     for a2p in delays {
         for p2a in delays {
-            let mut vals = Vec::new();
-            for chip in &mut fleet.chips {
+            let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
                 let bank = chip.bank();
+                let mut vals = Vec::new();
                 for (kernel, victim) in ds_targets(chip, 16, cap) {
                     let Kernel::Simra {
                         r1, r2, t_aggon, ..
@@ -514,7 +569,9 @@ pub fn fig18(scale: &Scale) -> Fig18 {
                         vals.push(h as f64);
                     }
                 }
-            }
+                vals
+            });
+            let vals: Vec<f64> = per_chip.into_iter().flatten().collect();
             cells.push((a2p, p2a, Summary::from_values(&vals)));
         }
     }
@@ -554,11 +611,12 @@ pub fn fig19(scale: &Scale) -> Fig19 {
     let _span = pud_observe::span("experiment.fig19");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
+    let threads = scale.sweep_threads(fleet.chips.len());
     let mut cells = Vec::new();
     for n in DS_GROUP_SIZES {
-        let mut by_region: Vec<Vec<f64>> = vec![Vec::new(); 5];
-        for chip in &mut fleet.chips {
+        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
             let bank = chip.bank();
+            let mut by_region: Vec<Vec<f64>> = vec![Vec::new(); 5];
             for (kernel, victim) in ds_targets(chip, n, cap) {
                 let region = chip.exec.chip().geometry().region_of(victim);
                 if let Some(h) = measure_with_dp(
@@ -571,6 +629,13 @@ pub fn fig19(scale: &Scale) -> Fig19 {
                 ) {
                     by_region[region.index()].push(h as f64);
                 }
+            }
+            by_region
+        });
+        let mut by_region: Vec<Vec<f64>> = vec![Vec::new(); 5];
+        for chip_regions in per_chip {
+            for (dst, src) in by_region.iter_mut().zip(chip_regions) {
+                dst.extend(src);
             }
         }
         for region in SubarrayRegion::ALL {

@@ -52,15 +52,16 @@ pub struct Table2 {
     pub rows: Vec<Table2Row>,
 }
 
-/// Runs the Table 2 reproduction.
+/// Runs the Table 2 reproduction. Chips are swept in parallel per
+/// [`Scale::threads`]; rows come back in fleet (Table 2) order regardless.
 pub fn table2(scale: &Scale) -> Table2 {
     let _span = pud_observe::span("experiment.table2");
     let mut fleet = Fleet::build(scale.fleet);
     let cap = (scale.fleet.victims_per_subarray as usize) * 6;
-    let mut rows = Vec::new();
-    for chip in &mut fleet.chips {
+    let threads = scale.sweep_threads(fleet.chips.len());
+    let rows = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
         if chip.chip_index != 0 {
-            continue;
+            return None;
         }
         let bank = chip.bank();
         let mut rh_vals = Vec::new();
@@ -108,14 +109,16 @@ pub fn table2(scale: &Scale) -> Table2 {
                 }
             }
         }
-        rows.push(Table2Row {
+        Some(Table2Row {
             profile: chip.profile,
             rowhammer: MinAvg::from_values(&rh_vals),
             comra: MinAvg::from_values(&comra_vals),
             simra: MinAvg::from_values(&simra_vals),
-        });
+        })
+    });
+    Table2 {
+        rows: rows.into_iter().flatten().collect(),
     }
-    Table2 { rows }
 }
 
 impl fmt::Display for Table2 {

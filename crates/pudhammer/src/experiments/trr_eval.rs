@@ -7,9 +7,11 @@
 //! counted (averaged over repetitions).
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use pud_bender::{Executor, TestEnv};
 use pud_dram::{profiles, BankId, DataPattern, RowAddr};
+use pud_observe::{RingBufferSink, SharedSink};
 use pud_trr::{patterns as trr_patterns, SamplingTrr, SamplingTrrConfig};
 
 use crate::experiments::Scale;
@@ -159,18 +161,62 @@ pub fn fig24(scale: &Scale) -> Fig24 {
     if let Some((_, k)) = best32 {
         techniques.push(("SiMRA-32".into(), Technique::Simra(k)));
     }
-    for (name, tech) in techniques {
+    // Techniques are independent (each repetition builds its own executor),
+    // so they are swept in parallel like fleet chips. Per-technique trace
+    // rings stand in for the global sink during the sweep and are merged
+    // timestamp-ordered afterwards, keeping the trace stream — like the
+    // rows — identical at any thread count.
+    let threads = scale.sweep_threads(techniques.len());
+    let dest = pud_observe::global_sink();
+    let tracing = dest.is_some();
+    let outcomes = crate::fleet::sweep::sweep_items(threads, techniques, |_, (name, tech)| {
+        let ring = tracing.then(|| {
+            Arc::new(Mutex::new(RingBufferSink::new(
+                crate::fleet::sweep::TRACE_RING_CAPACITY,
+            )))
+        });
+        let sink: Option<SharedSink> = ring.clone().map(|r| r as SharedSink);
         let mut counts_without = Vec::new();
         let mut counts_with = Vec::new();
         for rep in 0..reps {
-            counts_without.push(run_once(scale, profile, &tech, dummy_phys, false, rep));
-            counts_with.push(run_once(scale, profile, &tech, dummy_phys, true, rep));
+            counts_without.push(run_once(
+                scale,
+                profile,
+                tech,
+                dummy_phys,
+                false,
+                rep,
+                sink.as_ref(),
+            ));
+            counts_with.push(run_once(
+                scale,
+                profile,
+                tech,
+                dummy_phys,
+                true,
+                rep,
+                sink.as_ref(),
+            ));
         }
-        rows.push(Fig24Row {
-            technique: name,
-            without_trr: FlipStat::from_counts(&counts_without),
-            with_trr: FlipStat::from_counts(&counts_with),
+        let events = ring.map_or_else(Vec::new, |r| {
+            r.lock().expect("fig24 trace ring poisoned").to_vec()
         });
+        (
+            Fig24Row {
+                technique: std::mem::take(name),
+                without_trr: FlipStat::from_counts(&counts_without),
+                with_trr: FlipStat::from_counts(&counts_with),
+            },
+            events,
+        )
+    });
+    let mut buffers = Vec::with_capacity(outcomes.len());
+    for (row, events) in outcomes {
+        rows.push(row);
+        buffers.push(events);
+    }
+    if let Some(dest) = dest {
+        pud_observe::merge_ordered(&buffers, &dest);
     }
     Fig24 {
         rows,
@@ -192,10 +238,20 @@ fn run_once(
     dummy_phys: RowAddr,
     with_trr: bool,
     rep: u32,
+    trace: Option<&SharedSink>,
 ) -> u64 {
     let geometry = scale.fleet.geometry;
     let bank = BankId(0);
     let mut exec = Executor::new(profile, geometry, 0, scale.fleet.seed);
+    // During a parallel sweep the executor must not write to the global
+    // sink it attached at construction; the caller supplies a private ring
+    // (or the sweep runs untraced).
+    match trace {
+        Some(sink) => exec.set_trace_sink(sink.clone()),
+        None => {
+            exec.take_trace_sink();
+        }
+    }
     if with_trr {
         exec.set_env(TestEnv::with_refresh());
         exec.set_observer(Box::new(SamplingTrr::new(

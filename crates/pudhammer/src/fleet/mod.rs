@@ -1,11 +1,14 @@
 //! The simulated test fleet: one executor per tested chip, with the
-//! paper's subarray/victim sampling methodology.
+//! paper's subarray/victim sampling methodology, and the parallel
+//! [`sweep`] engine the experiment drivers iterate it with.
 
 use pud_bender::Executor;
 use pud_dram::{
     profiles::{self, ModuleProfile},
     BankId, ChipGeometry, Manufacturer, RowAddr, SubarrayId,
 };
+
+pub mod sweep;
 
 /// Scale and sampling configuration for experiments.
 ///
@@ -44,6 +47,12 @@ impl FleetConfig {
             chips_per_family: 2,
             victims_per_subarray: 32,
         }
+    }
+
+    /// Number of chips a full (unfiltered) fleet built from this
+    /// configuration holds — the natural cap for sweep thread counts.
+    pub fn fleet_size(&self) -> usize {
+        profiles::TESTED_MODULES.len() * self.chips_per_family as usize
     }
 }
 
@@ -115,15 +124,20 @@ impl ChipUnderTest {
             for i in 0..per_sa {
                 let offset = 2 + (u64::from(i) * u64::from(usable) / u64::from(per_sa)) as u32;
                 // Odd physical offsets stay sandwichable by SiMRA groups.
-                let row = RowAddr((base + offset) | 1);
-                if !victims.contains(&row) {
-                    victims.push(row);
-                }
+                victims.push(RowAddr((base + offset) | 1));
             }
         }
+        // Sampling walks subarrays and offsets in ascending order, so
+        // duplicates (dense sampling collapsing adjacent offsets onto the
+        // same odd row) are adjacent: sort + dedup replaces the old
+        // quadratic `contains` filter without changing the output.
+        victims.sort_unstable();
+        victims.dedup();
         if let Some((bank, hero)) = self.exec.engine().model().hero_row() {
             debug_assert_eq!(bank, self.bank());
-            if !victims.contains(&hero) {
+            // Hero-row-last invariant: the designated most-vulnerable row is
+            // appended after the sorted sample when not already in it.
+            if victims.binary_search(&hero).is_err() {
                 victims.push(hero);
             }
         }
@@ -228,6 +242,30 @@ mod tests {
             for v in victims {
                 assert!(v.0 < g.rows_per_bank());
                 assert!(v.0 % 2 == 1, "victims are odd physical rows");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_sampling_dedups_and_keeps_hero_last() {
+        let mut cfg = FleetConfig::quick();
+        // Denser than the subarray has usable rows: adjacent offsets
+        // collapse onto the same odd row, exercising the dedup path.
+        cfg.victims_per_subarray = 4 * cfg.geometry.rows_per_subarray;
+        let fleet = Fleet::build(cfg);
+        for chip in &fleet.chips {
+            let victims = chip.victim_rows();
+            let mut unique = victims.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            assert_eq!(unique.len(), victims.len(), "{}", chip.profile.key());
+            // The sampled prefix stays ascending; only the hero row may
+            // break the order, and only as the final element.
+            let ascending = victims.windows(2).filter(|w| w[0] >= w[1]).count();
+            assert!(ascending <= 1);
+            if ascending == 1 {
+                let hero = chip.exec.engine().model().hero_row().unwrap().1;
+                assert_eq!(*victims.last().unwrap(), hero);
             }
         }
     }

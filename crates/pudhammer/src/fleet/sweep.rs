@@ -1,0 +1,348 @@
+//! Work-stealing parallel sweep over the fleet.
+//!
+//! Every [`ChipUnderTest`] owns an independent [`Executor`] with no shared
+//! mutable state, so a fleet sweep is embarrassingly parallel across chips
+//! — the same shape as a DRAM Bender campaign spread over boards. The
+//! engine here is zero-dependency: `std::thread::scope` workers pull chip
+//! indices from a shared atomic queue (no channels), run a caller-supplied
+//! closure per chip, and results are reassembled in chip order.
+//!
+//! Determinism is the load-bearing guarantee. Three mechanisms make the
+//! output byte-identical to the serial path at any thread count:
+//!
+//! 1. **Ordered results.** Each closure result lands in a slot keyed by
+//!    chip index; callers see `Vec<R>` in fleet order no matter which
+//!    worker ran which chip.
+//! 2. **Per-chip trace rings.** Before the sweep, each chip's attached
+//!    trace sink is swapped for a private ring buffer; afterwards the rings
+//!    are merged timestamp-ordered (ties by chip index) into the original
+//!    sink via [`pud_observe::merge_ordered`]. The serial (`threads == 1`)
+//!    path routes through the *same* ring-and-merge machinery, so the
+//!    merged stream cannot depend on the thread count.
+//! 3. **Metric shards.** Each worker installs a
+//!    [`pud_observe::ShardGuard`] and rebinds its claimed chip's cached
+//!    metric handles to the shard, so hot hammer loops never contend on
+//!    the global registry; shards drain into the global registry at the
+//!    sweep barrier, producing the same totals as serial recording.
+//!
+//! [`Executor`]: pud_bender::Executor
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pud_observe::{merge_ordered, RingBufferSink, ShardGuard, SharedSink, TraceEvent};
+
+use super::ChipUnderTest;
+
+/// Capacity of each per-chip trace ring during a sweep. Batched hammer
+/// loops elide per-command events, so even a full table2 run stays well
+/// under this; overflow is reported via [`SweepTraces::dropped`].
+pub(crate) const TRACE_RING_CAPACITY: usize = 1 << 20;
+
+/// Environment variable overriding the auto-detected sweep thread count.
+pub const THREADS_ENV: &str = "PUD_THREADS";
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves an effective worker count for a sweep over `items` items.
+///
+/// `requested == 0` means "auto": the `PUD_THREADS` environment variable if
+/// set to a positive integer, the machine's available parallelism
+/// otherwise. The result is clamped to `[1, items]` — more workers than
+/// chips would only idle.
+pub fn resolve_threads(requested: usize, items: usize) -> usize {
+    let want = if requested > 0 {
+        requested
+    } else {
+        default_threads()
+    };
+    want.clamp(1, items.max(1))
+}
+
+/// Trace state captured by [`sweep_traced`]: the per-chip event sequences
+/// and the sink they are destined for.
+pub struct SweepTraces {
+    /// Events each chip emitted during the sweep, in emission order,
+    /// indexed like the swept slice.
+    pub per_chip: Vec<Vec<TraceEvent>>,
+    /// The original sink the chips were attached to (already re-attached).
+    pub sink: SharedSink,
+    /// Events evicted from the per-chip rings (0 in any sane run).
+    pub dropped: u64,
+}
+
+impl std::fmt::Debug for SweepTraces {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepTraces")
+            .field("chips", &self.per_chip.len())
+            .field("events", &self.per_chip.iter().map(Vec::len).sum::<usize>())
+            .field("dropped", &self.dropped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SweepTraces {
+    /// Merges the per-chip sequences into the destination sink,
+    /// timestamp-ordered with ties broken by chip index.
+    pub fn merge(&self) {
+        merge_ordered(&self.per_chip, &self.sink);
+    }
+}
+
+/// Work-stealing map over arbitrary owned items.
+///
+/// Runs `f(index, &mut item)` for every item using `threads` scoped
+/// workers pulling indices from a shared atomic queue, and returns the
+/// results in item order. `threads <= 1` (or a single item) runs inline on
+/// the calling thread with no worker machinery. Parallel workers record
+/// metrics into per-thread shards that drain into the global registry
+/// before the call returns.
+///
+/// This is the raw engine; [`sweep`] adds the per-chip trace handling
+/// experiments need.
+pub fn sweep_items<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut item)| f(i, &mut item))
+            .collect();
+    }
+    let slots: Vec<Mutex<T>> = items.into_iter().map(Mutex::new).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| {
+                let _shard = ShardGuard::install();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // fetch_add hands out each index exactly once, so the
+                    // slot lock is uncontended — it exists to move `&mut T`
+                    // across the thread boundary without unsafe code.
+                    let mut item = slots[i].lock().expect("sweep item slot poisoned");
+                    let r = f(i, &mut item);
+                    *results[i].lock().expect("sweep result slot poisoned") = Some(r);
+                }
+                // `_shard` drops here, draining this worker's metrics into
+                // the global registry — the sweep-barrier flush point.
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep result slot poisoned")
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+/// Parallel sweep over fleet chips with deterministic trace merging.
+///
+/// Equivalent to `for (i, chip) in chips.iter_mut().enumerate()` running
+/// `f(i, chip)` and collecting the results — but spread over `threads`
+/// work-stealing workers. Results come back in chip order, and trace
+/// events are merged back into the chips' attached sink timestamp-ordered,
+/// so the observable output is byte-identical to the serial path at any
+/// thread count.
+pub fn sweep<R, F>(threads: usize, chips: &mut [ChipUnderTest], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut ChipUnderTest) -> R + Sync,
+{
+    let (results, traces) = sweep_traced(threads, chips, f);
+    if let Some(traces) = traces {
+        traces.merge();
+    }
+    results
+}
+
+/// Like [`sweep`], but hands the captured per-chip trace sequences back to
+/// the caller *unmerged* (together with the destination sink) instead of
+/// merging them. Used by the determinism tests to compare per-chip event
+/// sequences across thread counts; `None` when no chip had a sink
+/// attached.
+pub fn sweep_traced<R, F>(
+    threads: usize,
+    chips: &mut [ChipUnderTest],
+    f: F,
+) -> (Vec<R>, Option<SweepTraces>)
+where
+    R: Send,
+    F: Fn(usize, &mut ChipUnderTest) -> R + Sync,
+{
+    let n = chips.len();
+    let threads = threads.clamp(1, n.max(1));
+    pud_observe::counter("sweep.runs").incr();
+    pud_observe::histogram("sweep.threads").record(threads as u64);
+    pud_observe::histogram("sweep.chips").record(n as u64);
+
+    // Swap each chip's attached sink for a private ring so workers never
+    // interleave writes. The serial path takes the same detour: byte
+    // identity across thread counts requires identical machinery.
+    let mut dest: Option<SharedSink> = None;
+    let rings: Vec<Option<Arc<Mutex<RingBufferSink>>>> = chips
+        .iter_mut()
+        .map(|chip| {
+            chip.exec.take_trace_sink().map(|orig| {
+                let ring = Arc::new(Mutex::new(RingBufferSink::new(TRACE_RING_CAPACITY)));
+                chip.exec.set_trace_sink(ring.clone());
+                if dest.is_none() {
+                    dest = Some(orig);
+                }
+                ring
+            })
+        })
+        .collect();
+
+    let results = sweep_items(threads, chips.iter_mut().collect(), |i, chip| {
+        // Point the executor's cached metric handles at this worker's
+        // shard (a no-op rebind to the global registry when serial).
+        chip.exec.rebind_metrics();
+        let _span = pud_observe::span("sweep.chip_ns");
+        f(i, chip)
+    });
+
+    // Barrier passed: re-attach the original sink, rebind metrics back to
+    // the global registry, and collect the captured rings in chip order.
+    let traces = dest.map(|sink| {
+        let mut per_chip = Vec::with_capacity(n);
+        let mut dropped = 0u64;
+        for (chip, ring) in chips.iter_mut().zip(&rings) {
+            match ring {
+                Some(ring) => {
+                    chip.exec.set_trace_sink(sink.clone());
+                    let ring = ring.lock().expect("sweep trace ring poisoned");
+                    dropped += ring.dropped();
+                    per_chip.push(ring.to_vec());
+                }
+                None => per_chip.push(Vec::new()),
+            }
+        }
+        if dropped > 0 {
+            pud_observe::counter("sweep.trace_dropped").add(dropped);
+        }
+        SweepTraces {
+            per_chip,
+            sink,
+            dropped,
+        }
+    });
+    for chip in chips.iter_mut() {
+        chip.exec.rebind_metrics();
+    }
+    (results, traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{Fleet, FleetConfig};
+
+    #[test]
+    fn resolve_clamps_to_fleet_size() {
+        assert_eq!(resolve_threads(8, 3), 3);
+        assert_eq!(resolve_threads(2, 14), 2);
+        assert_eq!(resolve_threads(1, 0), 1);
+        assert!(resolve_threads(0, 14) >= 1);
+    }
+
+    #[test]
+    fn sweep_items_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = sweep_items(1, items.clone(), |i, v| *v * 2 + i as u64);
+        for threads in [2, 4, 16] {
+            let parallel = sweep_items(threads, items.clone(), |i, v| *v * 2 + i as u64);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        assert_eq!(serial[5], 15);
+    }
+
+    #[test]
+    fn sweep_runs_every_chip_once_in_order() {
+        let mut fleet = Fleet::build(FleetConfig::quick());
+        let keys = sweep(4, &mut fleet.chips, |i, chip| {
+            (i, chip.profile.key().to_string())
+        });
+        assert_eq!(keys.len(), 14);
+        for (slot, (i, _)) in keys.iter().enumerate() {
+            assert_eq!(slot, *i);
+        }
+        let serial = sweep(1, &mut fleet.chips, |i, chip| {
+            (i, chip.profile.key().to_string())
+        });
+        assert_eq!(keys, serial);
+    }
+
+    #[test]
+    fn sweep_restores_trace_sinks_and_merges() {
+        let mut fleet = Fleet::build(FleetConfig::quick());
+        let ring = Arc::new(Mutex::new(RingBufferSink::new(1 << 16)));
+        let sink: SharedSink = ring.clone();
+        for chip in &mut fleet.chips {
+            chip.exec.set_trace_sink(sink.clone());
+        }
+        let (_, traces) = sweep_traced(2, &mut fleet.chips, |_, chip| {
+            // A tiny program per chip so each ring sees something.
+            chip.exec.run(&tiny_program(chip));
+        });
+        let traces = traces.expect("sinks were attached");
+        assert_eq!(traces.dropped, 0);
+        assert!(traces.per_chip.iter().all(|b| !b.is_empty()));
+        assert!(
+            ring.lock().unwrap().is_empty(),
+            "unmerged sweep leaves the destination untouched"
+        );
+        traces.merge();
+        let merged = ring.lock().unwrap().to_vec();
+        assert_eq!(
+            merged.len(),
+            traces.per_chip.iter().map(Vec::len).sum::<usize>()
+        );
+        assert!(merged.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        // Sinks restored: post-sweep events land in the destination again.
+        let chip = &mut fleet.chips[0];
+        let program = tiny_program(chip);
+        chip.exec.run(&program);
+        assert!(ring.lock().unwrap().len() > merged.len());
+    }
+
+    fn tiny_program(chip: &ChipUnderTest) -> pud_bender::TestProgram {
+        let aggressor = pud_dram::RowAddr(chip.victim_rows()[0].0.saturating_sub(1));
+        pud_bender::ops::single_sided_rowhammer(chip.bank(), aggressor, pud_bender::ops::t_ras(), 3)
+    }
+
+    #[test]
+    fn sweep_without_sinks_reports_no_traces() {
+        let mut fleet = Fleet::build(FleetConfig::quick());
+        let (results, traces) = sweep_traced(2, &mut fleet.chips, |i, _| i);
+        assert_eq!(results.len(), 14);
+        assert!(traces.is_none());
+    }
+}

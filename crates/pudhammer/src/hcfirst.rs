@@ -6,6 +6,13 @@
 //! the minimum. The reproduction implements the same search; because the
 //! simulated chip is deterministic for a fixed fleet seed, repeats return
 //! identical values and default to one.
+//!
+//! Searches over the *same victim* (repeats, the four WCDP data patterns,
+//! kernel variants) tend to converge to nearby counts, so a [`WarmStart`]
+//! can seed the next search's bracket from the previous converged one: two
+//! validation trials replace the whole exponential probe on a hit, and a
+//! miss falls back to the full cold search. Hits, misses, and the saved
+//! probe iterations are recorded under `hcfirst.warm.*`.
 
 use pud_bender::Executor;
 use pud_dram::{BankId, DataPattern, RowAddr};
@@ -38,12 +45,43 @@ impl Default for HcSearch {
     }
 }
 
+/// Carry-over state seeding consecutive HC_first searches on one victim.
+///
+/// Holds the last converged bisection bracket. The next search through
+/// [`measure_hc_first_warm`] validates it with two trials (`hi` must flip,
+/// `lo` must not) and, on a hit, bisects within it directly — skipping the
+/// exponential probe entirely. A miss (different victim, or the new
+/// pattern/kernel moved HC_first outside the bracket) falls back to the
+/// full cold search, so results never depend on what was cached.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WarmStart {
+    bracket: Option<(RowAddr, u64, u64)>,
+}
+
+impl WarmStart {
+    /// A cache with no seeded bracket (the first search is always cold).
+    pub fn new() -> WarmStart {
+        WarmStart::default()
+    }
+
+    /// Forgets the cached bracket; the next search runs cold.
+    pub fn clear(&mut self) {
+        self.bracket = None;
+    }
+
+    fn bracket_for(&self, victim: RowAddr) -> Option<(u64, u64)> {
+        self.bracket
+            .and_then(|(v, lo, hi)| (v == victim).then_some((lo, hi)))
+    }
+}
+
 /// Measures the HC_first of `victim` (a physical row) under `kernel`.
 ///
 /// Aggressor rows are initialized with `aggressor_dp`, the victim (and its
 /// distance-≤2 neighbourhood) with `victim_dp` — the paper fills victims
 /// with the negated aggressor pattern. Returns `None` if no bitflip occurs
-/// within `search.max_hammers` cycles.
+/// within `search.max_hammers` cycles. Repeats after the first warm-start
+/// from the previous repeat's bracket.
 pub fn measure_hc_first(
     exec: &mut Executor,
     bank: BankId,
@@ -53,12 +91,48 @@ pub fn measure_hc_first(
     victim_dp: DataPattern,
     search: &HcSearch,
 ) -> Option<u64> {
+    let mut warm = WarmStart::new();
+    measure_hc_first_warm(
+        exec,
+        bank,
+        kernel,
+        victim,
+        aggressor_dp,
+        victim_dp,
+        search,
+        &mut warm,
+    )
+}
+
+/// [`measure_hc_first`] with a caller-held [`WarmStart`], so consecutive
+/// searches on the same victim (different data patterns or kernels) seed
+/// each other's brackets.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_hc_first_warm(
+    exec: &mut Executor,
+    bank: BankId,
+    kernel: &Kernel,
+    victim: RowAddr,
+    aggressor_dp: DataPattern,
+    victim_dp: DataPattern,
+    search: &HcSearch,
+    warm: &mut WarmStart,
+) -> Option<u64> {
     let _span = pud_observe::span("hcfirst.search_ns");
     pud_observe::counter("hcfirst.searches").incr();
     pud_observe::histogram("hcfirst.repeats").record(u64::from(search.repeats.max(1)));
     let mut best: Option<u64> = None;
     for _ in 0..search.repeats.max(1) {
-        let hc = search_once(exec, bank, kernel, victim, aggressor_dp, victim_dp, search);
+        let hc = search_once(
+            exec,
+            bank,
+            kernel,
+            victim,
+            aggressor_dp,
+            victim_dp,
+            search,
+            warm,
+        );
         best = match (best, hc) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -67,6 +141,37 @@ pub fn measure_hc_first(
     best
 }
 
+/// Trials the cold exponential probe spends reaching an upper bound of
+/// `target` (the cost a warm-start hit avoids, minus its two validation
+/// trials).
+fn probe_steps(target: u64, max_hammers: u64) -> u64 {
+    let mut h = 1u64;
+    let mut steps = 1u64;
+    while h < target && h < max_hammers {
+        h = (h * 4).min(max_hammers);
+        steps += 1;
+    }
+    steps
+}
+
+fn bisect(
+    check: &mut impl FnMut(u64) -> bool,
+    mut lo: u64,
+    mut hi: u64,
+    tolerance: f64,
+) -> (u64, u64) {
+    while (hi - lo) as f64 > tolerance * hi as f64 && hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if check(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (lo, hi)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn search_once(
     exec: &mut Executor,
     bank: BankId,
@@ -75,19 +180,32 @@ fn search_once(
     aggressor_dp: DataPattern,
     victim_dp: DataPattern,
     search: &HcSearch,
+    warm: &mut WarmStart,
 ) -> Option<u64> {
     // Iterations-to-convergence (probe + bisection trials) and the final
     // bracket width are the search's cost and precision; both go to the
     // global histograms the `--metrics` report surfaces.
     let mut iterations = 0u64;
-    let (result, bracket_width) = 'search: {
+    let (result, bracket) = 'search: {
         let mut check = |count: u64| -> bool {
             iterations += 1;
             prepare(exec, bank, kernel, victim, aggressor_dp, victim_dp);
             let report = exec.run(&kernel.program(bank, count));
             report.flips.iter().any(|f| f.phys_row == victim)
         };
-        // Exponential probe for an upper bound.
+        // Warm path: validate the cached bracket with two trials, bisect
+        // within it on a hit.
+        if let Some((wlo, whi)) = warm.bracket_for(victim) {
+            if check(whi) && !check(wlo) {
+                pud_observe::counter("hcfirst.warm.hits").incr();
+                pud_observe::histogram("hcfirst.warm.saved_iterations")
+                    .record(probe_steps(whi, search.max_hammers).saturating_sub(2));
+                let (lo, hi) = bisect(&mut check, wlo, whi, search.tolerance);
+                break 'search (Some(hi), Some((lo, hi)));
+            }
+            pud_observe::counter("hcfirst.warm.misses").incr();
+        }
+        // Cold path: exponential probe for an upper bound.
         let mut hi = 1u64;
         while !check(hi) {
             if hi >= search.max_hammers {
@@ -96,23 +214,18 @@ fn search_once(
             hi = (hi * 4).min(search.max_hammers);
         }
         if hi == 1 {
-            break 'search (Some(1), Some(0));
+            break 'search (Some(1), Some((1, 1)));
         }
         // Bisect within (hi/4, hi] until within tolerance.
-        let mut lo = hi / 4;
-        while (hi - lo) as f64 > search.tolerance * hi as f64 && hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            if check(mid) {
-                hi = mid;
-            } else {
-                lo = mid;
-            }
-        }
-        (Some(hi), Some(hi - lo))
+        let (lo, hi) = bisect(&mut check, hi / 4, hi, search.tolerance);
+        (Some(hi), Some((lo, hi)))
     };
     pud_observe::histogram("hcfirst.iterations").record(iterations);
-    if let Some(width) = bracket_width {
-        pud_observe::histogram("hcfirst.bracket_width").record(width);
+    if let Some((lo, hi)) = bracket {
+        pud_observe::histogram("hcfirst.bracket_width").record(hi - lo);
+        if hi > 1 {
+            warm.bracket = Some((victim, lo, hi));
+        }
     }
     result
 }
@@ -239,6 +352,111 @@ mod tests {
         )
         .unwrap();
         assert!(hc_comra < hc_rh, "comra {hc_comra} vs rh {hc_rh}");
+    }
+
+    #[test]
+    fn warm_start_hits_and_matches_the_cold_result() {
+        // A shard isolates the hcfirst.warm.* counters from concurrent
+        // tests in this process.
+        let guard = pud_observe::ShardGuard::install();
+        let mut e = exec();
+        let victim = RowAddr(20);
+        let kernel = patterns::rowhammer_ds_for(e.chip(), victim).unwrap();
+        let opts = HcSearch::default();
+        let mut warm = WarmStart::new();
+        let run = |e: &mut Executor, w: &mut WarmStart| {
+            measure_hc_first_warm(
+                e,
+                BankId(0),
+                &kernel,
+                victim,
+                DataPattern::CHECKER_55,
+                DataPattern::CHECKER_AA,
+                &opts,
+                w,
+            )
+        };
+        let cold = run(&mut e, &mut warm);
+        assert!(cold.is_some());
+        assert_eq!(guard.registry().counter("hcfirst.warm.hits").get(), 0);
+        let warm_result = run(&mut e, &mut warm);
+        assert_eq!(warm_result, cold, "a warm hit reproduces the cold value");
+        assert_eq!(guard.registry().counter("hcfirst.warm.hits").get(), 1);
+        assert_eq!(guard.registry().counter("hcfirst.warm.misses").get(), 0);
+        assert!(
+            guard
+                .registry()
+                .histogram("hcfirst.warm.saved_iterations")
+                .mean()
+                > 0.0
+        );
+        // A different victim cannot use the bracket and runs cold without
+        // even counting a miss.
+        warm.clear();
+        let other = RowAddr(22);
+        let k2 = patterns::rowhammer_ds_for(e.chip(), other).unwrap();
+        let _ = measure_hc_first_warm(
+            &mut e,
+            BankId(0),
+            &k2,
+            other,
+            DataPattern::CHECKER_55,
+            DataPattern::CHECKER_AA,
+            &opts,
+            &mut warm,
+        );
+        assert_eq!(guard.registry().counter("hcfirst.warm.misses").get(), 0);
+    }
+
+    #[test]
+    fn warm_miss_falls_back_to_the_cold_search() {
+        let guard = pud_observe::ShardGuard::install();
+        let mut e = exec();
+        let victim = RowAddr(33);
+        let opts = HcSearch::default();
+        let rh = patterns::rowhammer_ds_for(e.chip(), victim).unwrap();
+        let comra = patterns::comra_ds_for(e.chip(), victim, false).unwrap();
+        // Cold references, each with a fresh cache.
+        let rh_cold = measure_hc_first(
+            &mut e,
+            BankId(0),
+            &rh,
+            victim,
+            DataPattern::CHECKER_55,
+            DataPattern::CHECKER_AA,
+            &opts,
+        )
+        .unwrap();
+        let comra_cold = measure_hc_first(
+            &mut e,
+            BankId(0),
+            &comra,
+            victim,
+            DataPattern::CHECKER_55,
+            DataPattern::CHECKER_AA,
+            &opts,
+        )
+        .unwrap();
+        // Chain RH → CoMRA through one cache. CoMRA flips far below the RH
+        // bracket, so the bracket cannot validate; the fallback must still
+        // land exactly on the cold value.
+        let mut warm = WarmStart::new();
+        let chained = |e: &mut Executor, k: &Kernel, w: &mut WarmStart| {
+            measure_hc_first_warm(
+                e,
+                BankId(0),
+                k,
+                victim,
+                DataPattern::CHECKER_55,
+                DataPattern::CHECKER_AA,
+                &opts,
+                w,
+            )
+            .unwrap()
+        };
+        assert_eq!(chained(&mut e, &rh, &mut warm), rh_cold);
+        assert_eq!(chained(&mut e, &comra, &mut warm), comra_cold);
+        assert_eq!(guard.registry().counter("hcfirst.warm.misses").get(), 1);
     }
 
     #[test]

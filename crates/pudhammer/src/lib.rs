@@ -13,7 +13,8 @@
 //! - [`wcdp`] — worst-case data pattern search;
 //! - [`rev_eng`] — reverse engineering of subarray boundaries, physical
 //!   row adjacency, and SiMRA row groups (§3.2, §5.2);
-//! - [`fleet`] — the simulated 40-module / 316-chip test fleet;
+//! - [`fleet`] — the simulated 40-module / 316-chip test fleet, with a
+//!   deterministic work-stealing parallel sweep engine ([`fleet::sweep`]);
 //! - [`experiments`] — one function per table/figure of the paper;
 //! - [`stats`] / [`report`] — distribution summaries and text rendering.
 //!

@@ -7,7 +7,7 @@
 use pud_bender::Executor;
 use pud_dram::{BankId, DataPattern, RowAddr};
 
-use crate::hcfirst::{measure_hc_first, HcSearch};
+use crate::hcfirst::{measure_hc_first_warm, HcSearch, WarmStart};
 use crate::patterns::Kernel;
 
 /// Result of a WCDP search on one victim row.
@@ -22,6 +22,11 @@ pub struct WcdpResult {
 
 /// Finds the worst-case aggressor data pattern for `victim` under `kernel`
 /// by measuring HC_first for all four tested patterns.
+///
+/// The four searches target one victim, so each seeds the next through a
+/// [`WarmStart`]: patterns whose HC_first lands inside the previous
+/// converged bracket skip the exponential probe (see `hcfirst.warm.*`
+/// metrics for the realized hit rate).
 pub fn find_wcdp(
     exec: &mut Executor,
     bank: BankId,
@@ -33,8 +38,18 @@ pub fn find_wcdp(
         pattern: DataPattern::CHECKER_55,
         hc: None,
     };
+    let mut warm = WarmStart::new();
     for dp in DataPattern::TESTED {
-        let hc = measure_hc_first(exec, bank, kernel, victim, dp, dp.negated(), search);
+        let hc = measure_hc_first_warm(
+            exec,
+            bank,
+            kernel,
+            victim,
+            dp,
+            dp.negated(),
+            search,
+            &mut warm,
+        );
         match (best.hc, hc) {
             (None, Some(_)) => best = WcdpResult { pattern: dp, hc },
             (Some(b), Some(h)) if h < b => best = WcdpResult { pattern: dp, hc },

@@ -3,13 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! repro <target> [--full] [--metrics] [--trace-out <path>] [--quiet]
-//! repro all [--full] [--metrics] [--trace-out <path>] [--quiet]
+//! repro <target> [--full] [--threads <n>] [--metrics] [--trace-out <path>] [--quiet]
+//! repro all [--full] [--threads <n>] [--metrics] [--trace-out <path>] [--quiet]
 //! repro list
 //! ```
 //!
 //! Targets: `table2`, `fig4` … `fig11`, `fig13` … `fig19`, `fig21` …
 //! `fig25`. `--full` runs at paper density (slower).
+//!
+//! `--threads <n>` sets the fleet-sweep worker count (default: the
+//! `PUD_THREADS` environment variable, else the machine's available
+//! parallelism, capped at the fleet size). Results are byte-identical at
+//! any thread count — see `pudhammer::fleet::sweep`.
 //!
 //! Observability flags (see the README "Observability" section):
 //!
@@ -40,12 +45,16 @@ struct Options {
     full: bool,
     metrics: bool,
     quiet: bool,
+    threads: usize,
     trace_out: Option<String>,
     target: Option<String>,
 }
 
 fn usage() {
-    eprintln!("usage: repro <target|all|list> [--full] [--metrics] [--trace-out <path>] [--quiet]");
+    eprintln!(
+        "usage: repro <target|all|list> [--full] [--threads <n>] [--metrics] \
+         [--trace-out <path>] [--quiet]"
+    );
     eprintln!("targets: {}", TARGETS.join(", "));
 }
 
@@ -54,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         full: false,
         metrics: false,
         quiet: false,
+        threads: 0,
         trace_out: None,
         target: None,
     };
@@ -63,6 +73,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--full" => opts.full = true,
             "--metrics" => opts.metrics = true,
             "--quiet" => opts.quiet = true,
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0);
+                let Some(n) = n else {
+                    return Err("--threads requires a positive integer".to_string());
+                };
+                opts.threads = n;
+            }
             "--trace-out" => {
                 let Some(path) = it.next() else {
                     return Err("--trace-out requires a path".to_string());
@@ -112,11 +132,12 @@ fn main() -> ExitCode {
             }
         }
     }
-    let scale = if opts.full {
+    let mut scale = if opts.full {
         Scale::full()
     } else {
         Scale::quick()
     };
+    scale.threads = opts.threads;
     let started = Instant::now();
     let mut ran: Vec<&str> = Vec::new();
     match target.as_str() {
@@ -143,7 +164,10 @@ fn main() -> ExitCode {
     }
     pud_observe::flush_global();
     if target == "all" {
-        println!("{}", run_metadata(&ran, opts.full, started.elapsed()));
+        println!(
+            "{}",
+            run_metadata(&ran, &scale, opts.full, started.elapsed())
+        );
     }
     if opts.metrics {
         eprint!("{}", report::metrics_table(&pud_observe::snapshot()));
@@ -152,8 +176,14 @@ fn main() -> ExitCode {
 }
 
 /// One JSON line summarizing a `repro all` run: what ran, how long it took,
-/// and the headline command-stream counters.
-fn run_metadata(targets: &[&str], full: bool, elapsed: std::time::Duration) -> String {
+/// the effective sweep thread count, and the headline command-stream
+/// counters.
+fn run_metadata(
+    targets: &[&str],
+    scale: &Scale,
+    full: bool,
+    elapsed: std::time::Duration,
+) -> String {
     let snap = pud_observe::snapshot();
     let mut list = pud_observe::json::JsonArray::new();
     for t in targets {
@@ -162,6 +192,10 @@ fn run_metadata(targets: &[&str], full: bool, elapsed: std::time::Duration) -> S
     pud_observe::json::JsonObject::new()
         .str("run", "repro-all")
         .str("scale", if full { "full" } else { "quick" })
+        .u64(
+            "threads",
+            scale.sweep_threads(scale.fleet.fleet_size()) as u64,
+        )
         .u64("targets", targets.len() as u64)
         .raw("target_list", &list.finish())
         .f64("elapsed_s", elapsed.as_secs_f64())

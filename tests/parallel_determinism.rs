@@ -1,0 +1,96 @@
+//! Determinism of the parallel fleet-sweep engine: experiment output and
+//! trace streams must be byte-identical at any thread count (the
+//! load-bearing guarantee of `pudhammer::fleet::sweep`).
+
+use std::sync::{Arc, Mutex};
+
+use pudhammer_suite::bender::ops;
+use pudhammer_suite::dram::RowAddr;
+use pudhammer_suite::hammer::experiments::{simra, table2, Scale};
+use pudhammer_suite::hammer::fleet::{sweep, Fleet, FleetConfig};
+use pudhammer_suite::observe::{RingBufferSink, SharedSink, TraceEvent};
+
+fn tiny_scale(threads: usize) -> Scale {
+    let mut s = Scale::quick();
+    s.fleet.victims_per_subarray = 1;
+    s.threads = threads;
+    s
+}
+
+/// Runs one traced sweep over a fresh fleet and returns the per-chip event
+/// sequences plus the merged stream the destination sink received.
+fn traced_sweep(threads: usize) -> (Vec<Vec<TraceEvent>>, Vec<TraceEvent>) {
+    let mut fleet = Fleet::build(FleetConfig::quick());
+    let ring = Arc::new(Mutex::new(RingBufferSink::new(1 << 18)));
+    let sink: SharedSink = ring.clone();
+    for chip in &mut fleet.chips {
+        chip.exec.set_trace_sink(sink.clone());
+    }
+    let (_, traces) = sweep::sweep_traced(threads, &mut fleet.chips, |_, chip| {
+        let victim = chip.victim_rows()[0];
+        let aggressor = RowAddr(victim.0.saturating_sub(1));
+        let program = ops::single_sided_rowhammer(chip.bank(), aggressor, ops::t_ras(), 64);
+        chip.exec.run(&program);
+    });
+    let traces = traces.expect("every chip had a sink attached");
+    assert_eq!(traces.dropped, 0, "rings must not overflow in this test");
+    traces.merge();
+    let merged = ring.lock().unwrap().to_vec();
+    (traces.per_chip, merged)
+}
+
+#[test]
+fn sweeps_are_byte_identical_across_thread_counts() {
+    // A global ring sink captures every command-stream event the
+    // experiments' executors emit (they attach it at fleet construction).
+    // One #[test] owns the whole comparison: the sink is process-wide.
+    let global = Arc::new(Mutex::new(RingBufferSink::new(1 << 20)));
+    pudhammer_suite::observe::set_global_sink(global.clone());
+    let drain = |ring: &Arc<Mutex<RingBufferSink>>| -> Vec<TraceEvent> {
+        let mut ring = ring.lock().unwrap();
+        assert_eq!(ring.dropped(), 0, "ring must hold the full event stream");
+        let events = ring.to_vec();
+        ring.clear();
+        events
+    };
+
+    // Experiment output: the full Table 2 reproduction and a SiMRA figure,
+    // rendered at one worker and at four, must match byte for byte — and
+    // so must the merged trace streams they emit.
+    let t2_serial = table2::table2(&tiny_scale(1)).to_string();
+    let t2_events_serial = drain(&global);
+    let t2_parallel = table2::table2(&tiny_scale(4)).to_string();
+    let t2_events_parallel = drain(&global);
+    assert_eq!(t2_serial, t2_parallel, "table2 must not depend on threads");
+    assert!(!t2_events_serial.is_empty());
+    assert_eq!(
+        t2_events_serial, t2_events_parallel,
+        "table2 trace stream must not depend on threads"
+    );
+
+    let f16_serial = simra::fig16(&tiny_scale(1)).to_string();
+    let f16_events_serial = drain(&global);
+    let f16_parallel = simra::fig16(&tiny_scale(4)).to_string();
+    let f16_events_parallel = drain(&global);
+    assert_eq!(f16_serial, f16_parallel, "fig16 must not depend on threads");
+    assert!(!f16_events_serial.is_empty());
+    assert_eq!(
+        f16_events_serial, f16_events_parallel,
+        "fig16 trace stream must not depend on threads"
+    );
+    pudhammer_suite::observe::clear_global_sink();
+
+    // Trace streams: per-chip event sequences and the timestamp-merged
+    // stream must also be independent of the worker count.
+    let (per_chip_serial, merged_serial) = traced_sweep(1);
+    let (per_chip_parallel, merged_parallel) = traced_sweep(4);
+    assert!(per_chip_serial.iter().all(|c| !c.is_empty()));
+    assert_eq!(
+        per_chip_serial, per_chip_parallel,
+        "per-chip trace sequences must not depend on threads"
+    );
+    assert_eq!(
+        merged_serial, merged_parallel,
+        "merged trace stream must not depend on threads"
+    );
+}
