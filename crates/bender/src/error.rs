@@ -1,0 +1,114 @@
+//! Typed executor errors.
+//!
+//! [`Executor::try_run`](crate::Executor::try_run) surfaces these directly;
+//! [`Executor::run`](crate::Executor::run) raises them as a panic payload
+//! (via `std::panic::panic_any`) so the 20+ infallible call sites keep
+//! their shape — the fleet sweep catches the unwind, downcasts the payload
+//! back to an `ExecError`, and feeds it into its retry/quarantine policy.
+
+use std::fmt;
+
+use pud_dram::Picos;
+
+use crate::fault::FaultKind;
+
+/// An error produced while executing a test program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The program runs longer than `t_REFW` with refresh disabled while
+    /// the environment enforces the refresh-window bound — on the real
+    /// infrastructure its bitflips would be contaminated by retention
+    /// failures (§3.1).
+    RefreshWindowExceeded {
+        /// The offending program's duration.
+        duration: Picos,
+        /// The refresh window bound (`t_REFW`).
+        refw: Picos,
+    },
+    /// An injected fault fired (see [`crate::fault`]).
+    Fault {
+        /// What fired.
+        kind: FaultKind,
+        /// Lifetime command ordinal at which it fired.
+        at_cmd: u64,
+    },
+    /// The program references banks or rows outside the chip geometry.
+    InvalidProgram {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl ExecError {
+    /// Whether retrying the program can succeed. Injected transient faults
+    /// are consumed when they fire, so a retry reproduces the fault-free
+    /// result; dead chips and invalid programs fail forever.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ExecError::RefreshWindowExceeded { .. } => false,
+            ExecError::Fault { kind, .. } => kind.is_transient(),
+            ExecError::InvalidProgram { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::RefreshWindowExceeded { duration, refw } => write!(
+                f,
+                "test program ({duration}) exceeds the refresh window ({refw}) \
+                 with refresh disabled"
+            ),
+            ExecError::Fault { kind, at_cmd } => {
+                write!(f, "injected fault: {} at command {at_cmd}", kind.name())
+            }
+            ExecError::InvalidProgram { reason } => {
+                write!(f, "invalid test program: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_follows_the_fault_taxonomy() {
+        let transient = ExecError::Fault {
+            kind: FaultKind::BusGlitch,
+            at_cmd: 42,
+        };
+        assert!(transient.is_transient());
+        let dead = ExecError::Fault {
+            kind: FaultKind::ChipDead,
+            at_cmd: 42,
+        };
+        assert!(!dead.is_transient());
+        let refw = ExecError::RefreshWindowExceeded {
+            duration: Picos::from_ns(100.0),
+            refw: Picos::from_ns(50.0),
+        };
+        assert!(!refw.is_transient());
+    }
+
+    #[test]
+    fn errors_render_readable_messages() {
+        let e = ExecError::Fault {
+            kind: FaultKind::CommandTimeout,
+            at_cmd: 1_234,
+        };
+        assert_eq!(
+            e.to_string(),
+            "injected fault: command_timeout at command 1234"
+        );
+        let r = ExecError::RefreshWindowExceeded {
+            duration: Picos::from_ns(100.0),
+            refw: Picos::from_ns(50.0),
+        };
+        assert!(r.to_string().contains("exceeds the refresh window"));
+    }
+}

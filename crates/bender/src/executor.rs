@@ -18,6 +18,8 @@ use pud_observe::{Counter, SharedSink, TraceEvent, TraceKind};
 
 use crate::command::DramCommand;
 use crate::env::TestEnv;
+use crate::error::ExecError;
+use crate::fault::{FaultConfig, FaultPlan, FaultState, StuckCell};
 use crate::program::{Step, TestProgram};
 use crate::simra_decode::simra_group;
 
@@ -186,6 +188,7 @@ pub struct Executor {
     report: RunReport,
     metrics: ExecMetrics,
     trace: Option<SharedSink>,
+    fault: Option<FaultState>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -229,6 +232,97 @@ impl Executor {
             // Attach to the process-wide sink (if one is installed) at
             // construction; `None` keeps the emit sites a single branch.
             trace: pud_observe::global_sink(),
+            fault: None,
+        }
+    }
+
+    /// Installs a resolved fault schedule (see [`crate::fault`]), replacing
+    /// any previous one and resetting the lifetime command counter.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// Derives this chip's fault schedule from a seeded campaign
+    /// configuration and installs it. No-op for chips that draw no faults.
+    /// Returns whether a plan was installed.
+    pub fn enable_faults(
+        &mut self,
+        config: &FaultConfig,
+        family_key: &str,
+        chip_index: u32,
+    ) -> bool {
+        match FaultPlan::derive(config, family_key, chip_index, self.chip.geometry()) {
+            Some(plan) => {
+                self.install_fault_plan(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(FaultState::plan)
+    }
+
+    /// Lifetime commands issued to the chip, tracked only while a fault
+    /// plan is installed.
+    pub fn fault_commands(&self) -> Option<u64> {
+        self.fault.as_ref().map(FaultState::commands)
+    }
+
+    /// Advances the fault clock by `n` commands and raises the fault that
+    /// fires within the span, if any. The single branch on `self.fault`
+    /// keeps the fault-free hot path free.
+    #[inline]
+    fn check_fault(&mut self, n: u64) -> Result<(), ExecError> {
+        let Some(state) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        match state.advance(n) {
+            None => Ok(()),
+            Some((kind, at_cmd)) => {
+                pud_observe::counter(&format!("faults.injected.{}", kind.name())).incr();
+                self.trace(TraceKind::FaultInjected {
+                    fault: kind.name(),
+                    at_cmd,
+                });
+                Err(ExecError::Fault { kind, at_cmd })
+            }
+        }
+    }
+
+    /// Forces any stuck-at cells of `phys` back to their stuck values —
+    /// called after every write path, modelling cells that never hold the
+    /// written data.
+    fn apply_stuck(&mut self, bank: BankId, phys: RowAddr) {
+        let Some(state) = &self.fault else { return };
+        if state.plan().stuck.is_empty() {
+            return;
+        }
+        let cells: Vec<StuckCell> = state
+            .plan()
+            .stuck
+            .iter()
+            .filter(|c| c.bank == bank.0 && c.row == phys.0)
+            .copied()
+            .collect();
+        if cells.is_empty() {
+            return;
+        }
+        let Ok(b) = self.chip.bank_mut(bank) else {
+            return;
+        };
+        let row = b.row_mut_or(phys, DataPattern::ZEROS);
+        let mut forced = 0u64;
+        for c in &cells {
+            if row.bit(c.col) != c.value {
+                row.set_bit(c.col, c.value);
+                forced += 1;
+            }
+        }
+        if forced > 0 {
+            pud_observe::counter("faults.injected.stuck_bits").add(forced);
         }
     }
 
@@ -333,6 +427,7 @@ impl Executor {
             .expect("valid bank")
             .fill_row(phys, pattern);
         self.engine.rewrite(bank, phys);
+        self.apply_stuck(bank, phys);
     }
 
     /// Host-side row read (no bus activity).
@@ -343,22 +438,40 @@ impl Executor {
 
     /// Executes a test program, returning what happened.
     ///
+    /// Infallible wrapper over [`Executor::try_run`] for the many call
+    /// sites that never construct invalid programs and run without fault
+    /// injection.
+    ///
     /// # Panics
     ///
-    /// Panics if the environment enforces the refresh-window bound
+    /// Raises any [`ExecError`] as a panic *payload* (via
+    /// [`std::panic::panic_any`]) rather than a formatted message: the
+    /// fleet sweep catches the unwind, downcasts the payload back to the
+    /// typed error, and feeds it into its retry/quarantine policy. Errors
+    /// occur when the environment enforces the refresh-window bound
     /// ([`TestEnv::characterization_strict`]) and the program runs longer
-    /// than `t_REFW` with refresh disabled — on the real infrastructure
-    /// such a program's bitflips would be contaminated by retention
-    /// failures (§3.1).
+    /// than `t_REFW` with refresh disabled (§3.1), when the program
+    /// references banks or rows outside the chip geometry, or when an
+    /// injected fault fires (see [`crate::fault`]).
     pub fn run(&mut self, program: &TestProgram) -> RunReport {
-        if self.env.enforce_refresh_window && !self.env.refresh_enabled {
-            let refw = Picos::from_ns(pud_disturb::calib::T_REFW_NS);
-            assert!(
-                program.duration() <= refw,
-                "test program ({}) exceeds the refresh window ({refw}) with refresh disabled",
-                program.duration()
-            );
+        match self.try_run(program) {
+            Ok(report) => report,
+            Err(e) => std::panic::panic_any(e),
         }
+    }
+
+    /// Executes a test program, surfacing invalid programs and injected
+    /// faults as typed errors instead of panics.
+    ///
+    /// A program that fails validation, or whose span crosses a scheduled
+    /// fault, is rejected *before any command executes* — mirroring the
+    /// real infrastructure, where a failed run's readout is discarded
+    /// wholesale. Rejected runs therefore mutate no device state (beyond
+    /// the fault clock), which is what makes retrying a transient fault
+    /// reproduce the fault-free measurement.
+    pub fn try_run(&mut self, program: &TestProgram) -> Result<RunReport, ExecError> {
+        self.validate(program)?;
+        self.check_fault(program.cmd_count())?;
         self.report = RunReport::default();
         let start_clock = self.clock;
         let start_acts = self.acts;
@@ -366,7 +479,59 @@ impl Executor {
         self.flush_all_pending();
         self.report.elapsed = self.clock - start_clock;
         self.report.acts = self.acts - start_acts;
-        std::mem::take(&mut self.report)
+        Ok(std::mem::take(&mut self.report))
+    }
+
+    /// Invariant checks on a caller-supplied program (formerly in-line
+    /// `assert!`s): the refresh-window execution bound and geometry bounds
+    /// on every referenced bank and row.
+    fn validate(&self, program: &TestProgram) -> Result<(), ExecError> {
+        if self.env.enforce_refresh_window && !self.env.refresh_enabled {
+            let refw = Picos::from_ns(pud_disturb::calib::T_REFW_NS);
+            if program.duration() > refw {
+                return Err(ExecError::RefreshWindowExceeded {
+                    duration: program.duration(),
+                    refw,
+                });
+            }
+        }
+        self.validate_steps(program.steps())
+    }
+
+    fn validate_steps(&self, steps: &[Step]) -> Result<(), ExecError> {
+        let geometry = self.chip.geometry();
+        let check_bank = |bank: BankId| -> Result<(), ExecError> {
+            if bank.0 >= geometry.banks {
+                return Err(ExecError::InvalidProgram {
+                    reason: format!("bank {} out of range (chip has {})", bank.0, geometry.banks),
+                });
+            }
+            Ok(())
+        };
+        for step in steps {
+            match step {
+                Step::Cmd(tc) => match tc.cmd {
+                    DramCommand::Act { bank, row } => {
+                        check_bank(bank)?;
+                        if row.0 >= geometry.rows_per_bank() {
+                            return Err(ExecError::InvalidProgram {
+                                reason: format!(
+                                    "row {} out of range (bank has {} rows)",
+                                    row.0,
+                                    geometry.rows_per_bank()
+                                ),
+                            });
+                        }
+                    }
+                    DramCommand::Pre { bank }
+                    | DramCommand::Rd { bank }
+                    | DramCommand::Wr { bank, .. } => check_bank(bank)?,
+                    DramCommand::PreAll | DramCommand::Ref | DramCommand::Nop => {}
+                },
+                Step::Loop { body, .. } => self.validate_steps(body)?,
+            }
+        }
+        Ok(())
     }
 
     fn run_steps(&mut self, steps: &[Step]) {
@@ -651,6 +816,7 @@ impl Executor {
                 .expect("valid bank")
                 .fill_row(r, pattern);
             self.engine.rewrite(bank, r);
+            self.apply_stuck(bank, r);
         }
     }
 
@@ -702,6 +868,7 @@ impl Executor {
             .expect("valid bank")
             .write_row(dst, data)
             .expect("copy within geometry");
+        self.apply_stuck(bank, dst);
     }
 
     fn charge_share(&mut self, bank: BankId, members: &[RowAddr], first: RowAddr) {
@@ -732,6 +899,7 @@ impl Executor {
                 .expect("valid bank")
                 .write_row(r, result.clone())
                 .expect("group within geometry");
+            self.apply_stuck(bank, r);
         }
     }
 

@@ -42,12 +42,15 @@
 
 mod command;
 mod env;
+mod error;
 mod executor;
+pub mod fault;
 pub mod ops;
 mod program;
 pub mod simra_decode;
 
 pub use command::{DramCommand, TimedCommand};
 pub use env::TestEnv;
+pub use error::ExecError;
 pub use executor::{ActivityObserver, Executor, FlipRecord, RunReport};
 pub use program::{Step, TestProgram};

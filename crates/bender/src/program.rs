@@ -43,6 +43,17 @@ impl Step {
             Step::Loop { count, body } => count * body.iter().map(Step::act_count).sum::<u64>(),
         }
     }
+
+    /// Total number of commands (of any kind) issued by this step — the
+    /// unit the fault-injection clock (`crate::fault`) advances in.
+    pub fn cmd_count(&self) -> u64 {
+        match self {
+            Step::Cmd(_) => 1,
+            Step::Loop { count, body } => {
+                count.saturating_mul(body.iter().map(Step::cmd_count).sum::<u64>())
+            }
+        }
+    }
 }
 
 /// A complete test program.
@@ -72,6 +83,11 @@ impl TestProgram {
     /// Total number of ACT commands the program issues.
     pub fn act_count(&self) -> u64 {
         self.steps.iter().map(Step::act_count).sum()
+    }
+
+    /// Total number of commands (of any kind) the program issues.
+    pub fn cmd_count(&self) -> u64 {
+        self.steps.iter().map(Step::cmd_count).sum()
     }
 
     /// Appends an activate command followed by `delay`.

@@ -1,7 +1,7 @@
 //! Behavioural tests of the command-stream executor: pattern detection,
 //! loop batching, refresh bookkeeping, and device-state transitions.
 
-use pud_bender::{ops, DramCommand, Executor, TestEnv, TestProgram};
+use pud_bender::{ops, DramCommand, ExecError, Executor, TestEnv, TestProgram};
 use pud_dram::{profiles::TESTED_MODULES, BankId, ChipGeometry, DataPattern, Picos, RowAddr};
 
 fn executor() -> Executor {
@@ -285,14 +285,51 @@ fn strict_env_accepts_in_window_programs() {
 }
 
 #[test]
-#[should_panic(expected = "exceeds the refresh window")]
 fn strict_env_rejects_out_of_window_programs() {
     // ~1.3M double-sided cycles at ~102 ns each exceed the 64 ms window.
     let mut exec = executor();
     exec.set_env(TestEnv::characterization_strict());
     let prog =
         ops::double_sided_rowhammer(BankId(0), RowAddr(10), RowAddr(12), ops::t_ras(), 1_300_000);
-    let _ = exec.run(&prog);
+    let err = exec.try_run(&prog).expect_err("out-of-window must fail");
+    assert!(matches!(err, ExecError::RefreshWindowExceeded { .. }));
+    assert!(!err.is_transient());
+    assert!(err.to_string().contains("exceeds the refresh window"));
+}
+
+#[test]
+fn out_of_geometry_programs_are_rejected_as_invalid() {
+    let mut exec = executor();
+    let geometry = *exec.chip().geometry();
+    let mut prog = TestProgram::new();
+    prog.act(BankId(geometry.banks), RowAddr(0), Picos::from_ns(36.0));
+    let err = exec.try_run(&prog).expect_err("bad bank must fail");
+    assert!(matches!(err, ExecError::InvalidProgram { .. }));
+    assert!(err.to_string().contains("bank"));
+    let mut prog = TestProgram::new();
+    prog.repeat(2, |b| {
+        b.act(
+            BankId(0),
+            RowAddr(geometry.rows_per_bank()),
+            Picos::from_ns(36.0),
+        );
+    });
+    let err = exec.try_run(&prog).expect_err("bad row must fail");
+    assert!(err.to_string().contains("row"));
+}
+
+#[test]
+fn run_raises_exec_errors_as_typed_panic_payloads() {
+    let mut exec = executor();
+    exec.set_env(TestEnv::characterization_strict());
+    let prog =
+        ops::double_sided_rowhammer(BankId(0), RowAddr(10), RowAddr(12), ops::t_ras(), 1_300_000);
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec.run(&prog)))
+        .expect_err("run must unwind");
+    let err = payload
+        .downcast::<ExecError>()
+        .expect("payload is the typed error");
+    assert!(matches!(*err, ExecError::RefreshWindowExceeded { .. }));
 }
 
 #[test]

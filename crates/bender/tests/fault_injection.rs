@@ -1,0 +1,133 @@
+//! Behavioural tests of deterministic fault injection at the executor
+//! level: transient faults abort a run without mutating device state,
+//! dead chips fail forever, and stuck-at cells defeat every write path.
+
+use pud_bender::fault::{FaultKind, FaultPlan, StuckCell, TransientFault};
+use pud_bender::{ops, ExecError, Executor};
+use pud_dram::{profiles::TESTED_MODULES, BankId, ChipGeometry, DataPattern, Picos, RowAddr};
+
+fn executor() -> Executor {
+    Executor::new(&TESTED_MODULES[1], ChipGeometry::scaled_for_tests(), 0, 77)
+}
+
+fn transient_plan(at_cmd: u64) -> FaultPlan {
+    FaultPlan {
+        transients: vec![TransientFault {
+            kind: FaultKind::BusGlitch,
+            at_cmd,
+        }],
+        dead_after: None,
+        stuck: Vec::new(),
+    }
+}
+
+#[test]
+fn transient_fault_aborts_then_retry_reproduces_the_fault_free_run() {
+    let bank = BankId(0);
+    let mut faulty = executor();
+    let mut clean = executor();
+    let a = faulty.chip().to_logical(RowAddr(20));
+    let b = faulty.chip().to_logical(RowAddr(22));
+    for e in [&mut faulty, &mut clean] {
+        e.write_row(bank, a, DataPattern::CHECKER_55);
+        e.write_row(bank, b, DataPattern::CHECKER_55);
+    }
+    let prog = ops::double_sided_rowhammer(bank, a, b, ops::t_ras(), 200_000);
+    assert!(prog.cmd_count() > 500);
+    faulty.install_fault_plan(transient_plan(500));
+    let err = faulty.try_run(&prog).expect_err("fault crosses the span");
+    assert_eq!(
+        err,
+        ExecError::Fault {
+            kind: FaultKind::BusGlitch,
+            at_cmd: 500
+        }
+    );
+    assert!(err.is_transient());
+    // The retry (fault consumed) reproduces the clean measurement exactly.
+    let retried = faulty.try_run(&prog).expect("transients are consumed");
+    let reference = clean.try_run(&prog).expect("clean run");
+    assert_eq!(retried.flips, reference.flips);
+    assert_eq!(retried.acts, reference.acts);
+}
+
+#[test]
+fn dead_chip_fails_every_subsequent_run() {
+    let mut exec = executor();
+    exec.install_fault_plan(FaultPlan {
+        transients: Vec::new(),
+        dead_after: Some(100),
+        stuck: Vec::new(),
+    });
+    let prog = ops::single_sided_rowhammer(BankId(0), RowAddr(10), ops::t_ras(), 1_000);
+    for _ in 0..3 {
+        let err = exec.try_run(&prog).expect_err("dead chips stay dead");
+        assert!(matches!(
+            err,
+            ExecError::Fault {
+                kind: FaultKind::ChipDead,
+                ..
+            }
+        ));
+        assert!(!err.is_transient());
+    }
+    assert!(exec.fault_commands().expect("plan installed") >= 100);
+}
+
+#[test]
+fn stuck_cells_defeat_host_writes() {
+    let mut exec = executor();
+    let bank = BankId(0);
+    let logical = exec.chip().to_logical(RowAddr(20));
+    let phys = exec.chip().to_physical(logical);
+    exec.install_fault_plan(FaultPlan {
+        transients: Vec::new(),
+        dead_after: None,
+        stuck: vec![
+            StuckCell {
+                bank: 0,
+                row: phys.0,
+                col: 3,
+                value: true,
+            },
+            StuckCell {
+                bank: 0,
+                row: phys.0,
+                col: 9,
+                value: false,
+            },
+        ],
+    });
+    exec.write_row(bank, logical, DataPattern::ZEROS);
+    let row = exec.read_row(bank, logical).expect("row exists");
+    assert!(row.bit(3), "stuck-at-1 cell survives an all-zeros write");
+    exec.write_row(bank, logical, DataPattern::ONES);
+    let row = exec.read_row(bank, logical).expect("row exists");
+    assert!(!row.bit(9), "stuck-at-0 cell survives an all-ones write");
+    assert!(row.bit(3));
+}
+
+#[test]
+fn program_writes_hit_stuck_cells_too() {
+    let mut exec = executor();
+    let bank = BankId(0);
+    let logical = exec.chip().to_logical(RowAddr(30));
+    let phys = exec.chip().to_physical(logical);
+    exec.install_fault_plan(FaultPlan {
+        transients: Vec::new(),
+        dead_after: None,
+        stuck: vec![StuckCell {
+            bank: 0,
+            row: phys.0,
+            col: 5,
+            value: false,
+        }],
+    });
+    let mut prog = pud_bender::TestProgram::new();
+    prog.act(bank, logical, Picos::from_ns(36.0))
+        .wr(bank, DataPattern::ONES, Picos::from_ns(10.0))
+        .pre(bank, ops::t_rp());
+    exec.try_run(&prog).expect("no scheduled executor faults");
+    let row = exec.read_row(bank, logical).expect("row exists");
+    assert!(!row.bit(5), "WR path forces stuck cells");
+}

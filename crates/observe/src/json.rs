@@ -1,10 +1,14 @@
-//! A minimal hand-rolled JSON writer.
+//! A minimal hand-rolled JSON writer and reader.
 //!
 //! The workspace is dependency-free by design, so trace events, metric
-//! snapshots, and run metadata are serialized through this module instead
-//! of an external serializer. Only what the observability layer needs is
-//! implemented: objects, arrays, strings with full escaping, integers,
-//! floats (non-finite values become `null`), and booleans.
+//! snapshots, run metadata, and sweep checkpoints are serialized through
+//! this module instead of an external serializer. Only what the
+//! observability layer needs is implemented: objects, arrays, strings with
+//! full escaping, integers, floats (non-finite values become `null`), and
+//! booleans — plus a [`JsonValue`] parser for reading checkpoint lines
+//! back. Parsed numbers keep their source literal ([`JsonValue::Num`]), so
+//! a `u64` or shortest-round-trip `f64` written by this module re-renders
+//! byte-identically.
 
 use std::fmt::Write as _;
 
@@ -145,6 +149,256 @@ impl JsonArray {
     }
 }
 
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source literal so integers round-trip exactly.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source key order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON document; trailing garbage is an error.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is an integral number literal.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(lit) => lit.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(lit) => lit.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The raw number literal, exactly as it appeared in the source.
+    pub fn num_literal(&self) -> Option<&str> {
+        match self {
+            JsonValue::Num(lit) => Some(lit),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders back to compact JSON. Output produced by this module's
+    /// writers round-trips byte-identically (numbers keep their source
+    /// literal, objects keep their field order).
+    pub fn render(&self) -> String {
+        match self {
+            JsonValue::Null => "null".to_string(),
+            JsonValue::Bool(b) => b.to_string(),
+            JsonValue::Num(lit) => lit.clone(),
+            JsonValue::Str(s) => format!("\"{}\"", escape(s)),
+            JsonValue::Arr(items) => {
+                let mut arr = JsonArray::new();
+                for item in items {
+                    arr = arr.raw(&item.render());
+                }
+                arr.finish()
+            }
+            JsonValue::Obj(fields) => {
+                let mut obj = JsonObject::new();
+                for (key, value) in fields {
+                    obj = obj.raw(key, &value.render());
+                }
+                obj.finish()
+            }
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b' ' | b'\t' | b'\n' | b'\r') = bytes.get(*pos) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            if bytes.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while let Some(c) = bytes.get(*pos) {
+                if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let lit = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| "invalid utf-8 in number".to_string())?;
+            if lit.parse::<f64>().is_err() {
+                return Err(format!("invalid number `{lit}`"));
+            }
+            Ok(JsonValue::Num(lit.to_string()))
+        }
+        Some(c) => Err(format!(
+            "unexpected byte `{}` at {pos}",
+            *c as char,
+            pos = *pos
+        )),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, "\"")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through untouched).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +446,83 @@ mod tests {
         assert_eq!(a, "[1,\"two\",{\"k\":3}]");
         assert_eq!(JsonArray::new().finish(), "[]");
         assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let line = JsonObject::new()
+            .str("name", "act \"x\"\n")
+            .u64("count", u64::MAX)
+            .f64("gap_ns", 7.5)
+            .bool("partial", false)
+            .raw("nested", "[1,2,null]")
+            .finish();
+        let v = JsonValue::parse(&line).expect("writer output parses");
+        assert_eq!(
+            v.get("name").and_then(JsonValue::as_str),
+            Some("act \"x\"\n")
+        );
+        assert_eq!(v.get("count").and_then(JsonValue::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("gap_ns").and_then(JsonValue::as_f64), Some(7.5));
+        assert_eq!(v.get("partial"), Some(&JsonValue::Bool(false)));
+        let nested = v.get("nested").and_then(JsonValue::as_arr).expect("array");
+        assert_eq!(nested.len(), 3);
+        assert_eq!(nested[2], JsonValue::Null);
+    }
+
+    #[test]
+    fn number_literals_are_preserved_verbatim() {
+        let v = JsonValue::parse("{\"a\":18446744073709551615,\"b\":0.30000000000000004}")
+            .expect("parses");
+        assert_eq!(
+            v.get("a").and_then(JsonValue::num_literal),
+            Some("18446744073709551615")
+        );
+        assert_eq!(
+            v.get("b").and_then(JsonValue::num_literal),
+            Some("0.30000000000000004")
+        );
+        // u64::MAX does not fit f64 but still parses as an exact u64.
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("{\"a\":1").is_err());
+        assert!(JsonValue::parse("{\"a\" 1}").is_err());
+        assert!(JsonValue::parse("[1,2,]").is_err());
+        assert!(JsonValue::parse("\"open").is_err());
+        assert!(JsonValue::parse("{} trailing").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+        assert!(JsonValue::parse("1.2.3").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_writer_output_byte_identically() {
+        for src in [
+            "{\"a\":1,\"b\":\"x\\ny\",\"c\":[1,2,null],\"d\":{\"e\":0.5,\"f\":true}}",
+            "{}",
+            "[]",
+            "{\"big\":18446744073709551615,\"neg\":-3.25e-7}",
+        ] {
+            let v = JsonValue::parse(src).expect("parses");
+            assert_eq!(v.render(), src);
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = JsonValue::parse("\"a\\u0041\\n\\t µ\"").expect("parses");
+        assert_eq!(v.as_str(), Some("aA\n\t µ"));
+        let v = JsonValue::parse(" [ true , false , null ] ").expect("parses");
+        assert_eq!(
+            v,
+            JsonValue::Arr(vec![
+                JsonValue::Bool(true),
+                JsonValue::Bool(false),
+                JsonValue::Null
+            ])
+        );
     }
 }

@@ -34,6 +34,7 @@ pub mod shard;
 pub mod span;
 pub mod trace;
 
+pub use json::JsonValue;
 pub use metrics::{
     bucket_bounds, bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot, HISTOGRAM_BUCKETS,

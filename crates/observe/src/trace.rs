@@ -90,6 +90,13 @@ pub enum TraceKind {
         /// ACT commands those iterations account for.
         acts: u64,
     },
+    /// An injected fault fired (deterministic fault-injection campaigns).
+    FaultInjected {
+        /// Stable fault-kind name (e.g. `"command_timeout"`).
+        fault: &'static str,
+        /// Lifetime command ordinal at which the fault fired.
+        at_cmd: u64,
+    },
 }
 
 impl TraceKind {
@@ -107,6 +114,7 @@ impl TraceKind {
             TraceKind::RefreshWindow { .. } => "refresh_window",
             TraceKind::TrrIntervention { .. } => "trr_intervention",
             TraceKind::LoopBatch { .. } => "loop_batch",
+            TraceKind::FaultInjected { .. } => "fault_injected",
         }
     }
 }
@@ -155,6 +163,9 @@ impl TraceEvent {
             }
             TraceKind::LoopBatch { iterations, acts } => {
                 obj.u64("iterations", iterations).u64("acts", acts)
+            }
+            TraceKind::FaultInjected { fault, at_cmd } => {
+                obj.str("fault", fault).u64("at_cmd", at_cmd)
             }
         }
         .finish()

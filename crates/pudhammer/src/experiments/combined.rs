@@ -11,7 +11,8 @@ use std::fmt;
 use pud_bender::Executor;
 use pud_dram::{BankId, DataPattern, RowAddr};
 
-use crate::experiments::{measure_with_dp, Scale};
+use crate::experiments::{measure_with_dp, sweep_fleet, Scale};
+use crate::fleet::sweep::SweepReport;
 use crate::fleet::Fleet;
 use crate::hcfirst::prepare;
 use crate::patterns::{comra_ds_for, rowhammer_ds_for, Kernel};
@@ -47,6 +48,8 @@ pub struct Combined {
     pub per_fraction: Vec<(f64, Vec<f64>, Option<Summary>)>,
     /// RowHammer-only baseline over the same victims.
     pub baseline: Option<Summary>,
+    /// Fault-tolerance status of the sweep behind this figure.
+    pub sweep: SweepReport,
 }
 
 impl Combined {
@@ -97,8 +100,8 @@ fn run_combined(scale: &Scale, plan: StagePlan) -> Combined {
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = (scale.fleet.victims_per_subarray as usize) * 6;
     let dp = DataPattern::CHECKER_55;
-    let threads = scale.sweep_threads(fleet.chips.len());
-    let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+    let mut sweep = SweepReport::default();
+    let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
         let mut per_fraction: Vec<(f64, Vec<f64>, Vec<f64>)> = FRACTIONS
             .iter()
             .map(|&fr| (fr, Vec::new(), Vec::new()))
@@ -175,6 +178,7 @@ fn run_combined(scale: &Scale, plan: StagePlan) -> Combined {
             totals.extend(t);
         }
     }
+    sweep.record_metrics();
     Combined {
         plan,
         per_fraction: per_fraction
@@ -185,6 +189,7 @@ fn run_combined(scale: &Scale, plan: StagePlan) -> Combined {
             })
             .collect(),
         baseline: Summary::from_values(&baseline_vals),
+        sweep,
     }
 }
 
@@ -271,7 +276,7 @@ impl fmt::Display for Combined {
                 fmt_hc(b.mean)
             )?;
         }
-        Ok(())
+        self.sweep.fmt_footer(f)
     }
 }
 

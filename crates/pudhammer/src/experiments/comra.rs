@@ -1,13 +1,14 @@
 //! §4 experiments: read disturbance of consecutive multiple-row activation
 //! (CoMRA), Figs. 4–11.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use pud_bender::TestEnv;
 use pud_dram::{Celsius, DataPattern, Manufacturer, Picos, SubarrayRegion};
 
 use crate::experiments::{collect_hc, hc_values, measure_with_dp_warm, Record, Scale};
+use crate::fleet::sweep::{SweepOutcome, SweepReport};
 use crate::fleet::Fleet;
 use crate::patterns::{
     comra_ds_for, comra_ss_for, rowhammer_ds_for, rowhammer_far_ds_for, rowhammer_ss_for,
@@ -25,35 +26,60 @@ pub struct Fig4 {
     pub changes: Vec<f64>,
     /// Fraction of victims whose HC_first decreased under CoMRA.
     pub fraction_reduced: f64,
+    /// Fault-tolerance status of the sweeps behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 4 experiment.
 pub fn fig4(scale: &Scale) -> Fig4 {
     let _span = pud_observe::span("experiment.fig4");
     let mut fleet = Fleet::build(scale.fleet);
-    let rh = collect_hc(scale, &mut fleet, rowhammer_ds_for, None);
-    let comra = collect_hc(scale, &mut fleet, |c, v| comra_ds_for(c, v, false), None);
+    let mut sweep = SweepReport::default();
+    let rh = collect_hc(scale, &mut fleet, rowhammer_ds_for, None, &mut sweep);
+    let comra = collect_hc(
+        scale,
+        &mut fleet,
+        |c, v| comra_ds_for(c, v, false),
+        None,
+        &mut sweep,
+    );
     let mut changes = Vec::new();
     let mut lowest: BTreeMap<Manufacturer, (f64, f64)> = BTreeMap::new();
-    for (r, c) in rh.iter().zip(&comra) {
+    for r in &rh {
         let e = lowest
             .entry(r.mfr)
             .or_insert((f64::INFINITY, f64::INFINITY));
         if let Some(h) = r.hc {
             e.0 = e.0.min(h as f64);
         }
+    }
+    for c in &comra {
+        let e = lowest
+            .entry(c.mfr)
+            .or_insert((f64::INFINITY, f64::INFINITY));
         if let Some(h) = c.hc {
             e.1 = e.1.min(h as f64);
         }
-        if let (Some(hr), Some(hc)) = (r.hc, c.hc) {
+    }
+    // Pair the two sweeps on (chip, victim) rather than zipping by index:
+    // a chip quarantined in one sweep but not the other must not shift
+    // every later pair onto the wrong partner.
+    let comra_hc: HashMap<(usize, u32), u64> = comra
+        .iter()
+        .filter_map(|c| c.hc.map(|h| ((c.chip, c.victim.0), h)))
+        .collect();
+    for r in &rh {
+        if let (Some(hr), Some(&hc)) = (r.hc, comra_hc.get(&(r.chip, r.victim.0))) {
             changes.push(percent_change(hc as f64, hr as f64));
         }
     }
     let fraction_reduced = fraction_where(&changes, |x| x < 0.0);
+    sweep.record_metrics();
     Fig4 {
         lowest: lowest.into_iter().map(|(m, (r, c))| (m, r, c)).collect(),
         changes: sorted_changes(&changes),
         fraction_reduced,
+        sweep,
     }
 }
 
@@ -76,7 +102,8 @@ impl fmt::Display for Fig4 {
             f,
             "rows with reduced HC_first under CoMRA: {:.1}% (paper: ~99%)",
             self.fraction_reduced * 100.0
-        )
+        )?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -86,12 +113,15 @@ pub struct Fig5 {
     /// `(mfr, pattern, summary)` cells; `None` when no row flipped (e.g.
     /// Nanya solid patterns, footnote 1).
     pub cells: Vec<(Manufacturer, DataPattern, Option<Summary>)>,
+    /// Fault-tolerance status of the sweeps behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 5 experiment.
 pub fn fig5(scale: &Scale) -> Fig5 {
     let _span = pud_observe::span("experiment.fig5");
     let mut fleet = Fleet::build(scale.fleet);
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for dp in DataPattern::TESTED {
         let recs = collect_hc(
@@ -99,13 +129,15 @@ pub fn fig5(scale: &Scale) -> Fig5 {
             &mut fleet,
             |c, v| comra_ds_for(c, v, false),
             Some(dp),
+            &mut sweep,
         );
         for mfr in Manufacturer::ALL {
             let vals = hc_values(&recs, |r| r.mfr == mfr);
             cells.push((mfr, dp, Summary::from_values(&vals)));
         }
     }
-    Fig5 { cells }
+    sweep.record_metrics();
+    Fig5 { cells, sweep }
 }
 
 impl fmt::Display for Fig5 {
@@ -136,7 +168,8 @@ impl fmt::Display for Fig5 {
                 ]),
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -145,25 +178,35 @@ impl fmt::Display for Fig5 {
 pub struct Fig6 {
     /// `(mfr, temperature, summary)` cells.
     pub cells: Vec<(Manufacturer, Celsius, Option<Summary>)>,
+    /// Fault-tolerance status of the sweeps behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 6 experiment.
 pub fn fig6(scale: &Scale) -> Fig6 {
     let _span = pud_observe::span("experiment.fig6");
     let mut fleet = Fleet::build(scale.fleet);
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for temp in Celsius::TESTED {
         for chip in &mut fleet.chips {
             chip.exec
                 .set_env(TestEnv::characterization().at_temperature(temp));
         }
-        let recs = collect_hc(scale, &mut fleet, |c, v| comra_ds_for(c, v, false), None);
+        let recs = collect_hc(
+            scale,
+            &mut fleet,
+            |c, v| comra_ds_for(c, v, false),
+            None,
+            &mut sweep,
+        );
         for mfr in Manufacturer::ALL {
             let vals = hc_values(&recs, |r| r.mfr == mfr);
             cells.push((mfr, temp, Summary::from_values(&vals)));
         }
     }
-    Fig6 { cells }
+    sweep.record_metrics();
+    Fig6 { cells, sweep }
 }
 
 impl fmt::Display for Fig6 {
@@ -184,7 +227,8 @@ impl fmt::Display for Fig6 {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -197,6 +241,8 @@ pub struct Fig7 {
     /// Per-victim paired measurements `(mfr, ss_comra, ss_rh, far_ds_rh)`
     /// over victims where all three techniques flipped in-window.
     pub pairs: Vec<(Manufacturer, f64, f64, f64)>,
+    /// Fault-tolerance status of the sweeps behind this figure.
+    pub sweep: SweepReport,
 }
 
 impl Fig7 {
@@ -229,29 +275,41 @@ pub fn fig7(scale: &Scale) -> Fig7 {
             rowhammer_far_ds_for(c, v, DEFAULT_FAR_OFFSET)
         }),
     ];
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     let mut per_technique: Vec<Vec<Record>> = Vec::new();
     for (name, make) in techniques {
-        let recs = collect_hc(scale, &mut fleet, make, None);
+        let recs = collect_hc(scale, &mut fleet, make, None, &mut sweep);
         for mfr in Manufacturer::ALL {
             let vals = hc_values(&recs, |r| r.mfr == mfr);
             cells.push((mfr, name, Summary::from_values(&vals)));
         }
         per_technique.push(recs);
     }
-    // Victim order is deterministic across collect_hc calls, so records
-    // align by index.
-    let mut pairs = Vec::new();
-    for ((a, b), c) in per_technique[0]
+    // Join the three sweeps on (chip, victim): victim order is
+    // deterministic, but a quarantined chip may drop out of one sweep
+    // only, so index-zipping could pair records across chips.
+    let key = |r: &Record| (r.chip, r.victim.0);
+    let ss_rh: HashMap<(usize, u32), u64> = per_technique[1]
         .iter()
-        .zip(&per_technique[1])
-        .zip(&per_technique[2])
-    {
-        if let (Some(x), Some(y), Some(z)) = (a.hc, b.hc, c.hc) {
+        .filter_map(|r| r.hc.map(|h| (key(r), h)))
+        .collect();
+    let far_ds: HashMap<(usize, u32), u64> = per_technique[2]
+        .iter()
+        .filter_map(|r| r.hc.map(|h| (key(r), h)))
+        .collect();
+    let mut pairs = Vec::new();
+    for a in &per_technique[0] {
+        if let (Some(x), Some(&y), Some(&z)) = (a.hc, ss_rh.get(&key(a)), far_ds.get(&key(a))) {
             pairs.push((a.mfr, x as f64, y as f64, z as f64));
         }
     }
-    Fig7 { cells, pairs }
+    sweep.record_metrics();
+    Fig7 {
+        cells,
+        pairs,
+        sweep,
+    }
 }
 
 type KernelFn =
@@ -274,7 +332,8 @@ impl fmt::Display for Fig7 {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -293,12 +352,15 @@ pub fn taggon_sweep() -> [Picos; 4] {
 pub struct Fig8 {
     /// `(mfr, technique, t_aggon, summary)` cells.
     pub cells: Vec<(Manufacturer, &'static str, Picos, Option<Summary>)>,
+    /// Fault-tolerance status of the sweeps behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 8 experiment.
 pub fn fig8(scale: &Scale) -> Fig8 {
     let _span = pud_observe::span("experiment.fig8");
     let mut fleet = Fleet::build(scale.fleet);
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for t_on in taggon_sweep() {
         let comra = collect_hc(
@@ -306,12 +368,14 @@ pub fn fig8(scale: &Scale) -> Fig8 {
             &mut fleet,
             |c, v| comra_ds_for(c, v, false).map(|k| k.with_t_aggon(t_on)),
             None,
+            &mut sweep,
         );
         let press = collect_hc(
             scale,
             &mut fleet,
             |c, v| rowhammer_ds_for(c, v).map(|k| k.with_t_aggon(t_on)),
             None,
+            &mut sweep,
         );
         for mfr in Manufacturer::ALL {
             cells.push((
@@ -328,7 +392,8 @@ pub fn fig8(scale: &Scale) -> Fig8 {
             ));
         }
     }
-    Fig8 { cells }
+    sweep.record_metrics();
+    Fig8 { cells, sweep }
 }
 
 impl fmt::Display for Fig8 {
@@ -348,7 +413,8 @@ impl fmt::Display for Fig8 {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -357,12 +423,15 @@ impl fmt::Display for Fig8 {
 pub struct Fig9 {
     /// `(mfr, latency, summary)` cells.
     pub cells: Vec<(Manufacturer, Picos, Option<Summary>)>,
+    /// Fault-tolerance status of the sweeps behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 9 experiment.
 pub fn fig9(scale: &Scale) -> Fig9 {
     let _span = pud_observe::span("experiment.fig9");
     let mut fleet = Fleet::build(scale.fleet);
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for delay_ns in [7.5, 9.0, 10.5, 12.0] {
         let delay = Picos::from_ns(delay_ns);
@@ -383,6 +452,7 @@ pub fn fig9(scale: &Scale) -> Fig9 {
                 })
             },
             None,
+            &mut sweep,
         );
         for mfr in Manufacturer::ALL {
             cells.push((
@@ -392,7 +462,8 @@ pub fn fig9(scale: &Scale) -> Fig9 {
             ));
         }
     }
-    Fig9 { cells }
+    sweep.record_metrics();
+    Fig9 { cells, sweep }
 }
 
 impl fmt::Display for Fig9 {
@@ -411,7 +482,8 @@ impl fmt::Display for Fig9 {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -422,6 +494,8 @@ pub struct Fig10 {
     pub ds_changes: Vec<f64>,
     /// Per-victim |percent change| for the single-sided pattern.
     pub ss_changes: Vec<f64>,
+    /// Fault-tolerance status of the sweep behind this figure.
+    pub sweep: SweepReport,
 }
 
 impl Fig10 {
@@ -463,51 +537,72 @@ pub fn fig10(scale: &Scale) -> Fig10 {
     let mut fleet = Fleet::build(scale.fleet);
     let dp = DataPattern::CHECKER_55;
     let threads = scale.sweep_threads(fleet.chips.len());
-    let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
-        let bank = chip.bank();
-        let mut ds_changes = Vec::new();
-        let mut ss_changes = Vec::new();
-        for victim in chip.victim_rows() {
-            let pairs: [(Option<_>, Option<_>); 2] = [
-                (
-                    comra_ds_for(chip.exec.chip(), victim, false),
-                    comra_ds_for(chip.exec.chip(), victim, true),
-                ),
-                (
-                    comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, false),
-                    comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, true),
-                ),
-            ];
-            for (idx, (fwd, rev)) in pairs.into_iter().enumerate() {
-                let (Some(fwd), Some(rev)) = (fwd, rev) else {
-                    continue;
-                };
-                let mut warm = crate::hcfirst::WarmStart::new();
-                let hf =
-                    measure_with_dp_warm(scale, &mut chip.exec, bank, &fwd, victim, dp, &mut warm);
-                let hr =
-                    measure_with_dp_warm(scale, &mut chip.exec, bank, &rev, victim, dp, &mut warm);
-                if let (Some(a), Some(b)) = (hf, hr) {
-                    let change = percent_change(b as f64, a as f64);
-                    if idx == 0 {
-                        ds_changes.push(change);
-                    } else {
-                        ss_changes.push(change);
+    let (outcomes, sweep) = crate::fleet::sweep::sweep_isolated(
+        threads,
+        scale.sweep_policy(),
+        &mut fleet.chips,
+        |_, chip| {
+            let bank = chip.bank();
+            let mut ds_changes = Vec::new();
+            let mut ss_changes = Vec::new();
+            for victim in chip.victim_rows() {
+                let pairs: [(Option<_>, Option<_>); 2] = [
+                    (
+                        comra_ds_for(chip.exec.chip(), victim, false),
+                        comra_ds_for(chip.exec.chip(), victim, true),
+                    ),
+                    (
+                        comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, false),
+                        comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, true),
+                    ),
+                ];
+                for (idx, (fwd, rev)) in pairs.into_iter().enumerate() {
+                    let (Some(fwd), Some(rev)) = (fwd, rev) else {
+                        continue;
+                    };
+                    let mut warm = crate::hcfirst::WarmStart::new();
+                    let hf = measure_with_dp_warm(
+                        scale,
+                        &mut chip.exec,
+                        bank,
+                        &fwd,
+                        victim,
+                        dp,
+                        &mut warm,
+                    );
+                    let hr = measure_with_dp_warm(
+                        scale,
+                        &mut chip.exec,
+                        bank,
+                        &rev,
+                        victim,
+                        dp,
+                        &mut warm,
+                    );
+                    if let (Some(a), Some(b)) = (hf, hr) {
+                        let change = percent_change(b as f64, a as f64);
+                        if idx == 0 {
+                            ds_changes.push(change);
+                        } else {
+                            ss_changes.push(change);
+                        }
                     }
                 }
             }
-        }
-        (ds_changes, ss_changes)
-    });
+            (ds_changes, ss_changes)
+        },
+    );
     let mut ds_changes = Vec::new();
     let mut ss_changes = Vec::new();
-    for (ds, ss) in per_chip {
+    for (ds, ss) in outcomes.into_iter().filter_map(SweepOutcome::ok) {
         ds_changes.extend(ds);
         ss_changes.extend(ss);
     }
+    sweep.record_metrics();
     Fig10 {
         ds_changes,
         ss_changes,
+        sweep,
     }
 }
 
@@ -530,7 +625,8 @@ impl fmt::Display for Fig10 {
             self.mean_abs_change(false),
             self.max_factor(false),
             self.ss_changes.len()
-        )
+        )?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -539,6 +635,8 @@ impl fmt::Display for Fig10 {
 pub struct Fig11 {
     /// `(mfr, region, summary)` cells.
     pub cells: Vec<(Manufacturer, SubarrayRegion, Option<Summary>)>,
+    /// Fault-tolerance status of the sweep behind this figure.
+    pub sweep: SweepReport,
 }
 
 impl Fig11 {
@@ -564,7 +662,14 @@ impl Fig11 {
 pub fn fig11(scale: &Scale) -> Fig11 {
     let _span = pud_observe::span("experiment.fig11");
     let mut fleet = Fleet::build(scale.fleet);
-    let recs: Vec<Record> = collect_hc(scale, &mut fleet, |c, v| comra_ds_for(c, v, false), None);
+    let mut sweep = SweepReport::default();
+    let recs: Vec<Record> = collect_hc(
+        scale,
+        &mut fleet,
+        |c, v| comra_ds_for(c, v, false),
+        None,
+        &mut sweep,
+    );
     let mut cells = Vec::new();
     for mfr in Manufacturer::ALL {
         for region in SubarrayRegion::ALL {
@@ -572,7 +677,8 @@ pub fn fig11(scale: &Scale) -> Fig11 {
             cells.push((mfr, region, Summary::from_values(&vals)));
         }
     }
-    Fig11 { cells }
+    sweep.record_metrics();
+    Fig11 { cells, sweep }
 }
 
 impl fmt::Display for Fig11 {
@@ -600,7 +706,7 @@ impl fmt::Display for Fig11 {
                 self.region_spread(mfr)
             )?;
         }
-        Ok(())
+        self.sweep.fmt_footer(f)
     }
 }
 

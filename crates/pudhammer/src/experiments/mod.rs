@@ -34,6 +34,9 @@ pub struct Scale {
     /// parallelism, capped at fleet size). Output is identical at any
     /// value — see [`crate::fleet::sweep`].
     pub threads: usize,
+    /// Transient-failure retries per chip before it is quarantined (see
+    /// [`crate::fleet::sweep::SweepPolicy`]).
+    pub max_retries: u32,
 }
 
 impl Scale {
@@ -45,6 +48,7 @@ impl Scale {
             use_wcdp: false,
             trr_hammers: 200_000,
             threads: 0,
+            max_retries: 3,
         }
     }
 
@@ -59,6 +63,7 @@ impl Scale {
             use_wcdp: true,
             trr_hammers: 500_000,
             threads: 0,
+            max_retries: 3,
         }
     }
 
@@ -66,6 +71,13 @@ impl Scale {
     /// `items` elements.
     pub fn sweep_threads(&self, items: usize) -> usize {
         crate::fleet::sweep::resolve_threads(self.threads, items)
+    }
+
+    /// The retry policy isolating sweeps run under at this scale.
+    pub fn sweep_policy(&self) -> crate::fleet::sweep::SweepPolicy {
+        crate::fleet::sweep::SweepPolicy {
+            max_retries: self.max_retries,
+        }
     }
 }
 
@@ -146,6 +158,11 @@ pub(crate) fn measure_with_dp_warm(
 /// One HC_first measurement over the fleet.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Record {
+    /// Fleet index of the measured chip. Drivers that pair measurements
+    /// across several [`collect_hc`] calls join on `(chip, victim)` so the
+    /// pairing survives a chip being quarantined in one call but not
+    /// another.
+    pub chip: usize,
     /// Chip manufacturer.
     pub mfr: pud_dram::Manufacturer,
     /// Victim row (physical).
@@ -156,18 +173,46 @@ pub struct Record {
     pub hc: Option<u64>,
 }
 
+/// Fault-isolating parallel sweep over the fleet at this scale: every chip
+/// closure runs under the retry/quarantine machinery of
+/// [`crate::fleet::sweep::sweep_isolated`] with [`Scale::sweep_policy`].
+/// Quarantined chips contribute no element to the returned vector (results
+/// are otherwise in fleet order) and their status — like every retry — is
+/// merged into `sweep` for the driver's quarantine footer.
+pub(crate) fn sweep_fleet<R: Send>(
+    scale: &Scale,
+    fleet: &mut crate::fleet::Fleet,
+    sweep: &mut crate::fleet::sweep::SweepReport,
+    f: impl Fn(usize, &mut crate::fleet::ChipUnderTest) -> R + Sync,
+) -> Vec<R> {
+    let threads = scale.sweep_threads(fleet.chips.len());
+    let (outcomes, report) =
+        crate::fleet::sweep::sweep_isolated(threads, scale.sweep_policy(), &mut fleet.chips, f);
+    sweep.absorb(&report);
+    outcomes
+        .into_iter()
+        .filter_map(crate::fleet::sweep::SweepOutcome::ok)
+        .collect()
+}
+
 /// Measures HC_first for every fleet victim under the kernel produced by
 /// `make_kernel`, using `dp` as the aggressor pattern (or the per-class
 /// default policy when `None`). Chips are swept in parallel per
 /// [`Scale::threads`]; records come back in fleet order regardless.
+///
+/// The sweep is fault-isolating (see [`sweep_fleet`]): a chip whose
+/// closure fails permanently (or exhausts [`Scale::max_retries`])
+/// contributes no records, and what happened to it is merged into `sweep`
+/// so the driver can render the partial fleet with an explicit quarantine
+/// footer.
 pub(crate) fn collect_hc(
     scale: &Scale,
     fleet: &mut crate::fleet::Fleet,
     make_kernel: impl Fn(&pud_dram::Chip, pud_dram::RowAddr) -> Option<Kernel> + Sync,
     dp: Option<DataPattern>,
+    sweep: &mut crate::fleet::sweep::SweepReport,
 ) -> Vec<Record> {
-    let threads = scale.sweep_threads(fleet.chips.len());
-    let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+    let per_chip = sweep_fleet(scale, fleet, sweep, |chip_idx, chip| {
         let _sweep = pud_observe::span(&format!("fleet.sweep.{}", chip.profile.key()));
         let bank = chip.bank();
         let mut records = Vec::new();
@@ -180,6 +225,7 @@ pub(crate) fn collect_hc(
                 None => measure_with_policy(scale, &mut chip.exec, bank, &kernel, victim),
             };
             records.push(Record {
+                chip: chip_idx,
                 mfr: chip.profile.chip_vendor,
                 victim,
                 region: chip.exec.chip().geometry().region_of(victim),

@@ -6,7 +6,8 @@ use std::fmt;
 use pud_bender::TestEnv;
 use pud_dram::{Celsius, DataPattern, Picos, RowAddr, SubarrayRegion};
 
-use crate::experiments::{measure_with_dp, measure_with_dp_warm, Scale};
+use crate::experiments::{measure_with_dp, measure_with_dp_warm, sweep_fleet, Scale};
+use crate::fleet::sweep::SweepReport;
 use crate::fleet::{ChipUnderTest, Fleet};
 use crate::patterns::{
     rowhammer_ds_for, rowhammer_ss_for, simra_ds_kernels, simra_ss_kernels, simra_victims, Kernel,
@@ -101,6 +102,8 @@ pub struct Fig13 {
     pub per_n: Vec<Fig13Row>,
     /// Lowest double-sided RowHammer HC_first over the same victims.
     pub lowest_rh: f64,
+    /// Fault-tolerance status of the sweep(s) behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// One N's worth of Fig. 13 data.
@@ -123,11 +126,11 @@ pub fn fig13(scale: &Scale) -> Fig13 {
     let _span = pud_observe::span("experiment.fig13");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
-    let threads = scale.sweep_threads(fleet.chips.len());
+    let mut sweep = SweepReport::default();
     let mut per_n = Vec::new();
     let mut lowest_rh = f64::INFINITY;
     for n in DS_GROUP_SIZES {
-        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
             let bank = chip.bank();
             let mut changes = Vec::new();
             let mut lowest = f64::INFINITY;
@@ -179,7 +182,12 @@ pub fn fig13(scale: &Scale) -> Fig13 {
             changes: sorted_changes(&changes),
         });
     }
-    Fig13 { per_n, lowest_rh }
+    sweep.record_metrics();
+    Fig13 {
+        per_n,
+        lowest_rh,
+        sweep,
+    }
 }
 
 impl fmt::Display for Fig13 {
@@ -202,7 +210,8 @@ impl fmt::Display for Fig13 {
             f,
             "lowest ds-RowHammer HC_first over the same victims: {}",
             fmt_hc(self.lowest_rh)
-        )
+        )?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -211,6 +220,8 @@ impl fmt::Display for Fig13 {
 pub struct Fig14 {
     /// `(n, pattern, summary)` cells (victims hold the negated pattern).
     pub cells: Vec<(u8, DataPattern, Option<Summary>)>,
+    /// Fault-tolerance status of the sweep(s) behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 14 experiment.
@@ -222,10 +233,10 @@ pub fn fig14(scale: &Scale) -> Fig14 {
     let _span = pud_observe::span("experiment.fig14");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
-    let threads = scale.sweep_threads(fleet.chips.len());
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for n in DS_GROUP_SIZES {
-        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
             let bank = chip.bank();
             let mut by_dp: Vec<Vec<f64>> = vec![Vec::new(); DataPattern::TESTED.len()];
             for (kernel, victim) in ds_targets(chip, n, cap) {
@@ -251,7 +262,8 @@ pub fn fig14(scale: &Scale) -> Fig14 {
             cells.push((n, dp, Summary::from_values(&vals)));
         }
     }
-    Fig14 { cells }
+    sweep.record_metrics();
+    Fig14 { cells, sweep }
 }
 
 impl fmt::Display for Fig14 {
@@ -279,7 +291,8 @@ impl fmt::Display for Fig14 {
             };
             t.push_row(cells);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -288,6 +301,8 @@ impl fmt::Display for Fig14 {
 pub struct Fig15 {
     /// `(n, temperature, summary)` cells.
     pub cells: Vec<(u8, Celsius, Option<Summary>)>,
+    /// Fault-tolerance status of the sweep(s) behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 15 experiment.
@@ -295,13 +310,13 @@ pub fn fig15(scale: &Scale) -> Fig15 {
     let _span = pud_observe::span("experiment.fig15");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
-    let threads = scale.sweep_threads(fleet.chips.len());
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for temp in Celsius::TESTED {
         // One sweep per temperature: each chip sets its environment and
         // measures every group size, so the per-chip operation sequence
         // matches the serial path exactly.
-        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
             chip.exec
                 .set_env(TestEnv::characterization().at_temperature(temp));
             let bank = chip.bank();
@@ -329,7 +344,8 @@ pub fn fig15(scale: &Scale) -> Fig15 {
             cells.push((n, temp, Summary::from_values(&vals)));
         }
     }
-    Fig15 { cells }
+    sweep.record_metrics();
+    Fig15 { cells, sweep }
 }
 
 impl fmt::Display for Fig15 {
@@ -348,7 +364,8 @@ impl fmt::Display for Fig15 {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -359,6 +376,8 @@ pub struct Fig16 {
     pub simra: Vec<(u8, Option<Summary>)>,
     /// Single-sided RowHammer baseline over the same victims.
     pub rowhammer: Option<Summary>,
+    /// Fault-tolerance status of the sweep(s) behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 16 experiment.
@@ -366,11 +385,11 @@ pub fn fig16(scale: &Scale) -> Fig16 {
     let _span = pud_observe::span("experiment.fig16");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
-    let threads = scale.sweep_threads(fleet.chips.len());
+    let mut sweep = SweepReport::default();
     let mut simra = Vec::new();
     let mut rh_vals = Vec::new();
     for n in SS_GROUP_SIZES {
-        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
             let bank = chip.bank();
             let mut vals = Vec::new();
             let mut rh_vals = Vec::new();
@@ -409,9 +428,11 @@ pub fn fig16(scale: &Scale) -> Fig16 {
         }
         simra.push((n, Summary::from_values(&vals)));
     }
+    sweep.record_metrics();
     Fig16 {
         simra,
         rowhammer: Summary::from_values(&rh_vals),
+        sweep,
     }
 }
 
@@ -429,7 +450,8 @@ impl fmt::Display for Fig16 {
                 t.push_row(vec![format!("ss-SiMRA-{n}"), fmt_hc(s.min), fmt_hc(s.mean)]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -439,6 +461,8 @@ pub struct Fig17 {
     /// `(technique, t_aggon, summary)` cells; technique is `"RowPress"` or
     /// `"SiMRA-N"`.
     pub cells: Vec<(String, Picos, Option<Summary>)>,
+    /// Fault-tolerance status of the sweep(s) behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 17 experiment.
@@ -446,12 +470,12 @@ pub fn fig17(scale: &Scale) -> Fig17 {
     let _span = pud_observe::span("experiment.fig17");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
-    let threads = scale.sweep_threads(fleet.chips.len());
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for t_on in crate::experiments::comra::taggon_sweep() {
         // One sweep per on-time: each chip runs the RowPress baseline
         // (double-sided RowHammer held open) and then both SiMRA sizes.
-        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
             let bank = chip.bank();
             let mut press_vals = Vec::new();
             for victim in chip.victim_rows() {
@@ -502,7 +526,8 @@ pub fn fig17(scale: &Scale) -> Fig17 {
             cells.push((format!("SiMRA-{n}"), t_on, Summary::from_values(&vals)));
         }
     }
-    Fig17 { cells }
+    sweep.record_metrics();
+    Fig17 { cells, sweep }
 }
 
 impl fmt::Display for Fig17 {
@@ -521,7 +546,8 @@ impl fmt::Display for Fig17 {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -530,6 +556,8 @@ impl fmt::Display for Fig17 {
 pub struct Fig18 {
     /// `(act_to_pre, pre_to_act, summary)` cells for SiMRA-16.
     pub cells: Vec<(Picos, Picos, Option<Summary>)>,
+    /// Fault-tolerance status of the sweep(s) behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 18 experiment.
@@ -542,11 +570,11 @@ pub fn fig18(scale: &Scale) -> Fig18 {
         Picos::from_ns(3.0),
         Picos::from_ns(4.5),
     ];
-    let threads = scale.sweep_threads(fleet.chips.len());
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for a2p in delays {
         for p2a in delays {
-            let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+            let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
                 let bank = chip.bank();
                 let mut vals = Vec::new();
                 for (kernel, victim) in ds_targets(chip, 16, cap) {
@@ -575,7 +603,8 @@ pub fn fig18(scale: &Scale) -> Fig18 {
             cells.push((a2p, p2a, Summary::from_values(&vals)));
         }
     }
-    Fig18 { cells }
+    sweep.record_metrics();
+    Fig18 { cells, sweep }
 }
 
 impl fmt::Display for Fig18 {
@@ -595,7 +624,8 @@ impl fmt::Display for Fig18 {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 
@@ -604,6 +634,8 @@ impl fmt::Display for Fig18 {
 pub struct Fig19 {
     /// `(n, region, summary)` cells.
     pub cells: Vec<(u8, SubarrayRegion, Option<Summary>)>,
+    /// Fault-tolerance status of the sweep(s) behind this figure.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Fig. 19 experiment.
@@ -611,10 +643,10 @@ pub fn fig19(scale: &Scale) -> Fig19 {
     let _span = pud_observe::span("experiment.fig19");
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
-    let threads = scale.sweep_threads(fleet.chips.len());
+    let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for n in DS_GROUP_SIZES {
-        let per_chip = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
             let bank = chip.bank();
             let mut by_region: Vec<Vec<f64>> = vec![Vec::new(); 5];
             for (kernel, victim) in ds_targets(chip, n, cap) {
@@ -642,7 +674,8 @@ pub fn fig19(scale: &Scale) -> Fig19 {
             cells.push((n, region, Summary::from_values(&by_region[region.index()])));
         }
     }
-    Fig19 { cells }
+    sweep.record_metrics();
+    Fig19 { cells, sweep }
 }
 
 impl fmt::Display for Fig19 {
@@ -662,7 +695,8 @@ impl fmt::Display for Fig19 {
                 ]);
             }
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 

@@ -5,8 +5,12 @@
 use std::fmt;
 
 use pud_dram::DataPattern;
+use pud_observe::json::JsonObject;
+use pud_observe::JsonValue;
 
 use crate::experiments::{measure_with_dp, Scale};
+use crate::fleet::checkpoint::CheckpointStore;
+use crate::fleet::sweep::{SweepOutcome, SweepReport};
 use crate::fleet::Fleet;
 use crate::patterns::{comra_ds_for, rowhammer_ds_for};
 use crate::report::{fmt_hc, Table};
@@ -43,6 +47,9 @@ pub struct Table2Row {
     pub comra: Option<MinAvg>,
     /// Measured SiMRA min/avg (SiMRA-capable families only).
     pub simra: Option<MinAvg>,
+    /// Why the family's chip was quarantined, if it was: its measurement
+    /// columns are unavailable and render as `QUARANTINED`.
+    pub quarantined: Option<String>,
 }
 
 /// The reproduced Table 2.
@@ -50,75 +57,172 @@ pub struct Table2Row {
 pub struct Table2 {
     /// Rows in Table 2 order.
     pub rows: Vec<Table2Row>,
+    /// Fault-tolerance status of the fleet sweep.
+    pub sweep: SweepReport,
 }
 
 /// Runs the Table 2 reproduction. Chips are swept in parallel per
 /// [`Scale::threads`]; rows come back in fleet (Table 2) order regardless.
 pub fn table2(scale: &Scale) -> Table2 {
+    table2_ckpt(scale, None)
+}
+
+/// [`table2`] with an optional [`CheckpointStore`]: families already in the
+/// checkpoint are decoded instead of re-measured, and freshly measured
+/// families are appended to it as they complete. Quarantined families are
+/// never recorded, so a resume retries them.
+pub fn table2_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Table2 {
     let _span = pud_observe::span("experiment.table2");
     let mut fleet = Fleet::build(scale.fleet);
     let cap = (scale.fleet.victims_per_subarray as usize) * 6;
     let threads = scale.sweep_threads(fleet.chips.len());
-    let rows = crate::fleet::sweep::sweep(threads, &mut fleet.chips, |_, chip| {
-        if chip.chip_index != 0 {
-            return None;
-        }
-        let bank = chip.bank();
-        let mut rh_vals = Vec::new();
-        let mut comra_vals = Vec::new();
-        for victim in chip.victim_rows() {
-            if let Some(k) = rowhammer_ds_for(chip.exec.chip(), victim) {
-                if let Some(h) = measure_with_dp(
-                    scale,
-                    &mut chip.exec,
-                    bank,
-                    &k,
-                    victim,
-                    DataPattern::CHECKER_55,
-                ) {
-                    rh_vals.push(h as f64);
+    let families: Vec<(&'static pud_dram::ModuleProfile, u32)> = fleet
+        .chips
+        .iter()
+        .map(|c| (c.profile, c.chip_index))
+        .collect();
+    let (outcomes, sweep) = crate::fleet::sweep::sweep_isolated(
+        threads,
+        scale.sweep_policy(),
+        &mut fleet.chips,
+        |_, chip| {
+            if chip.chip_index != 0 {
+                return None;
+            }
+            if let Some(ckpt) = ckpt {
+                if let Some(row) = ckpt
+                    .lookup(CHECKPOINT_STAGE, &chip.label())
+                    .and_then(|data| decode_row(chip.profile, data))
+                {
+                    return Some(row);
                 }
             }
-            if let Some(k) = comra_ds_for(chip.exec.chip(), victim, false) {
-                if let Some(h) = measure_with_dp(
-                    scale,
-                    &mut chip.exec,
-                    bank,
-                    &k,
-                    victim,
-                    DataPattern::CHECKER_55,
-                ) {
-                    comra_vals.push(h as f64);
-                }
-            }
-        }
-        let mut simra_vals = Vec::new();
-        if chip.profile.supports_simra() {
-            for n in crate::experiments::simra::DS_GROUP_SIZES {
-                for (kernel, victim) in crate::experiments::simra::ds_targets(chip, n, cap) {
+            let bank = chip.bank();
+            let mut rh_vals = Vec::new();
+            let mut comra_vals = Vec::new();
+            for victim in chip.victim_rows() {
+                if let Some(k) = rowhammer_ds_for(chip.exec.chip(), victim) {
                     if let Some(h) = measure_with_dp(
                         scale,
                         &mut chip.exec,
                         bank,
-                        &kernel,
+                        &k,
                         victim,
-                        DataPattern::ZEROS,
+                        DataPattern::CHECKER_55,
                     ) {
-                        simra_vals.push(h as f64);
+                        rh_vals.push(h as f64);
+                    }
+                }
+                if let Some(k) = comra_ds_for(chip.exec.chip(), victim, false) {
+                    if let Some(h) = measure_with_dp(
+                        scale,
+                        &mut chip.exec,
+                        bank,
+                        &k,
+                        victim,
+                        DataPattern::CHECKER_55,
+                    ) {
+                        comra_vals.push(h as f64);
                     }
                 }
             }
+            let mut simra_vals = Vec::new();
+            if chip.profile.supports_simra() {
+                for n in crate::experiments::simra::DS_GROUP_SIZES {
+                    for (kernel, victim) in crate::experiments::simra::ds_targets(chip, n, cap) {
+                        if let Some(h) = measure_with_dp(
+                            scale,
+                            &mut chip.exec,
+                            bank,
+                            &kernel,
+                            victim,
+                            DataPattern::ZEROS,
+                        ) {
+                            simra_vals.push(h as f64);
+                        }
+                    }
+                }
+            }
+            let row = Table2Row {
+                profile: chip.profile,
+                rowhammer: MinAvg::from_values(&rh_vals),
+                comra: MinAvg::from_values(&comra_vals),
+                simra: MinAvg::from_values(&simra_vals),
+                quarantined: None,
+            };
+            if let Some(ckpt) = ckpt {
+                if let Err(e) = ckpt.record(CHECKPOINT_STAGE, &chip.label(), &encode_row(&row)) {
+                    eprintln!("warning: checkpoint write failed for {}: {e}", chip.label());
+                }
+            }
+            Some(row)
+        },
+    );
+    let mut rows = Vec::new();
+    for (outcome, (profile, chip_index)) in outcomes.into_iter().zip(families) {
+        match outcome {
+            SweepOutcome::Done(Some(row)) => rows.push(row),
+            SweepOutcome::Done(None) => {}
+            SweepOutcome::Quarantined(err) => {
+                if chip_index == 0 {
+                    rows.push(Table2Row {
+                        profile,
+                        rowhammer: None,
+                        comra: None,
+                        simra: None,
+                        quarantined: Some(err.message),
+                    });
+                }
+            }
         }
-        Some(Table2Row {
-            profile: chip.profile,
-            rowhammer: MinAvg::from_values(&rh_vals),
-            comra: MinAvg::from_values(&comra_vals),
-            simra: MinAvg::from_values(&simra_vals),
-        })
-    });
-    Table2 {
-        rows: rows.into_iter().flatten().collect(),
     }
+    sweep.record_metrics();
+    Table2 { rows, sweep }
+}
+
+/// Stage label under which Table 2 rows are checkpointed.
+const CHECKPOINT_STAGE: &str = "table2";
+
+fn encode_ma(obj: JsonObject, key: &str, m: &Option<MinAvg>) -> JsonObject {
+    match m {
+        Some(m) => obj.raw(
+            key,
+            &JsonObject::new()
+                .f64("min", m.min)
+                .f64("avg", m.avg)
+                .finish(),
+        ),
+        None => obj.raw(key, "null"),
+    }
+}
+
+fn encode_row(row: &Table2Row) -> String {
+    let obj = JsonObject::new();
+    let obj = encode_ma(obj, "rowhammer", &row.rowhammer);
+    let obj = encode_ma(obj, "comra", &row.comra);
+    let obj = encode_ma(obj, "simra", &row.simra);
+    obj.finish()
+}
+
+fn decode_ma(v: &JsonValue, key: &str) -> Option<Option<MinAvg>> {
+    let field = v.get(key)?;
+    if matches!(field, JsonValue::Null) {
+        return Some(None);
+    }
+    Some(Some(MinAvg {
+        min: field.get("min")?.as_f64()?,
+        avg: field.get("avg")?.as_f64()?,
+    }))
+}
+
+fn decode_row(profile: &'static pud_dram::ModuleProfile, v: &JsonValue) -> Option<Table2Row> {
+    Some(Table2Row {
+        profile,
+        rowhammer: decode_ma(v, "rowhammer")?,
+        comra: decode_ma(v, "comra")?,
+        simra: decode_ma(v, "simra")?,
+        quarantined: None,
+    })
 }
 
 impl fmt::Display for Table2 {
@@ -147,20 +251,28 @@ impl fmt::Display for Table2 {
             |a: &pud_dram::profiles::HcAnchor| format!("{} ({})", fmt_hc(a.min), fmt_hc(a.avg));
         for row in &self.rows {
             let p = row.profile;
+            let meas = |m: &Option<MinAvg>| {
+                if row.quarantined.is_some() {
+                    "QUARANTINED".to_string()
+                } else {
+                    fmt_ma(m)
+                }
+            };
             t.push_row(vec![
                 p.module_id.to_string(),
                 p.chip_vendor.to_string(),
                 p.die_rev.to_string(),
                 p.density.to_string(),
-                fmt_ma(&row.rowhammer),
+                meas(&row.rowhammer),
                 fmt_anchor(&p.rowhammer),
-                fmt_ma(&row.comra),
+                meas(&row.comra),
                 fmt_anchor(&p.comra),
-                fmt_ma(&row.simra),
+                meas(&row.simra),
                 p.simra.as_ref().map_or("N/A".into(), fmt_anchor),
             ]);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 

@@ -15,6 +15,7 @@ use pud_observe::{RingBufferSink, SharedSink};
 use pud_trr::{patterns as trr_patterns, SamplingTrr, SamplingTrrConfig};
 
 use crate::experiments::Scale;
+use crate::fleet::sweep::{SweepOutcome, SweepReport};
 use crate::patterns::{simra_ds_kernels, simra_ss_kernels, Kernel};
 use crate::report::Table;
 
@@ -67,6 +68,8 @@ pub struct Fig24 {
     pub rows: Vec<Fig24Row>,
     /// Repetitions per cell.
     pub repetitions: u32,
+    /// Fault-tolerance status of the technique sweep.
+    pub sweep: SweepReport,
 }
 
 impl Fig24 {
@@ -169,58 +172,67 @@ pub fn fig24(scale: &Scale) -> Fig24 {
     let threads = scale.sweep_threads(techniques.len());
     let dest = pud_observe::global_sink();
     let tracing = dest.is_some();
-    let outcomes = crate::fleet::sweep::sweep_items(threads, techniques, |_, (name, tech)| {
-        let ring = tracing.then(|| {
-            Arc::new(Mutex::new(RingBufferSink::new(
-                crate::fleet::sweep::TRACE_RING_CAPACITY,
-            )))
-        });
-        let sink: Option<SharedSink> = ring.clone().map(|r| r as SharedSink);
-        let mut counts_without = Vec::new();
-        let mut counts_with = Vec::new();
-        for rep in 0..reps {
-            counts_without.push(run_once(
-                scale,
-                profile,
-                tech,
-                dummy_phys,
-                false,
-                rep,
-                sink.as_ref(),
-            ));
-            counts_with.push(run_once(
-                scale,
-                profile,
-                tech,
-                dummy_phys,
-                true,
-                rep,
-                sink.as_ref(),
-            ));
-        }
-        let events = ring.map_or_else(Vec::new, |r| {
-            r.lock().expect("fig24 trace ring poisoned").to_vec()
-        });
-        (
-            Fig24Row {
-                technique: std::mem::take(name),
-                without_trr: FlipStat::from_counts(&counts_without),
-                with_trr: FlipStat::from_counts(&counts_with),
-            },
-            events,
-        )
-    });
+    let labels: Vec<String> = techniques.iter().map(|(name, _)| name.clone()).collect();
+    let (outcomes, sweep) = crate::fleet::sweep::sweep_items_isolated(
+        threads,
+        scale.sweep_policy(),
+        labels,
+        techniques,
+        |_, (name, tech)| {
+            let ring = tracing.then(|| {
+                Arc::new(Mutex::new(RingBufferSink::new(
+                    crate::fleet::sweep::TRACE_RING_CAPACITY,
+                )))
+            });
+            let sink: Option<SharedSink> = ring.clone().map(|r| r as SharedSink);
+            let mut counts_without = Vec::new();
+            let mut counts_with = Vec::new();
+            for rep in 0..reps {
+                counts_without.push(run_once(
+                    scale,
+                    profile,
+                    tech,
+                    dummy_phys,
+                    false,
+                    rep,
+                    sink.as_ref(),
+                ));
+                counts_with.push(run_once(
+                    scale,
+                    profile,
+                    tech,
+                    dummy_phys,
+                    true,
+                    rep,
+                    sink.as_ref(),
+                ));
+            }
+            let events = ring.map_or_else(Vec::new, |r| {
+                r.lock().expect("fig24 trace ring poisoned").to_vec()
+            });
+            (
+                Fig24Row {
+                    technique: name.clone(),
+                    without_trr: FlipStat::from_counts(&counts_without),
+                    with_trr: FlipStat::from_counts(&counts_with),
+                },
+                events,
+            )
+        },
+    );
     let mut buffers = Vec::with_capacity(outcomes.len());
-    for (row, events) in outcomes {
+    for (row, events) in outcomes.into_iter().filter_map(SweepOutcome::ok) {
         rows.push(row);
         buffers.push(events);
     }
     if let Some(dest) = dest {
         pud_observe::merge_ordered(&buffers, &dest);
     }
+    sweep.record_metrics();
     Fig24 {
         rows,
         repetitions: reps,
+        sweep,
     }
 }
 
@@ -347,7 +359,8 @@ impl fmt::Display for Fig24 {
                 format!("{:.1}%", row.trr_reduction_pct()),
             ]);
         }
-        write!(f, "{t}")
+        write!(f, "{t}")?;
+        self.sweep.fmt_footer(f)
     }
 }
 

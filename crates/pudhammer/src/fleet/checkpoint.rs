@@ -1,0 +1,427 @@
+//! JSONL sweep checkpoints: append-only per-chip result rows with a
+//! verified header, so interrupted campaigns resume where they left off.
+//!
+//! Format (one JSON object per line, written with `pud-observe`'s JSON
+//! writer):
+//!
+//! ```text
+//! {"kind":"pud-checkpoint","version":1,"target":"table2","scale":"quick",
+//!  "fingerprint":1234,"fault_seed":7}
+//! {"stage":"rowhammer","chip":"SKHynix-A-8Gb#0","data":{...}}
+//! ...
+//! ```
+//!
+//! The header binds the file to one campaign: the repro target, the scale
+//! label, the [`FleetConfig::fingerprint`](super::FleetConfig::fingerprint)
+//! (fleet seed, geometry, sampling density, fault configuration, family
+//! roster), and the fault seed for human readability. [`CheckpointStore::open`]
+//! rejects a mismatched header instead of silently mixing incompatible
+//! rows.
+//!
+//! Durability model: each record is one `write` + `flush` of a complete
+//! line, so a kill leaves at most one truncated trailing line. On reopen
+//! the valid prefix is kept, the partial tail is truncated away, and the
+//! chips it covered simply re-run. Quarantined chips are never recorded —
+//! a resume retries them, keeping counters and rendered output identical
+//! to an uninterrupted run.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use pud_observe::json::JsonObject;
+use pud_observe::JsonValue;
+
+/// Checkpoint file-format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Campaign identity stored in (and verified against) the first line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// The repro target (e.g. `table2`).
+    pub target: String,
+    /// Scale label (`quick` / `full`).
+    pub scale: String,
+    /// [`super::FleetConfig::fingerprint`] of the campaign's fleet.
+    pub fingerprint: u64,
+    /// The fault seed, if fault injection is on (informational — the
+    /// fingerprint already covers the full fault configuration).
+    pub fault_seed: Option<u64>,
+}
+
+impl CheckpointHeader {
+    fn render(&self) -> String {
+        let obj = JsonObject::new()
+            .str("kind", "pud-checkpoint")
+            .u64("version", CHECKPOINT_VERSION)
+            .str("target", &self.target)
+            .str("scale", &self.scale)
+            .u64("fingerprint", self.fingerprint);
+        match self.fault_seed {
+            Some(seed) => obj.u64("fault_seed", seed),
+            None => obj.raw("fault_seed", "null"),
+        }
+        .finish()
+    }
+
+    fn parse(line: &str) -> Result<CheckpointHeader, String> {
+        let v = JsonValue::parse(line).map_err(|e| format!("unparseable header: {e}"))?;
+        if v.get("kind").and_then(JsonValue::as_str) != Some("pud-checkpoint") {
+            return Err("not a pud-checkpoint file".to_string());
+        }
+        let version = v
+            .get("version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("header missing version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (this build writes {CHECKPOINT_VERSION})"
+            ));
+        }
+        Ok(CheckpointHeader {
+            target: v
+                .get("target")
+                .and_then(JsonValue::as_str)
+                .ok_or("header missing target")?
+                .to_string(),
+            scale: v
+                .get("scale")
+                .and_then(JsonValue::as_str)
+                .ok_or("header missing scale")?
+                .to_string(),
+            fingerprint: v
+                .get("fingerprint")
+                .and_then(JsonValue::as_u64)
+                .ok_or("header missing fingerprint")?,
+            fault_seed: v.get("fault_seed").and_then(JsonValue::as_u64),
+        })
+    }
+}
+
+/// Why a checkpoint could not be opened.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file's header does not match this campaign (boxed: the two
+    /// headers would otherwise dominate every `Result` in the open path).
+    HeaderMismatch {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// Expected header (this campaign).
+        expected: Box<CheckpointHeader>,
+        /// Header found in the file.
+        found: Box<CheckpointHeader>,
+    },
+    /// A non-trailing line failed to parse (trailing corruption from a
+    /// kill is tolerated and truncated away; earlier corruption is not).
+    Corrupt {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// Parse failure description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::HeaderMismatch {
+                path,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "checkpoint {} belongs to a different campaign: \
+                     file has target={} scale={} fingerprint={:#x} fault_seed={:?}, \
+                     this run needs target={} scale={} fingerprint={:#x} fault_seed={:?} \
+                     — delete the file or point --checkpoint elsewhere",
+                    path.display(),
+                    found.target,
+                    found.scale,
+                    found.fingerprint,
+                    found.fault_seed,
+                    expected.target,
+                    expected.scale,
+                    expected.fingerprint,
+                    expected.fault_seed,
+                )
+            }
+            CheckpointError::Corrupt { path, line, reason } => write!(
+                f,
+                "checkpoint {} is corrupt at line {line}: {reason}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+/// An open checkpoint: completed rows loaded for lookup, file positioned
+/// for appending new ones.
+pub struct CheckpointStore {
+    header: CheckpointHeader,
+    completed: HashMap<(String, String), JsonValue>,
+    writer: Mutex<File>,
+}
+
+impl fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("header", &self.header)
+            .field("completed", &self.completed.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CheckpointStore {
+    /// Opens (or creates) the checkpoint at `path` for the campaign
+    /// described by `header`.
+    ///
+    /// A fresh or empty file gets the header written immediately. An
+    /// existing file has its header verified and its completed rows loaded;
+    /// a truncated trailing line (interrupted write) is dropped and the
+    /// file shortened to the valid prefix so appends stay well-formed.
+    pub fn open(path: &Path, header: CheckpointHeader) -> Result<CheckpointStore, CheckpointError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut content = String::new();
+        file.read_to_string(&mut content)?;
+        if content.is_empty() {
+            let line = format!("{}\n", header.render());
+            file.write_all(line.as_bytes())?;
+            file.flush()?;
+            return Ok(CheckpointStore {
+                header,
+                completed: HashMap::new(),
+                writer: Mutex::new(file),
+            });
+        }
+        let corrupt = |line: usize, reason: String| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            line,
+            reason,
+        };
+        let mut completed = HashMap::new();
+        let mut valid_len = 0usize;
+        for (idx, line) in content.split_inclusive('\n').enumerate() {
+            let body = line.trim_end_matches('\n');
+            if idx == 0 {
+                let found = CheckpointHeader::parse(body).map_err(|reason| corrupt(1, reason))?;
+                if found != header {
+                    return Err(CheckpointError::HeaderMismatch {
+                        path: path.to_path_buf(),
+                        expected: Box::new(header.clone()),
+                        found: Box::new(found),
+                    });
+                }
+                if !line.ends_with('\n') {
+                    return Err(corrupt(1, "header line unterminated".to_string()));
+                }
+            } else {
+                if !line.ends_with('\n') {
+                    // The signature of an interrupted write: every record is
+                    // written as one newline-terminated line, so a tail
+                    // without a newline (parseable or not) is incomplete —
+                    // drop it and let that chip re-run.
+                    break;
+                }
+                let (stage, chip, data) =
+                    parse_record(body).map_err(|reason| corrupt(idx + 1, reason))?;
+                completed.insert((stage, chip), data);
+            }
+            valid_len += line.len();
+        }
+        file.set_len(valid_len as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(CheckpointStore {
+            header,
+            completed,
+            writer: Mutex::new(file),
+        })
+    }
+
+    /// The campaign identity this store is bound to.
+    pub fn header(&self) -> &CheckpointHeader {
+        &self.header
+    }
+
+    /// Rows loaded from the file at open (completed before this run).
+    pub fn recovered(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Looks up the saved result of `chip` in `stage`, if it completed in
+    /// an earlier run.
+    pub fn lookup(&self, stage: &str, chip: &str) -> Option<&JsonValue> {
+        self.completed.get(&(stage.to_string(), chip.to_string()))
+    }
+
+    /// Appends a completed chip's result row and flushes it. `data` must be
+    /// a rendered JSON value (use `pud-observe`'s writers). Safe to call
+    /// from parallel sweep workers; whole lines are written under one lock,
+    /// so rows never interleave.
+    pub fn record(&self, stage: &str, chip: &str, data: &str) -> std::io::Result<()> {
+        let line = format!(
+            "{}\n",
+            JsonObject::new()
+                .str("stage", stage)
+                .str("chip", chip)
+                .raw("data", data)
+                .finish()
+        );
+        let mut writer = self.writer.lock().expect("checkpoint writer poisoned");
+        writer.write_all(line.as_bytes())?;
+        writer.flush()
+    }
+}
+
+fn parse_record(line: &str) -> Result<(String, String, JsonValue), String> {
+    let v = JsonValue::parse(line)?;
+    let stage = v
+        .get("stage")
+        .and_then(JsonValue::as_str)
+        .ok_or("record missing stage")?
+        .to_string();
+    let chip = v
+        .get("chip")
+        .and_then(JsonValue::as_str)
+        .ok_or("record missing chip")?
+        .to_string();
+    let data = v.get("data").ok_or("record missing data")?.clone();
+    Ok((stage, chip, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> CheckpointHeader {
+        CheckpointHeader {
+            target: "table2".to_string(),
+            scale: "quick".to_string(),
+            fingerprint: 0xABCD_EF01_2345_6789,
+            fault_seed: Some(7),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pud-ckpt-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn fresh_checkpoint_round_trips_records() {
+        let path = temp_path("fresh");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = CheckpointStore::open(&path, header()).expect("create");
+            assert_eq!(store.recovered(), 0);
+            store
+                .record("rh", "A#0", "{\"hc\":12345,\"region\":\"begin\"}")
+                .expect("record");
+            store.record("rh", "B#0", "null").expect("record");
+        }
+        let store = CheckpointStore::open(&path, header()).expect("reopen");
+        assert_eq!(store.recovered(), 2);
+        let data = store.lookup("rh", "A#0").expect("saved row");
+        assert_eq!(data.get("hc").and_then(JsonValue::as_u64), Some(12345));
+        assert_eq!(data.render(), "{\"hc\":12345,\"region\":\"begin\"}");
+        assert_eq!(store.lookup("rh", "C#0"), None);
+        assert_eq!(store.lookup("other", "A#0"), None);
+        assert_eq!(store.lookup("rh", "B#0"), Some(&JsonValue::Null));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_header_is_rejected_with_a_clear_error() {
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        CheckpointStore::open(&path, header()).expect("create");
+        let mut other = header();
+        other.fingerprint ^= 1;
+        let err = CheckpointStore::open(&path, other).expect_err("must reject");
+        let msg = err.to_string();
+        assert!(msg.contains("different campaign"), "{msg}");
+        assert!(msg.contains("table2"), "{msg}");
+        let mut other = header();
+        other.target = "fig4".to_string();
+        assert!(CheckpointStore::open(&path, other).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_dropped_and_the_file_repaired() {
+        let path = temp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = CheckpointStore::open(&path, header()).expect("create");
+            store.record("rh", "A#0", "{\"hc\":1}").expect("record");
+            store.record("rh", "B#0", "{\"hc\":2}").expect("record");
+        }
+        // Simulate a kill mid-write: chop the last record in half.
+        let content = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &content[..content.len() - 7]).expect("truncate");
+        {
+            let store = CheckpointStore::open(&path, header()).expect("repair");
+            assert_eq!(store.recovered(), 1, "partial row dropped");
+            assert!(store.lookup("rh", "A#0").is_some());
+            assert!(store.lookup("rh", "B#0").is_none());
+            store.record("rh", "B#0", "{\"hc\":2}").expect("re-record");
+        }
+        let store = CheckpointStore::open(&path, header()).expect("reopen");
+        assert_eq!(store.recovered(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error_not_a_silent_skip() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = CheckpointStore::open(&path, header()).expect("create");
+            store.record("rh", "A#0", "{\"hc\":1}").expect("record");
+        }
+        let mut content = std::fs::read_to_string(&path).expect("read");
+        content.push_str("not json at all\n");
+        content.push_str("{\"stage\":\"rh\",\"chip\":\"B#0\",\"data\":{\"hc\":2}}\n");
+        std::fs::write(&path, content).expect("write");
+        let err = CheckpointStore::open(&path, header()).expect_err("must reject");
+        assert!(
+            matches!(err, CheckpointError::Corrupt { line: 3, .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_checkpoint_files_are_rejected() {
+        let path = temp_path("alien");
+        std::fs::write(&path, "{\"some\":\"other json\"}\n").expect("write");
+        let err = CheckpointStore::open(&path, header()).expect_err("must reject");
+        assert!(
+            matches!(err, CheckpointError::Corrupt { line: 1, .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

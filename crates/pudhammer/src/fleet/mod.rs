@@ -2,12 +2,14 @@
 //! paper's subarray/victim sampling methodology, and the parallel
 //! [`sweep`] engine the experiment drivers iterate it with.
 
+use pud_bender::fault::FaultConfig;
 use pud_bender::Executor;
 use pud_dram::{
     profiles::{self, ModuleProfile},
     BankId, ChipGeometry, Manufacturer, RowAddr, SubarrayId,
 };
 
+pub mod checkpoint;
 pub mod sweep;
 
 /// Scale and sampling configuration for experiments.
@@ -26,6 +28,11 @@ pub struct FleetConfig {
     pub chips_per_family: u32,
     /// Victim rows sampled per tested subarray.
     pub victims_per_subarray: u32,
+    /// Deterministic fault injection (see [`pud_bender::fault`]); `None`
+    /// builds a healthy fleet. The library never reads `PUD_FAULT_SEED`
+    /// itself — only the `repro` CLI resolves the environment into this
+    /// field, so library callers and tests stay race-free.
+    pub fault: Option<FaultConfig>,
 }
 
 impl FleetConfig {
@@ -36,6 +43,7 @@ impl FleetConfig {
             geometry: ChipGeometry::scaled_for_tests(),
             chips_per_family: 1,
             victims_per_subarray: 4,
+            fault: None,
         }
     }
 
@@ -46,6 +54,7 @@ impl FleetConfig {
             geometry: ChipGeometry::paper_scale(),
             chips_per_family: 2,
             victims_per_subarray: 32,
+            fault: None,
         }
     }
 
@@ -53,6 +62,39 @@ impl FleetConfig {
     /// configuration holds — the natural cap for sweep thread counts.
     pub fn fleet_size(&self) -> usize {
         profiles::TESTED_MODULES.len() * self.chips_per_family as usize
+    }
+
+    /// A stable fingerprint of everything that shapes sweep results: the
+    /// fleet seed, geometry, sampling density, fault configuration, and the
+    /// module-family roster. Checkpoints store it in their header so a
+    /// resume against a differently-shaped fleet is rejected instead of
+    /// silently mixing incompatible rows.
+    pub fn fingerprint(&self) -> u64 {
+        let mut words = vec![
+            self.seed,
+            u64::from(self.geometry.banks),
+            u64::from(self.geometry.subarrays_per_bank),
+            u64::from(self.geometry.rows_per_subarray),
+            u64::from(self.geometry.cols_per_row),
+            u64::from(self.chips_per_family),
+            u64::from(self.victims_per_subarray),
+        ];
+        match self.fault {
+            None => words.push(0),
+            Some(f) => {
+                words.push(1);
+                words.push(f.seed);
+                words.push(u64::from(f.transient_permille));
+                words.push(u64::from(f.permanent_permille));
+            }
+        }
+        for profile in &profiles::TESTED_MODULES {
+            let key = profile.key();
+            words.push(pud_disturb::rng::mix_all(
+                &key.bytes().map(u64::from).collect::<Vec<u64>>(),
+            ));
+        }
+        pud_disturb::rng::mix_all(&words)
     }
 }
 
@@ -84,6 +126,12 @@ impl std::fmt::Debug for ChipUnderTest {
 }
 
 impl ChipUnderTest {
+    /// Stable display label: `family-key#chip-index` — the identity sweep
+    /// reports and checkpoints key chips by.
+    pub fn label(&self) -> String {
+        format!("{}#{}", self.profile.key(), self.chip_index)
+    }
+
     /// The bank all characterization runs on (the paper tests one bank per
     /// module).
     pub fn bank(&self) -> BankId {
@@ -183,10 +231,14 @@ impl Fleet {
                 continue;
             }
             for chip_index in 0..config.chips_per_family {
+                let mut exec = Executor::new(profile, config.geometry, chip_index, config.seed);
+                if let Some(fault) = &config.fault {
+                    exec.enable_faults(fault, &profile.key(), chip_index);
+                }
                 chips.push(ChipUnderTest {
                     profile,
                     chip_index,
-                    exec: Executor::new(profile, config.geometry, chip_index, config.seed),
+                    exec,
                     config,
                 });
             }

@@ -27,10 +27,13 @@
 //!
 //! [`Executor`]: pud_bender::Executor
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, Once, OnceLock};
 
+use pud_bender::ExecError;
 use pud_observe::{merge_ordered, RingBufferSink, ShardGuard, SharedSink, TraceEvent};
 
 use super::ChipUnderTest;
@@ -44,15 +47,19 @@ pub(crate) const TRACE_RING_CAPACITY: usize = 1 << 20;
 pub const THREADS_ENV: &str = "PUD_THREADS";
 
 fn default_threads() -> usize {
-    static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        if let Ok(v) = std::env::var(THREADS_ENV) {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
+    // The env var is re-read on every call: tests and drivers may set
+    // `PUD_THREADS` after the first sweep and must not get a stale cached
+    // value. Only the machine's parallelism (a syscall, never changing) is
+    // cached.
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
             }
         }
+    }
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
@@ -260,6 +267,352 @@ where
     (results, traces)
 }
 
+/// Virtual backoff before the first retry of a transient failure, doubled
+/// per subsequent retry. *Recorded, never slept*: real sleeps would make
+/// wall-clock (and thus scheduling) depend on the fault schedule, and the
+/// byte-identity guarantee across thread counts forbids that. The recorded
+/// nanoseconds model what a real campaign harness would wait.
+pub const BACKOFF_BASE_NS: u64 = 1_000_000;
+
+/// Retry policy for an isolating sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPolicy {
+    /// Transient failures retried per chip before it is quarantined.
+    pub max_retries: u32,
+}
+
+impl Default for SweepPolicy {
+    fn default() -> SweepPolicy {
+        SweepPolicy { max_retries: 3 }
+    }
+}
+
+/// Why a chip failed its sweep closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Whether the *final* failure was transient (it exhausted the retry
+    /// budget) rather than permanent (quarantined on first occurrence).
+    pub transient: bool,
+    /// Human-readable failure description.
+    pub message: String,
+    /// Closure attempts made (1 = failed on first try, no retries left).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (after {} attempts)", self.message, self.attempts)
+    }
+}
+
+/// Per-chip result of an isolating sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepOutcome<R> {
+    /// The closure completed (possibly after retries).
+    Done(R),
+    /// The chip was quarantined; no result is available.
+    Quarantined(SweepError),
+}
+
+impl<R> SweepOutcome<R> {
+    /// The result, if the chip completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            SweepOutcome::Done(r) => Some(r),
+            SweepOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// Borrow of the result, if the chip completed.
+    pub fn as_ok(&self) -> Option<&R> {
+        match self {
+            SweepOutcome::Done(r) => Some(r),
+            SweepOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// The quarantine error, if the chip failed.
+    pub fn quarantine(&self) -> Option<&SweepError> {
+        match self {
+            SweepOutcome::Done(_) => None,
+            SweepOutcome::Quarantined(e) => Some(e),
+        }
+    }
+}
+
+/// One chip's row in a [`SweepReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipStatus {
+    /// Chip identity (`family-key#chip-index`).
+    pub label: String,
+    /// Transient failures retried.
+    pub retries: u32,
+    /// Total virtual backoff attributed to the retries.
+    pub backoff_ns: u64,
+    /// Quarantine reason, or `None` for a healthy chip.
+    pub quarantined: Option<String>,
+}
+
+/// What happened to each chip across one (or several merged) isolating
+/// sweeps. Experiment drivers attach this to their figures so partial
+/// fleets render with explicit `QUARANTINED` rows instead of aborting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Per-chip status, in fleet order.
+    pub chips: Vec<ChipStatus>,
+}
+
+impl SweepReport {
+    /// Total transient retries across the fleet.
+    pub fn retries(&self) -> u64 {
+        self.chips.iter().map(|c| u64::from(c.retries)).sum()
+    }
+
+    /// Number of quarantined chips.
+    pub fn quarantined(&self) -> usize {
+        self.chips
+            .iter()
+            .filter(|c| c.quarantined.is_some())
+            .count()
+    }
+
+    /// Whether the sweep saw no faults at all (no retries, no quarantine).
+    pub fn is_clean(&self) -> bool {
+        self.retries() == 0 && self.quarantined() == 0
+    }
+
+    /// Merges another report (typically from a later sweep over the same
+    /// fleet) into this one: retries and backoff accumulate per label, and
+    /// the first quarantine reason wins.
+    pub fn absorb(&mut self, other: &SweepReport) {
+        for theirs in &other.chips {
+            match self.chips.iter_mut().find(|c| c.label == theirs.label) {
+                Some(ours) => {
+                    ours.retries += theirs.retries;
+                    ours.backoff_ns += theirs.backoff_ns;
+                    if ours.quarantined.is_none() {
+                        ours.quarantined.clone_from(&theirs.quarantined);
+                    }
+                }
+                None => self.chips.push(theirs.clone()),
+            }
+        }
+    }
+
+    /// Renders the fault-tolerance footer for figure output: one line per
+    /// quarantined chip plus a retry summary. Empty for a clean sweep, so
+    /// fault-free output stays byte-identical to the pre-fault-injection
+    /// renderers.
+    pub fn footer_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for c in &self.chips {
+            if let Some(reason) = &c.quarantined {
+                lines.push(format!("QUARANTINED {}: {reason}", c.label));
+            }
+        }
+        let retries = self.retries();
+        if retries > 0 {
+            lines.push(format!(
+                "sweep: {retries} transient failure(s) retried ({} quarantined)",
+                self.quarantined()
+            ));
+        }
+        lines
+    }
+
+    /// Writes [`Self::footer_lines`] to a formatter, one line each — the
+    /// shared tail of every figure's `Display`. A no-op for a clean sweep,
+    /// so fault-free rendering stays byte-identical.
+    pub fn fmt_footer(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for line in self.footer_lines() {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Records `sweep.retries` / `sweep.quarantined` counters. Counters are
+    /// fetched lazily — a clean sweep creates neither, keeping `--metrics`
+    /// output byte-identical to a build without fault injection. Call once
+    /// per experiment on the final merged report.
+    pub fn record_metrics(&self) {
+        let retries = self.retries();
+        if retries > 0 {
+            pud_observe::counter("sweep.retries").add(retries);
+        }
+        let quarantined = self.quarantined();
+        if quarantined > 0 {
+            pud_observe::counter("sweep.quarantined").add(quarantined as u64);
+        }
+    }
+}
+
+thread_local! {
+    /// Set while a sweep worker runs a chip closure under `catch_unwind`:
+    /// the process panic hook swallows the default "thread panicked"
+    /// report for these *expected* unwinds (they become typed
+    /// [`SweepError`]s) instead of spraying stderr.
+    static SUPPRESS_PANIC_REPORT: Cell<bool> = const { Cell::new(false) };
+}
+
+fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn std::any::Any + Send>> {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_REPORT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+    SUPPRESS_PANIC_REPORT.with(|s| s.set(true));
+    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_REPORT.with(|s| s.set(false));
+    result
+}
+
+/// Maps a caught panic payload to (is-transient, message). Typed
+/// [`ExecError`] payloads (raised by `Executor::run`) carry their own
+/// transience; anything else — a plain `assert!`, an index out of bounds —
+/// is permanent: retrying deterministic code on unchanged state would fail
+/// identically.
+fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> (bool, String) {
+    match payload.downcast::<ExecError>() {
+        Ok(err) => (err.is_transient(), err.to_string()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (false, format!("panic: {msg}"))
+        }
+    }
+}
+
+fn run_isolated<R>(
+    policy: SweepPolicy,
+    index: usize,
+    chip: &mut ChipUnderTest,
+    f: &(impl Fn(usize, &mut ChipUnderTest) -> R + Sync),
+) -> (SweepOutcome<R>, u32, u64) {
+    let mut retries = 0u32;
+    let mut backoff_ns = 0u64;
+    loop {
+        match catch_quiet(|| f(index, chip)) {
+            Ok(r) => return (SweepOutcome::Done(r), retries, backoff_ns),
+            Err(payload) => {
+                let (transient, message) = classify_payload(payload);
+                if transient && retries < policy.max_retries {
+                    // Exponential virtual backoff: recorded, not slept (see
+                    // BACKOFF_BASE_NS) — determinism across thread counts.
+                    backoff_ns += BACKOFF_BASE_NS << retries;
+                    retries += 1;
+                    continue;
+                }
+                let error = SweepError {
+                    transient,
+                    message,
+                    attempts: retries + 1,
+                };
+                return (SweepOutcome::Quarantined(error), retries, backoff_ns);
+            }
+        }
+    }
+}
+
+/// Panic- and error-isolating variant of [`sweep`].
+///
+/// Each chip closure runs under `catch_unwind`: a typed transient
+/// [`ExecError`] (injected command timeout, bus glitch, ACT drop) is
+/// retried up to `policy.max_retries` times with exponential *virtual*
+/// backoff; permanent errors (dead chip, invalid program, any other panic)
+/// quarantine the chip immediately. The sweep always completes — failed
+/// chips come back as [`SweepOutcome::Quarantined`] and the accompanying
+/// [`SweepReport`] says what happened to every chip.
+///
+/// Trace merging and metric sharding behave exactly as in [`sweep`]; with
+/// no faults configured the results (and all observable output) are
+/// byte-identical to [`sweep`] at any thread count.
+pub fn sweep_isolated<R, F>(
+    threads: usize,
+    policy: SweepPolicy,
+    chips: &mut [ChipUnderTest],
+    f: F,
+) -> (Vec<SweepOutcome<R>>, SweepReport)
+where
+    R: Send,
+    F: Fn(usize, &mut ChipUnderTest) -> R + Sync,
+{
+    let labels: Vec<String> = chips.iter().map(ChipUnderTest::label).collect();
+    let raw = sweep(threads, chips, |i, chip| run_isolated(policy, i, chip, &f));
+    let mut outcomes = Vec::with_capacity(raw.len());
+    let mut status = Vec::with_capacity(raw.len());
+    for (label, (outcome, retries, backoff_ns)) in labels.into_iter().zip(raw) {
+        status.push(ChipStatus {
+            label,
+            retries,
+            backoff_ns,
+            quarantined: outcome.quarantine().map(|e| e.to_string()),
+        });
+        outcomes.push(outcome);
+    }
+    (outcomes, SweepReport { chips: status })
+}
+
+/// Isolating work-stealing map over arbitrary owned items (the
+/// [`sweep_items`] analog of [`sweep_isolated`], for sweeps that are not
+/// keyed by [`ChipUnderTest`] — e.g. per-technique TRR evaluations).
+/// Labels index the report rows.
+pub fn sweep_items_isolated<T, R, F>(
+    threads: usize,
+    policy: SweepPolicy,
+    labels: Vec<String>,
+    items: Vec<T>,
+    f: F,
+) -> (Vec<SweepOutcome<R>>, SweepReport)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    assert_eq!(labels.len(), items.len(), "one label per item");
+    let raw = sweep_items(threads, items, |i, item| {
+        let mut retries = 0u32;
+        let mut backoff_ns = 0u64;
+        loop {
+            match catch_quiet(|| f(i, item)) {
+                Ok(r) => return (SweepOutcome::Done(r), retries, backoff_ns),
+                Err(payload) => {
+                    let (transient, message) = classify_payload(payload);
+                    if transient && retries < policy.max_retries {
+                        backoff_ns += BACKOFF_BASE_NS << retries;
+                        retries += 1;
+                        continue;
+                    }
+                    let error = SweepError {
+                        transient,
+                        message,
+                        attempts: retries + 1,
+                    };
+                    return (SweepOutcome::Quarantined(error), retries, backoff_ns);
+                }
+            }
+        }
+    });
+    let mut outcomes = Vec::with_capacity(raw.len());
+    let mut status = Vec::with_capacity(raw.len());
+    for (label, (outcome, retries, backoff_ns)) in labels.into_iter().zip(raw) {
+        status.push(ChipStatus {
+            label,
+            retries,
+            backoff_ns,
+            quarantined: outcome.quarantine().map(|e| e.to_string()),
+        });
+        outcomes.push(outcome);
+    }
+    (outcomes, SweepReport { chips: status })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,5 +697,167 @@ mod tests {
         let (results, traces) = sweep_traced(2, &mut fleet.chips, |i, _| i);
         assert_eq!(results.len(), 14);
         assert!(traces.is_none());
+    }
+
+    #[test]
+    fn threads_env_is_reread_after_first_resolution() {
+        // Regression: `default_threads` used to cache the env var in a
+        // OnceLock, so a later `PUD_THREADS` change was silently ignored.
+        // Positive values only: the concurrent `resolve_clamps_to_fleet_size`
+        // test merely asserts `resolve_threads(0, _) >= 1`.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(resolve_threads(0, 100), 3);
+        std::env::set_var(THREADS_ENV, "7");
+        assert_eq!(resolve_threads(0, 100), 7, "env change must be visible");
+        std::env::remove_var(THREADS_ENV);
+        assert!(resolve_threads(0, 100) >= 1);
+    }
+
+    #[test]
+    fn isolated_sweep_matches_plain_sweep_on_a_healthy_fleet() {
+        let mut fleet = Fleet::build(FleetConfig::quick());
+        let plain = sweep(4, &mut fleet.chips, |_, chip| chip.label());
+        let (outcomes, report) =
+            sweep_isolated(4, SweepPolicy::default(), &mut fleet.chips, |_, chip| {
+                chip.label()
+            });
+        let isolated: Vec<String> = outcomes.into_iter().map(|o| o.ok().unwrap()).collect();
+        assert_eq!(plain, isolated);
+        assert!(report.is_clean());
+        assert!(report.footer_lines().is_empty());
+        assert_eq!(report.chips.len(), 14);
+    }
+
+    #[test]
+    fn transient_errors_retry_then_succeed() {
+        use std::sync::atomic::AtomicU32;
+        let failures: Vec<AtomicU32> = (0..8).map(|_| AtomicU32::new(0)).collect();
+        let labels = (0..8).map(|i| format!("item#{i}")).collect();
+        let (outcomes, report) = sweep_items_isolated(
+            4,
+            SweepPolicy::default(),
+            labels,
+            (0..8usize).collect(),
+            |i, v: &mut usize| {
+                // Items 2 and 5 fail transiently twice before succeeding.
+                if (*v == 2 || *v == 5) && failures[i].fetch_add(1, Ordering::SeqCst) < 2 {
+                    std::panic::panic_any(ExecError::Fault {
+                        kind: pud_bender::fault::FaultKind::BusGlitch,
+                        at_cmd: 1,
+                    });
+                }
+                *v * 10
+            },
+        );
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.as_ok(), Some(&(i * 10)), "item {i} recovered");
+        }
+        assert_eq!(report.retries(), 4);
+        assert_eq!(report.quarantined(), 0);
+        assert_eq!(report.chips[2].retries, 2);
+        assert_eq!(report.chips[2].backoff_ns, BACKOFF_BASE_NS * 3);
+        assert_eq!(report.chips[0].retries, 0);
+    }
+
+    #[test]
+    fn permanent_errors_quarantine_without_retry() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let (outcomes, report) = sweep_items_isolated(
+            2,
+            SweepPolicy::default(),
+            labels,
+            vec![0usize, 1],
+            |_, v: &mut usize| {
+                if *v == 1 {
+                    std::panic::panic_any(ExecError::Fault {
+                        kind: pud_bender::fault::FaultKind::ChipDead,
+                        at_cmd: 99,
+                    });
+                }
+                *v
+            },
+        );
+        assert_eq!(outcomes[0].as_ok(), Some(&0));
+        let err = outcomes[1].quarantine().expect("dead item quarantined");
+        assert!(!err.transient);
+        assert_eq!(err.attempts, 1);
+        assert!(err.message.contains("chip_dead"));
+        assert_eq!(report.quarantined(), 1);
+        assert_eq!(report.retries(), 0);
+        let footer = report.footer_lines();
+        assert_eq!(footer.len(), 1);
+        assert!(footer[0].starts_with("QUARANTINED b:"), "{footer:?}");
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_as_transient() {
+        let (outcomes, report) = sweep_items_isolated(
+            1,
+            SweepPolicy { max_retries: 2 },
+            vec!["x".to_string()],
+            vec![0usize],
+            |_, _: &mut usize| -> usize {
+                std::panic::panic_any(ExecError::Fault {
+                    kind: pud_bender::fault::FaultKind::CommandTimeout,
+                    at_cmd: 1,
+                });
+            },
+        );
+        let err = outcomes[0].quarantine().expect("quarantined");
+        assert!(err.transient);
+        assert_eq!(err.attempts, 3);
+        assert_eq!(report.chips[0].retries, 2);
+        assert_eq!(
+            report.chips[0].backoff_ns,
+            BACKOFF_BASE_NS + (BACKOFF_BASE_NS << 1)
+        );
+    }
+
+    #[test]
+    fn plain_panics_are_quarantined_with_their_message() {
+        let (outcomes, _) = sweep_items_isolated(
+            1,
+            SweepPolicy::default(),
+            vec!["x".to_string()],
+            vec![0usize],
+            |_, _: &mut usize| -> usize { panic!("unexpected invariant breach {}", 42) },
+        );
+        let err = outcomes[0].quarantine().expect("quarantined");
+        assert!(!err.transient);
+        assert!(err.message.contains("unexpected invariant breach 42"));
+    }
+
+    #[test]
+    fn reports_absorb_across_sweeps() {
+        let mut total = SweepReport {
+            chips: vec![ChipStatus {
+                label: "a".to_string(),
+                retries: 1,
+                backoff_ns: BACKOFF_BASE_NS,
+                quarantined: None,
+            }],
+        };
+        total.absorb(&SweepReport {
+            chips: vec![
+                ChipStatus {
+                    label: "a".to_string(),
+                    retries: 2,
+                    backoff_ns: 3 * BACKOFF_BASE_NS,
+                    quarantined: Some("injected fault: chip_dead".to_string()),
+                },
+                ChipStatus {
+                    label: "b".to_string(),
+                    retries: 0,
+                    backoff_ns: 0,
+                    quarantined: None,
+                },
+            ],
+        });
+        assert_eq!(total.chips.len(), 2);
+        assert_eq!(total.chips[0].retries, 3);
+        assert_eq!(total.chips[0].backoff_ns, 4 * BACKOFF_BASE_NS);
+        assert!(total.chips[0].quarantined.is_some());
+        assert_eq!(total.retries(), 3);
+        assert_eq!(total.quarantined(), 1);
     }
 }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! repro <target> [--full] [--threads <n>] [--metrics] [--trace-out <path>] [--quiet]
+//!                [--fault-seed <u64>] [--max-retries <n>] [--checkpoint <path>]
 //! repro all [--full] [--threads <n>] [--metrics] [--trace-out <path>] [--quiet]
 //! repro list
 //! ```
@@ -24,8 +25,21 @@
 //!   executors emit as JSON lines to `path`;
 //! - `--quiet` suppresses the result tables (metrics/trace still emitted).
 //!
+//! Fault tolerance (see the README "Fault tolerance & resume" section):
+//!
+//! - `--fault-seed <u64>` enables deterministic fault injection (default:
+//!   the `PUD_FAULT_SEED` environment variable, else off). Chips that fail
+//!   transiently are retried; chips that fail permanently are quarantined
+//!   and reported in a footer under the affected tables;
+//! - `--max-retries <n>` sets the per-chip transient retry budget
+//!   (default 3);
+//! - `--checkpoint <path>` appends each completed family to a JSONL
+//!   checkpoint and, on a re-run against the same file, skips families
+//!   already recorded (currently supported for `table2`).
+//!
 //! `repro all` additionally prints one JSON run-metadata line summarizing
-//! the run (targets, elapsed time, key counters).
+//! the run (targets, elapsed time, key counters; fault-injection counters
+//! when faults are enabled).
 
 use std::env;
 use std::fs::File;
@@ -33,7 +47,9 @@ use std::io::BufWriter;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use pud_bender::fault::FaultConfig;
 use pudhammer::experiments::{self, Scale};
+use pudhammer::fleet::checkpoint::{CheckpointError, CheckpointHeader, CheckpointStore};
 use pudhammer::report;
 
 const TARGETS: [&str; 21] = [
@@ -47,13 +63,17 @@ struct Options {
     quiet: bool,
     threads: usize,
     trace_out: Option<String>,
+    fault_seed: Option<u64>,
+    max_retries: Option<u32>,
+    checkpoint: Option<String>,
     target: Option<String>,
 }
 
 fn usage() {
     eprintln!(
         "usage: repro <target|all|list> [--full] [--threads <n>] [--metrics] \
-         [--trace-out <path>] [--quiet]"
+         [--trace-out <path>] [--quiet] [--fault-seed <u64>] [--max-retries <n>] \
+         [--checkpoint <path>]"
     );
     eprintln!("targets: {}", TARGETS.join(", "));
 }
@@ -65,6 +85,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         quiet: false,
         threads: 0,
         trace_out: None,
+        fault_seed: None,
+        max_retries: None,
+        checkpoint: None,
         target: None,
     };
     let mut it = args.iter();
@@ -88,6 +111,24 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--trace-out requires a path".to_string());
                 };
                 opts.trace_out = Some(path.clone());
+            }
+            "--fault-seed" => {
+                let Some(seed) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return Err("--fault-seed requires an unsigned integer".to_string());
+                };
+                opts.fault_seed = Some(seed);
+            }
+            "--max-retries" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    return Err("--max-retries requires an unsigned integer".to_string());
+                };
+                opts.max_retries = Some(n);
+            }
+            "--checkpoint" => {
+                let Some(path) = it.next() else {
+                    return Err("--checkpoint requires a path".to_string());
+                };
+                opts.checkpoint = Some(path.clone());
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
@@ -138,6 +179,20 @@ fn main() -> ExitCode {
         Scale::quick()
     };
     scale.threads = opts.threads;
+    scale.fleet.fault = opts
+        .fault_seed
+        .map(FaultConfig::from_seed)
+        .or_else(FaultConfig::from_env);
+    if let Some(n) = opts.max_retries {
+        scale.max_retries = n;
+    }
+    let ckpt = match open_checkpoint(&opts, &target, &scale) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let started = Instant::now();
     let mut ran: Vec<&str> = Vec::new();
     match target.as_str() {
@@ -148,12 +203,12 @@ fn main() -> ExitCode {
         }
         "all" => {
             for t in TARGETS {
-                run_target(t, &scale, &opts);
+                run_target(t, &scale, &opts, None);
                 ran.push(t);
             }
         }
         t if TARGETS.contains(&t) => {
-            run_target(t, &scale, &opts);
+            run_target(t, &scale, &opts, ckpt.as_ref());
             ran.push(t);
         }
         other => {
@@ -189,7 +244,7 @@ fn run_metadata(
     for t in targets {
         list = list.str(t);
     }
-    pud_observe::json::JsonObject::new()
+    let mut obj = pud_observe::json::JsonObject::new()
         .str("run", "repro-all")
         .str("scale", if full { "full" } else { "quick" })
         .u64(
@@ -216,20 +271,72 @@ fn run_metadata(
         .u64(
             "hcfirst_searches",
             snap.counter("hcfirst.searches").unwrap_or(0),
-        )
-        .finish()
+        );
+    // Fault-injection keys appear only when faults are enabled, so a
+    // fault-free run's metadata is byte-identical to a pre-fault build.
+    if scale.fleet.fault.is_some() {
+        let injected: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("faults.injected."))
+            .map(|(_, v)| v)
+            .sum();
+        obj = obj
+            .u64("faults_injected", injected)
+            .u64("sweep_retries", snap.counter("sweep.retries").unwrap_or(0))
+            .u64(
+                "sweep_quarantined",
+                snap.counter("sweep.quarantined").unwrap_or(0),
+            );
+    }
+    obj.finish()
 }
 
-fn run_target(target: &str, scale: &Scale, opts: &Options) {
-    let rendered = render_target(target, scale, opts.full);
+fn run_target(target: &str, scale: &Scale, opts: &Options, ckpt: Option<&CheckpointStore>) {
+    let rendered = render_target(target, scale, opts.full, ckpt);
     if !opts.quiet {
         println!("{rendered}");
     }
 }
 
-fn render_target(target: &str, scale: &Scale, full: bool) -> String {
+/// Opens the `--checkpoint` store for targets that support one (`table2`).
+/// Other targets get a note on stderr and run checkpoint-free.
+fn open_checkpoint(
+    opts: &Options,
+    target: &str,
+    scale: &Scale,
+) -> Result<Option<CheckpointStore>, CheckpointError> {
+    let Some(path) = &opts.checkpoint else {
+        return Ok(None);
+    };
+    if target != "table2" {
+        eprintln!("note: --checkpoint currently supports only table2; ignoring it for {target}");
+        return Ok(None);
+    }
+    let header = CheckpointHeader {
+        target: target.to_string(),
+        scale: if opts.full { "full" } else { "quick" }.to_string(),
+        fingerprint: scale.fleet.fingerprint(),
+        fault_seed: scale.fleet.fault.map(|f| f.seed),
+    };
+    let store = CheckpointStore::open(std::path::Path::new(path), header)?;
+    if store.recovered() > 0 {
+        eprintln!(
+            "checkpoint: resuming {} completed family row(s) from {path}",
+            store.recovered()
+        );
+    }
+    Ok(Some(store))
+}
+
+fn render_target(
+    target: &str,
+    scale: &Scale,
+    full: bool,
+    ckpt: Option<&CheckpointStore>,
+) -> String {
     match target {
-        "table2" => experiments::table2::table2(scale).to_string(),
+        "table2" => experiments::table2::table2_ckpt(scale, ckpt).to_string(),
         "fig4" => experiments::comra::fig4(scale).to_string(),
         "fig5" => experiments::comra::fig5(scale).to_string(),
         "fig6" => experiments::comra::fig6(scale).to_string(),

@@ -1,0 +1,48 @@
+//! Scans fault seeds for the curated CI/test scenario: across the 14
+//! quick-fleet chips (one per module family, chip index 0), exactly two
+//! draw a transient fault, exactly one draws a dead chip, and none draw
+//! stuck cells — the "3 of 14 chips faulty" campaign the fault-tolerance
+//! tests and the CI smoke run pin down.
+//!
+//! ```text
+//! cargo run --example fault_seed_scan [max_seed]
+//! ```
+//!
+//! Prints every matching seed up to `max_seed` (default 10 000) with its
+//! per-chip classification, lowest first.
+
+use pudhammer_suite::bender::fault::{FaultClass, FaultConfig, FaultPlan};
+use pudhammer_suite::dram::profiles;
+
+fn main() {
+    let max_seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let mut found = 0;
+    for seed in 0..max_seed {
+        let config = FaultConfig::from_seed(seed);
+        let mut transient = Vec::new();
+        let mut dead = Vec::new();
+        let mut stuck = Vec::new();
+        for profile in &profiles::TESTED_MODULES {
+            let key = profile.key();
+            match FaultPlan::classify(&config, &key, 0) {
+                Some(FaultClass::Transient(n)) => transient.push((key, n)),
+                Some(FaultClass::Dead) => dead.push(key),
+                Some(FaultClass::Stuck) => stuck.push(key),
+                None => {}
+            }
+        }
+        if transient.len() == 2 && dead.len() == 1 && stuck.is_empty() {
+            println!("seed {seed}: dead={dead:?} transient={transient:?}");
+            found += 1;
+            if found >= 10 {
+                break;
+            }
+        }
+    }
+    if found == 0 {
+        println!("no matching seed below {max_seed}");
+    }
+}

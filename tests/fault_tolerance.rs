@@ -1,0 +1,157 @@
+//! Fault-tolerant campaign behavior end to end: the curated fault seed
+//! quarantines exactly one family and retries two, checkpointed runs
+//! resume byte-identically after a mid-fleet kill, and mismatched
+//! checkpoints are rejected.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use pudhammer_suite::bender::fault::FaultConfig;
+use pudhammer_suite::hammer::experiments::{table2, Scale};
+use pudhammer_suite::hammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore};
+
+/// Tests in this binary read the process-global metrics registry, so they
+/// must not overlap.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn tiny_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.fleet.victims_per_subarray = 1;
+    s
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pud-ft-{name}-{}", std::process::id()));
+    p
+}
+
+#[test]
+fn curated_seed_quarantines_one_family_and_recovers_two() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut scale = tiny_scale();
+    scale.fleet.fault = Some(FaultConfig::from_seed(103));
+    let snap_before = pudhammer_suite::observe::snapshot();
+    let t = table2::table2(&scale);
+    let snap_after = pudhammer_suite::observe::snapshot();
+
+    // The table still covers all 14 families: the dead chip's row is a
+    // placeholder, not a hole.
+    assert_eq!(t.rows.len(), 14);
+    let dead: Vec<&table2::Table2Row> = t.rows.iter().filter(|r| r.quarantined.is_some()).collect();
+    assert_eq!(dead.len(), 1, "exactly one family quarantined");
+    assert_eq!(dead[0].profile.key(), "Micron-E-16Gb");
+    assert!(dead[0].rowhammer.is_none() && dead[0].comra.is_none());
+    assert!(
+        dead[0]
+            .quarantined
+            .as_deref()
+            .unwrap()
+            .contains("chip_dead"),
+        "{:?}",
+        dead[0].quarantined
+    );
+    // Transient chips recovered: their rows carry real measurements.
+    for row in &t.rows {
+        if row.quarantined.is_none() {
+            assert!(
+                row.rowhammer.is_some(),
+                "{} must recover",
+                row.profile.key()
+            );
+        }
+    }
+
+    // Sweep accounting: 1 + 2 transient faults retried, one chip
+    // quarantined — and the same numbers land in the global metrics.
+    assert_eq!(t.sweep.retries(), 3);
+    assert_eq!(t.sweep.quarantined(), 1);
+    let delta =
+        |name: &str| snap_after.counter(name).unwrap_or(0) - snap_before.counter(name).unwrap_or(0);
+    assert_eq!(delta("sweep.retries"), 3);
+    assert_eq!(delta("sweep.quarantined"), 1);
+    let injected = |snap: &pudhammer_suite::observe::Snapshot| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("faults.injected."))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    assert!(
+        injected(&snap_after) - injected(&snap_before) >= 3,
+        "three faulty chips must inject at least three faults"
+    );
+
+    // The rendered table flags the dead family and carries the footer.
+    let rendered = t.to_string();
+    assert!(rendered.contains("QUARANTINED"), "{rendered}");
+    assert!(rendered.contains("Micron-E-16Gb#0"), "{rendered}");
+    assert!(
+        rendered.contains("3 transient failure(s) retried"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn checkpoint_resume_is_byte_identical_after_a_mid_fleet_kill() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let scale = tiny_scale();
+    let header = || CheckpointHeader {
+        target: "table2".to_string(),
+        scale: "quick".to_string(),
+        fingerprint: scale.fleet.fingerprint(),
+        fault_seed: None,
+    };
+    let path = temp_path("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Uninterrupted checkpointed run: the reference output.
+    let store = CheckpointStore::open(&path, header()).expect("create");
+    let reference = table2::table2_ckpt(&scale, Some(&store)).to_string();
+    drop(store);
+
+    // Simulate a kill mid-fleet: keep the header plus the first five
+    // completed rows and half of the sixth (an interrupted write).
+    let content = std::fs::read_to_string(&path).expect("read checkpoint");
+    let lines: Vec<&str> = content.split_inclusive('\n').collect();
+    assert_eq!(lines.len(), 15, "header + one row per family");
+    let mut truncated: String = lines[..6].concat();
+    truncated.push_str(&lines[6][..lines[6].len() / 2]);
+    std::fs::write(&path, &truncated).expect("truncate");
+
+    // Resume: recovered rows are decoded, the rest re-measured; the
+    // rendered table must match the uninterrupted run byte for byte.
+    let store = CheckpointStore::open(&path, header()).expect("reopen");
+    assert_eq!(store.recovered(), 5, "partial sixth row dropped");
+    let resumed = table2::table2_ckpt(&scale, Some(&store)).to_string();
+    assert_eq!(reference, resumed);
+    drop(store);
+
+    // And a third run over the now-complete checkpoint re-measures
+    // nothing, still rendering the same bytes.
+    let store = CheckpointStore::open(&path, header()).expect("reopen full");
+    assert_eq!(store.recovered(), 14);
+    let replayed = table2::table2_ckpt(&scale, Some(&store)).to_string();
+    assert_eq!(reference, replayed);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mismatched_checkpoint_is_rejected_as_a_different_campaign() {
+    let scale = tiny_scale();
+    let path = temp_path("mismatch");
+    let _ = std::fs::remove_file(&path);
+    let header = CheckpointHeader {
+        target: "table2".to_string(),
+        scale: "quick".to_string(),
+        fingerprint: scale.fleet.fingerprint(),
+        fault_seed: None,
+    };
+    CheckpointStore::open(&path, header.clone()).expect("create");
+    let mut other = header;
+    other.fault_seed = Some(103);
+    other.fingerprint ^= 0xDEAD;
+    let err = CheckpointStore::open(&path, other).expect_err("must reject");
+    assert!(err.to_string().contains("different campaign"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}

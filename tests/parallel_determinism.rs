@@ -4,11 +4,17 @@
 
 use std::sync::{Arc, Mutex};
 
+use pudhammer_suite::bender::fault::FaultConfig;
+
 use pudhammer_suite::bender::ops;
 use pudhammer_suite::dram::RowAddr;
 use pudhammer_suite::hammer::experiments::{simra, table2, Scale};
 use pudhammer_suite::hammer::fleet::{sweep, Fleet, FleetConfig};
 use pudhammer_suite::observe::{RingBufferSink, SharedSink, TraceEvent};
+
+/// Tests in this binary share process-global observability state (the
+/// global trace sink, the metrics registry), so they must not overlap.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
 
 fn tiny_scale(threads: usize) -> Scale {
     let mut s = Scale::quick();
@@ -40,7 +46,43 @@ fn traced_sweep(threads: usize) -> (Vec<Vec<TraceEvent>>, Vec<TraceEvent>) {
 }
 
 #[test]
+fn fault_seeded_sweeps_are_deterministic_across_thread_counts() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Seed 103 is the curated campaign (see examples/fault_seed_scan.rs):
+    // across the 14 quick-fleet chips it kills Micron-E-16Gb#0 and injects
+    // one transient fault into Micron-F-16Gb#0 plus two into
+    // Samsung-C-16Gb#0. Retry counts, the quarantine set, and the rendered
+    // table (including its quarantine footer) must not depend on the
+    // worker count.
+    let run = |threads| {
+        let mut s = tiny_scale(threads);
+        s.fleet.fault = Some(FaultConfig::from_seed(103));
+        table2::table2(&s)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial.to_string(),
+        parallel.to_string(),
+        "fault-seeded table2 must not depend on threads"
+    );
+    assert_eq!(serial.sweep.retries(), parallel.sweep.retries());
+    let quarantined = |t: &pudhammer_suite::hammer::experiments::table2::Table2| {
+        t.sweep
+            .chips
+            .iter()
+            .filter(|c| c.quarantined.is_some())
+            .map(|c| c.label.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(quarantined(&serial), quarantined(&parallel));
+    assert_eq!(quarantined(&serial), vec!["Micron-E-16Gb#0".to_string()]);
+    assert_eq!(serial.sweep.retries(), 3, "1 + 2 transient faults retried");
+}
+
+#[test]
 fn sweeps_are_byte_identical_across_thread_counts() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
     // A global ring sink captures every command-stream event the
     // experiments' executors emit (they attach it at fleet construction).
     // One #[test] owns the whole comparison: the sink is process-wide.
