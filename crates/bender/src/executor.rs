@@ -189,7 +189,13 @@ pub struct Executor {
     metrics: ExecMetrics,
     trace: Option<SharedSink>,
     fault: Option<FaultState>,
+    cancel_countdown: u32,
 }
+
+/// Commands executed between two invocations of the registered
+/// cancellation probe (see [`crate::set_cancel_check`]) — the grace bound
+/// for cancelling inside one long, non-batchable command stream.
+const CANCEL_CHECK_INTERVAL: u32 = 4096;
 
 impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -233,6 +239,7 @@ impl Executor {
             // construction; `None` keeps the emit sites a single branch.
             trace: pud_observe::global_sink(),
             fault: None,
+            cancel_countdown: CANCEL_CHECK_INTERVAL,
         }
     }
 
@@ -470,6 +477,7 @@ impl Executor {
     /// the fault clock), which is what makes retrying a transient fault
     /// reproduce the fault-free measurement.
     pub fn try_run(&mut self, program: &TestProgram) -> Result<RunReport, ExecError> {
+        crate::cancel_check();
         self.validate(program)?;
         self.check_fault(program.cmd_count())?;
         self.report = RunReport::default();
@@ -601,6 +609,11 @@ impl Executor {
     }
 
     fn exec_cmd(&mut self, cmd: DramCommand) {
+        self.cancel_countdown -= 1;
+        if self.cancel_countdown == 0 {
+            self.cancel_countdown = CANCEL_CHECK_INTERVAL;
+            crate::cancel_check();
+        }
         match cmd {
             DramCommand::Act { bank, row } => {
                 self.trace(TraceKind::Act {

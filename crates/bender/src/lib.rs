@@ -54,3 +54,24 @@ pub use env::TestEnv;
 pub use error::ExecError;
 pub use executor::{ActivityObserver, Executor, FlipRecord, RunReport};
 pub use program::{Step, TestProgram};
+
+/// Process-wide cooperative cancellation probe, registered once by a
+/// supervising layer (see `pudhammer::fleet::supervisor`).
+static CANCEL_CHECK: std::sync::OnceLock<fn()> = std::sync::OnceLock::new();
+
+/// Registers a cancellation probe the [`Executor`] invokes at safe points:
+/// at the start of every program run and periodically (every few thousand
+/// commands) inside long command streams. The probe signals cancellation
+/// by panicking with a caller-defined payload; the caller's own unwind
+/// machinery is expected to catch it. The first registration wins — later
+/// calls are ignored, keeping the probe a process-lifetime constant.
+pub fn set_cancel_check(probe: fn()) {
+    let _ = CANCEL_CHECK.set(probe);
+}
+
+/// Invokes the registered cancellation probe, if any.
+pub(crate) fn cancel_check() {
+    if let Some(probe) = CANCEL_CHECK.get() {
+        probe();
+    }
+}

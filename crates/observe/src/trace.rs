@@ -314,23 +314,28 @@ static GLOBAL_SINK: Mutex<Option<SharedSink>> = Mutex::new(None);
 /// Installs the process-wide default sink. Executors attach to it at
 /// construction time, so install it *before* building the fleet.
 pub fn set_global_sink(sink: SharedSink) {
-    *GLOBAL_SINK.lock().expect("global sink poisoned") = Some(sink);
+    // A worker that panicked (or was cancelled) mid-record must not take
+    // the whole trace layer down with it: recover the poisoned registry.
+    *GLOBAL_SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(sink);
 }
 
 /// The process-wide default sink, if installed.
 pub fn global_sink() -> Option<SharedSink> {
-    GLOBAL_SINK.lock().expect("global sink poisoned").clone()
+    GLOBAL_SINK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
 }
 
 /// Removes (and returns) the process-wide default sink.
 pub fn clear_global_sink() -> Option<SharedSink> {
-    GLOBAL_SINK.lock().expect("global sink poisoned").take()
+    GLOBAL_SINK.lock().unwrap_or_else(|e| e.into_inner()).take()
 }
 
 /// Flushes the process-wide default sink, if installed.
 pub fn flush_global() {
     if let Some(sink) = global_sink() {
-        sink.lock().expect("trace sink poisoned").flush();
+        sink.lock().unwrap_or_else(|e| e.into_inner()).flush();
     }
 }
 
@@ -349,7 +354,7 @@ pub fn merge_ordered(buffers: &[Vec<TraceEvent>], sink: &SharedSink) {
         .flat_map(|(i, buf)| buf.iter().map(move |e| (i, e)))
         .collect();
     tagged.sort_by(|a, b| a.1.t_ns.total_cmp(&b.1.t_ns).then(a.0.cmp(&b.0)));
-    let mut sink = sink.lock().expect("trace sink poisoned");
+    let mut sink = sink.lock().unwrap_or_else(|e| e.into_inner());
     for (_, e) in tagged {
         sink.record(e);
     }

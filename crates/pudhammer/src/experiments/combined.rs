@@ -12,6 +12,7 @@ use pud_bender::Executor;
 use pud_dram::{BankId, DataPattern, RowAddr};
 
 use crate::experiments::{measure_with_dp, sweep_fleet, Scale};
+use crate::fleet::checkpoint::{CheckpointStore, RunCtx};
 use crate::fleet::sweep::SweepReport;
 use crate::fleet::Fleet;
 use crate::hcfirst::prepare;
@@ -77,31 +78,51 @@ impl Combined {
 
 /// Fig. 21: RowHammer combined with CoMRA.
 pub fn fig21(scale: &Scale) -> Combined {
+    fig21_ckpt(scale, None)
+}
+
+/// [`fig21`] with an optional [`CheckpointStore`]: chips already recorded
+/// under this figure's stage are decoded instead of re-measured, and fresh
+/// results are appended as they complete.
+pub fn fig21_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Combined {
     let _span = pud_observe::span("experiment.fig21");
-    run_combined(scale, StagePlan::Comra)
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig21"));
+    run_combined(scale, StagePlan::Comra, ctx.as_ref())
 }
 
 /// Fig. 22: RowHammer combined with SiMRA.
 pub fn fig22(scale: &Scale) -> Combined {
+    fig22_ckpt(scale, None)
+}
+
+/// [`fig22`] with an optional [`CheckpointStore`] (see [`fig21_ckpt`]).
+pub fn fig22_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Combined {
     let _span = pud_observe::span("experiment.fig22");
-    run_combined(scale, StagePlan::Simra)
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig22"));
+    run_combined(scale, StagePlan::Simra, ctx.as_ref())
 }
 
 /// Fig. 23: RowHammer combined with CoMRA *and* SiMRA — the most effective
 /// pattern of the paper (Observation 24).
 pub fn fig23(scale: &Scale) -> Combined {
-    let _span = pud_observe::span("experiment.fig23");
-    run_combined(scale, StagePlan::ComraThenSimra)
+    fig23_ckpt(scale, None)
 }
 
-fn run_combined(scale: &Scale, plan: StagePlan) -> Combined {
+/// [`fig23`] with an optional [`CheckpointStore`] (see [`fig21_ckpt`]).
+pub fn fig23_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Combined {
+    let _span = pud_observe::span("experiment.fig23");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig23"));
+    run_combined(scale, StagePlan::ComraThenSimra, ctx.as_ref())
+}
+
+fn run_combined(scale: &Scale, plan: StagePlan, ctx: Option<&RunCtx<'_>>) -> Combined {
     // §6.2: the experiment runs on the chips used for SiMRA
     // characterization.
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = (scale.fleet.victims_per_subarray as usize) * 6;
     let dp = DataPattern::CHECKER_55;
     let mut sweep = SweepReport::default();
-    let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
+    let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx, |_, chip| {
         let mut per_fraction: Vec<(f64, Vec<f64>, Vec<f64>)> = FRACTIONS
             .iter()
             .map(|&fr| (fr, Vec::new(), Vec::new()))
@@ -206,6 +227,9 @@ fn combined_hc(
     dp: DataPattern,
 ) -> Option<u64> {
     let mut check = |rh_count: u64| -> bool {
+        // One program run is the cancellation grace unit: a cancelled
+        // search aborts before the next (expensive) hammer sequence.
+        crate::fleet::supervisor::poll_cancel();
         prepare(exec, bank, rh_kernel, victim, dp, dp.negated());
         for (k, c) in stages {
             if *c > 0 {

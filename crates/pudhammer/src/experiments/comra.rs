@@ -7,8 +7,9 @@ use std::fmt;
 use pud_bender::TestEnv;
 use pud_dram::{Celsius, DataPattern, Manufacturer, Picos, SubarrayRegion};
 
-use crate::experiments::{collect_hc, hc_values, measure_with_dp_warm, Record, Scale};
-use crate::fleet::sweep::{SweepOutcome, SweepReport};
+use crate::experiments::{collect_hc, hc_values, measure_with_dp_warm, sweep_fleet, Record, Scale};
+use crate::fleet::checkpoint::{CheckpointStore, RunCtx};
+use crate::fleet::sweep::SweepReport;
 use crate::fleet::Fleet;
 use crate::patterns::{
     comra_ds_for, comra_ss_for, rowhammer_ds_for, rowhammer_far_ds_for, rowhammer_ss_for,
@@ -32,16 +33,32 @@ pub struct Fig4 {
 
 /// Runs the Fig. 4 experiment.
 pub fn fig4(scale: &Scale) -> Fig4 {
+    fig4_ckpt(scale, None)
+}
+
+/// [`fig4`] with an optional [`CheckpointStore`]: chips already recorded
+/// under this figure's stages are decoded instead of re-measured, and fresh
+/// results are appended as they complete.
+pub fn fig4_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig4 {
     let _span = pud_observe::span("experiment.fig4");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig4"));
     let mut fleet = Fleet::build(scale.fleet);
     let mut sweep = SweepReport::default();
-    let rh = collect_hc(scale, &mut fleet, rowhammer_ds_for, None, &mut sweep);
+    let rh = collect_hc(
+        scale,
+        &mut fleet,
+        rowhammer_ds_for,
+        None,
+        &mut sweep,
+        ctx.as_ref(),
+    );
     let comra = collect_hc(
         scale,
         &mut fleet,
         |c, v| comra_ds_for(c, v, false),
         None,
         &mut sweep,
+        ctx.as_ref(),
     );
     let mut changes = Vec::new();
     let mut lowest: BTreeMap<Manufacturer, (f64, f64)> = BTreeMap::new();
@@ -119,7 +136,13 @@ pub struct Fig5 {
 
 /// Runs the Fig. 5 experiment.
 pub fn fig5(scale: &Scale) -> Fig5 {
+    fig5_ckpt(scale, None)
+}
+
+/// [`fig5`] with an optional [`CheckpointStore`] (see [`fig4_ckpt`]).
+pub fn fig5_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig5 {
     let _span = pud_observe::span("experiment.fig5");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig5"));
     let mut fleet = Fleet::build(scale.fleet);
     let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
@@ -130,6 +153,7 @@ pub fn fig5(scale: &Scale) -> Fig5 {
             |c, v| comra_ds_for(c, v, false),
             Some(dp),
             &mut sweep,
+            ctx.as_ref(),
         );
         for mfr in Manufacturer::ALL {
             let vals = hc_values(&recs, |r| r.mfr == mfr);
@@ -184,7 +208,13 @@ pub struct Fig6 {
 
 /// Runs the Fig. 6 experiment.
 pub fn fig6(scale: &Scale) -> Fig6 {
+    fig6_ckpt(scale, None)
+}
+
+/// [`fig6`] with an optional [`CheckpointStore`] (see [`fig4_ckpt`]).
+pub fn fig6_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig6 {
     let _span = pud_observe::span("experiment.fig6");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig6"));
     let mut fleet = Fleet::build(scale.fleet);
     let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
@@ -199,6 +229,7 @@ pub fn fig6(scale: &Scale) -> Fig6 {
             |c, v| comra_ds_for(c, v, false),
             None,
             &mut sweep,
+            ctx.as_ref(),
         );
         for mfr in Manufacturer::ALL {
             let vals = hc_values(&recs, |r| r.mfr == mfr);
@@ -264,7 +295,13 @@ impl Fig7 {
 
 /// Runs the Fig. 7 experiment.
 pub fn fig7(scale: &Scale) -> Fig7 {
+    fig7_ckpt(scale, None)
+}
+
+/// [`fig7`] with an optional [`CheckpointStore`] (see [`fig4_ckpt`]).
+pub fn fig7_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig7 {
     let _span = pud_observe::span("experiment.fig7");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig7"));
     let mut fleet = Fleet::build(scale.fleet);
     let techniques: [(&'static str, KernelFn); 3] = [
         ("ss-CoMRA", &|c, v| {
@@ -279,7 +316,7 @@ pub fn fig7(scale: &Scale) -> Fig7 {
     let mut cells = Vec::new();
     let mut per_technique: Vec<Vec<Record>> = Vec::new();
     for (name, make) in techniques {
-        let recs = collect_hc(scale, &mut fleet, make, None, &mut sweep);
+        let recs = collect_hc(scale, &mut fleet, make, None, &mut sweep, ctx.as_ref());
         for mfr in Manufacturer::ALL {
             let vals = hc_values(&recs, |r| r.mfr == mfr);
             cells.push((mfr, name, Summary::from_values(&vals)));
@@ -358,7 +395,13 @@ pub struct Fig8 {
 
 /// Runs the Fig. 8 experiment.
 pub fn fig8(scale: &Scale) -> Fig8 {
+    fig8_ckpt(scale, None)
+}
+
+/// [`fig8`] with an optional [`CheckpointStore`] (see [`fig4_ckpt`]).
+pub fn fig8_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig8 {
     let _span = pud_observe::span("experiment.fig8");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig8"));
     let mut fleet = Fleet::build(scale.fleet);
     let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
@@ -369,6 +412,7 @@ pub fn fig8(scale: &Scale) -> Fig8 {
             |c, v| comra_ds_for(c, v, false).map(|k| k.with_t_aggon(t_on)),
             None,
             &mut sweep,
+            ctx.as_ref(),
         );
         let press = collect_hc(
             scale,
@@ -376,6 +420,7 @@ pub fn fig8(scale: &Scale) -> Fig8 {
             |c, v| rowhammer_ds_for(c, v).map(|k| k.with_t_aggon(t_on)),
             None,
             &mut sweep,
+            ctx.as_ref(),
         );
         for mfr in Manufacturer::ALL {
             cells.push((
@@ -429,7 +474,13 @@ pub struct Fig9 {
 
 /// Runs the Fig. 9 experiment.
 pub fn fig9(scale: &Scale) -> Fig9 {
+    fig9_ckpt(scale, None)
+}
+
+/// [`fig9`] with an optional [`CheckpointStore`] (see [`fig4_ckpt`]).
+pub fn fig9_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig9 {
     let _span = pud_observe::span("experiment.fig9");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig9"));
     let mut fleet = Fleet::build(scale.fleet);
     let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
@@ -453,6 +504,7 @@ pub fn fig9(scale: &Scale) -> Fig9 {
             },
             None,
             &mut sweep,
+            ctx.as_ref(),
         );
         for mfr in Manufacturer::ALL {
             cells.push((
@@ -533,68 +585,55 @@ impl Fig10 {
 /// bracket (direction reversal moves HC_first by only a few percent, so
 /// the bracket usually validates).
 pub fn fig10(scale: &Scale) -> Fig10 {
+    fig10_ckpt(scale, None)
+}
+
+/// [`fig10`] with an optional [`CheckpointStore`] (see [`fig4_ckpt`]).
+pub fn fig10_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig10 {
     let _span = pud_observe::span("experiment.fig10");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig10"));
     let mut fleet = Fleet::build(scale.fleet);
     let dp = DataPattern::CHECKER_55;
-    let threads = scale.sweep_threads(fleet.chips.len());
-    let (outcomes, sweep) = crate::fleet::sweep::sweep_isolated(
-        threads,
-        scale.sweep_policy(),
-        &mut fleet.chips,
-        |_, chip| {
-            let bank = chip.bank();
-            let mut ds_changes = Vec::new();
-            let mut ss_changes = Vec::new();
-            for victim in chip.victim_rows() {
-                let pairs: [(Option<_>, Option<_>); 2] = [
-                    (
-                        comra_ds_for(chip.exec.chip(), victim, false),
-                        comra_ds_for(chip.exec.chip(), victim, true),
-                    ),
-                    (
-                        comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, false),
-                        comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, true),
-                    ),
-                ];
-                for (idx, (fwd, rev)) in pairs.into_iter().enumerate() {
-                    let (Some(fwd), Some(rev)) = (fwd, rev) else {
-                        continue;
-                    };
-                    let mut warm = crate::hcfirst::WarmStart::new();
-                    let hf = measure_with_dp_warm(
-                        scale,
-                        &mut chip.exec,
-                        bank,
-                        &fwd,
-                        victim,
-                        dp,
-                        &mut warm,
-                    );
-                    let hr = measure_with_dp_warm(
-                        scale,
-                        &mut chip.exec,
-                        bank,
-                        &rev,
-                        victim,
-                        dp,
-                        &mut warm,
-                    );
-                    if let (Some(a), Some(b)) = (hf, hr) {
-                        let change = percent_change(b as f64, a as f64);
-                        if idx == 0 {
-                            ds_changes.push(change);
-                        } else {
-                            ss_changes.push(change);
-                        }
+    let mut sweep = SweepReport::default();
+    let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
+        let bank = chip.bank();
+        let mut ds_changes = Vec::new();
+        let mut ss_changes = Vec::new();
+        for victim in chip.victim_rows() {
+            let pairs: [(Option<_>, Option<_>); 2] = [
+                (
+                    comra_ds_for(chip.exec.chip(), victim, false),
+                    comra_ds_for(chip.exec.chip(), victim, true),
+                ),
+                (
+                    comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, false),
+                    comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, true),
+                ),
+            ];
+            for (idx, (fwd, rev)) in pairs.into_iter().enumerate() {
+                let (Some(fwd), Some(rev)) = (fwd, rev) else {
+                    continue;
+                };
+                let mut warm = crate::hcfirst::WarmStart::new();
+                let hf =
+                    measure_with_dp_warm(scale, &mut chip.exec, bank, &fwd, victim, dp, &mut warm);
+                let hr =
+                    measure_with_dp_warm(scale, &mut chip.exec, bank, &rev, victim, dp, &mut warm);
+                if let (Some(a), Some(b)) = (hf, hr) {
+                    let change = percent_change(b as f64, a as f64);
+                    if idx == 0 {
+                        ds_changes.push(change);
+                    } else {
+                        ss_changes.push(change);
                     }
                 }
             }
-            (ds_changes, ss_changes)
-        },
-    );
+        }
+        (ds_changes, ss_changes)
+    });
     let mut ds_changes = Vec::new();
     let mut ss_changes = Vec::new();
-    for (ds, ss) in outcomes.into_iter().filter_map(SweepOutcome::ok) {
+    for (ds, ss) in per_chip {
         ds_changes.extend(ds);
         ss_changes.extend(ss);
     }
@@ -660,7 +699,13 @@ impl Fig11 {
 
 /// Runs the Fig. 11 experiment.
 pub fn fig11(scale: &Scale) -> Fig11 {
+    fig11_ckpt(scale, None)
+}
+
+/// [`fig11`] with an optional [`CheckpointStore`] (see [`fig4_ckpt`]).
+pub fn fig11_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig11 {
     let _span = pud_observe::span("experiment.fig11");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig11"));
     let mut fleet = Fleet::build(scale.fleet);
     let mut sweep = SweepReport::default();
     let recs: Vec<Record> = collect_hc(
@@ -669,6 +714,7 @@ pub fn fig11(scale: &Scale) -> Fig11 {
         |c, v| comra_ds_for(c, v, false),
         None,
         &mut sweep,
+        ctx.as_ref(),
     );
     let mut cells = Vec::new();
     for mfr in Manufacturer::ALL {

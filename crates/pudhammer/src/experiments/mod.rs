@@ -12,7 +12,11 @@ pub mod table2;
 pub mod trr_eval;
 
 use pud_dram::DataPattern;
+use pud_observe::json::JsonArray;
+use pud_observe::JsonValue;
 
+use crate::fleet::checkpoint::{Codec, RunCtx};
+use crate::fleet::supervisor;
 use crate::fleet::FleetConfig;
 use crate::hcfirst::HcSearch;
 use crate::patterns::Kernel;
@@ -173,21 +177,79 @@ pub struct Record {
     pub hc: Option<u64>,
 }
 
+/// Compact positional encoding: `[chip, mfr, victim, region, hc]`, with
+/// manufacturer and region stored as indices into their `ALL` rosters
+/// (process-lifetime constants, covered by the checkpoint fingerprint).
+impl Codec for Record {
+    fn encode(&self) -> String {
+        let mfr = pud_dram::Manufacturer::ALL
+            .iter()
+            .position(|m| *m == self.mfr)
+            .expect("manufacturer is in the roster") as u64;
+        let region = self.region.index() as u64;
+        JsonArray::new()
+            .u64(self.chip as u64)
+            .u64(mfr)
+            .u64(u64::from(self.victim.0))
+            .u64(region)
+            .raw(&self.hc.encode())
+            .finish()
+    }
+
+    fn decode(v: &JsonValue) -> Option<Record> {
+        match v.as_arr()? {
+            [chip, mfr, victim, region, hc] => Some(Record {
+                chip: chip.as_u64()? as usize,
+                mfr: *pud_dram::Manufacturer::ALL.get(mfr.as_u64()? as usize)?,
+                victim: pud_dram::RowAddr(u32::try_from(victim.as_u64()?).ok()?),
+                region: *pud_dram::SubarrayRegion::ALL.get(region.as_u64()? as usize)?,
+                hc: Codec::decode(hc)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// Fault-isolating parallel sweep over the fleet at this scale: every chip
 /// closure runs under the retry/quarantine machinery of
 /// [`crate::fleet::sweep::sweep_isolated`] with [`Scale::sweep_policy`].
-/// Quarantined chips contribute no element to the returned vector (results
-/// are otherwise in fleet order) and their status — like every retry — is
-/// merged into `sweep` for the driver's quarantine footer.
-pub(crate) fn sweep_fleet<R: Send>(
+/// Quarantined and cancelled chips contribute no element to the returned
+/// vector (results are otherwise in fleet order) and their status — like
+/// every retry — is merged into `sweep` for the driver's footer.
+///
+/// With a checkpoint context, the sweep allocates its stage name (in code
+/// order — see [`RunCtx::next_stage`]), serves chips already recorded
+/// under it from the store instead of re-measuring, and records each
+/// freshly completed chip's encoded result as soon as it finishes.
+pub(crate) fn sweep_fleet<R: Send + Codec>(
     scale: &Scale,
     fleet: &mut crate::fleet::Fleet,
     sweep: &mut crate::fleet::sweep::SweepReport,
+    ctx: Option<&RunCtx<'_>>,
     f: impl Fn(usize, &mut crate::fleet::ChipUnderTest) -> R + Sync,
 ) -> Vec<R> {
+    // Only the (Sync) store and the pre-allocated stage name cross into
+    // the workers — RunCtx itself holds the stage counter in a Cell.
+    let ckpt = ctx.map(|c| (c.store(), c.next_stage()));
     let threads = scale.sweep_threads(fleet.chips.len());
-    let (outcomes, report) =
-        crate::fleet::sweep::sweep_isolated(threads, scale.sweep_policy(), &mut fleet.chips, f);
+    let (outcomes, report) = crate::fleet::sweep::sweep_isolated(
+        threads,
+        scale.sweep_policy(),
+        &mut fleet.chips,
+        |chip_idx, chip| {
+            if let Some((store, stage)) = &ckpt {
+                if let Some(saved) = store.lookup(stage, &chip.label()).and_then(R::decode) {
+                    supervisor::record_resumed();
+                    return saved;
+                }
+            }
+            let result = f(chip_idx, chip);
+            if let Some((store, stage)) = &ckpt {
+                store.record(stage, &chip.label(), &result.encode());
+            }
+            result
+        },
+    );
     sweep.absorb(&report);
     outcomes
         .into_iter()
@@ -211,8 +273,9 @@ pub(crate) fn collect_hc(
     make_kernel: impl Fn(&pud_dram::Chip, pud_dram::RowAddr) -> Option<Kernel> + Sync,
     dp: Option<DataPattern>,
     sweep: &mut crate::fleet::sweep::SweepReport,
+    ctx: Option<&RunCtx<'_>>,
 ) -> Vec<Record> {
-    let per_chip = sweep_fleet(scale, fleet, sweep, |chip_idx, chip| {
+    let per_chip = sweep_fleet(scale, fleet, sweep, ctx, |chip_idx, chip| {
         let _sweep = pud_observe::span(&format!("fleet.sweep.{}", chip.profile.key()));
         let bank = chip.bank();
         let mut records = Vec::new();

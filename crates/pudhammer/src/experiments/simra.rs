@@ -7,6 +7,7 @@ use pud_bender::TestEnv;
 use pud_dram::{Celsius, DataPattern, Picos, RowAddr, SubarrayRegion};
 
 use crate::experiments::{measure_with_dp, measure_with_dp_warm, sweep_fleet, Scale};
+use crate::fleet::checkpoint::{CheckpointStore, RunCtx};
 use crate::fleet::sweep::SweepReport;
 use crate::fleet::{ChipUnderTest, Fleet};
 use crate::patterns::{
@@ -123,14 +124,22 @@ pub struct Fig13Row {
 
 /// Runs the Fig. 13 experiment.
 pub fn fig13(scale: &Scale) -> Fig13 {
+    fig13_ckpt(scale, None)
+}
+
+/// [`fig13`] with an optional [`CheckpointStore`]: chips already recorded
+/// under this figure's stages are decoded instead of re-measured, and fresh
+/// results are appended as they complete.
+pub fn fig13_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig13 {
     let _span = pud_observe::span("experiment.fig13");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig13"));
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut sweep = SweepReport::default();
     let mut per_n = Vec::new();
     let mut lowest_rh = f64::INFINITY;
     for n in DS_GROUP_SIZES {
-        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
             let bank = chip.bank();
             let mut changes = Vec::new();
             let mut lowest = f64::INFINITY;
@@ -230,13 +239,19 @@ pub struct Fig14 {
 /// patterns back to back so the searches share a [`crate::hcfirst::WarmStart`]
 /// bracket, like the WCDP search does.
 pub fn fig14(scale: &Scale) -> Fig14 {
+    fig14_ckpt(scale, None)
+}
+
+/// [`fig14`] with an optional [`CheckpointStore`] (see [`fig13_ckpt`]).
+pub fn fig14_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig14 {
     let _span = pud_observe::span("experiment.fig14");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig14"));
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for n in DS_GROUP_SIZES {
-        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
             let bank = chip.bank();
             let mut by_dp: Vec<Vec<f64>> = vec![Vec::new(); DataPattern::TESTED.len()];
             for (kernel, victim) in ds_targets(chip, n, cap) {
@@ -307,7 +322,13 @@ pub struct Fig15 {
 
 /// Runs the Fig. 15 experiment.
 pub fn fig15(scale: &Scale) -> Fig15 {
+    fig15_ckpt(scale, None)
+}
+
+/// [`fig15`] with an optional [`CheckpointStore`] (see [`fig13_ckpt`]).
+pub fn fig15_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig15 {
     let _span = pud_observe::span("experiment.fig15");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig15"));
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut sweep = SweepReport::default();
@@ -316,7 +337,7 @@ pub fn fig15(scale: &Scale) -> Fig15 {
         // One sweep per temperature: each chip sets its environment and
         // measures every group size, so the per-chip operation sequence
         // matches the serial path exactly.
-        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
             chip.exec
                 .set_env(TestEnv::characterization().at_temperature(temp));
             let bank = chip.bank();
@@ -382,14 +403,20 @@ pub struct Fig16 {
 
 /// Runs the Fig. 16 experiment.
 pub fn fig16(scale: &Scale) -> Fig16 {
+    fig16_ckpt(scale, None)
+}
+
+/// [`fig16`] with an optional [`CheckpointStore`] (see [`fig13_ckpt`]).
+pub fn fig16_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig16 {
     let _span = pud_observe::span("experiment.fig16");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig16"));
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut sweep = SweepReport::default();
     let mut simra = Vec::new();
     let mut rh_vals = Vec::new();
     for n in SS_GROUP_SIZES {
-        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
             let bank = chip.bank();
             let mut vals = Vec::new();
             let mut rh_vals = Vec::new();
@@ -467,7 +494,13 @@ pub struct Fig17 {
 
 /// Runs the Fig. 17 experiment.
 pub fn fig17(scale: &Scale) -> Fig17 {
+    fig17_ckpt(scale, None)
+}
+
+/// [`fig17`] with an optional [`CheckpointStore`] (see [`fig13_ckpt`]).
+pub fn fig17_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig17 {
     let _span = pud_observe::span("experiment.fig17");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig17"));
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut sweep = SweepReport::default();
@@ -475,7 +508,7 @@ pub fn fig17(scale: &Scale) -> Fig17 {
     for t_on in crate::experiments::comra::taggon_sweep() {
         // One sweep per on-time: each chip runs the RowPress baseline
         // (double-sided RowHammer held open) and then both SiMRA sizes.
-        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
             let bank = chip.bank();
             let mut press_vals = Vec::new();
             for victim in chip.victim_rows() {
@@ -562,7 +595,13 @@ pub struct Fig18 {
 
 /// Runs the Fig. 18 experiment.
 pub fn fig18(scale: &Scale) -> Fig18 {
+    fig18_ckpt(scale, None)
+}
+
+/// [`fig18`] with an optional [`CheckpointStore`] (see [`fig13_ckpt`]).
+pub fn fig18_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig18 {
     let _span = pud_observe::span("experiment.fig18");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig18"));
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let delays = [
@@ -574,7 +613,7 @@ pub fn fig18(scale: &Scale) -> Fig18 {
     let mut cells = Vec::new();
     for a2p in delays {
         for p2a in delays {
-            let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
+            let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
                 let bank = chip.bank();
                 let mut vals = Vec::new();
                 for (kernel, victim) in ds_targets(chip, 16, cap) {
@@ -640,13 +679,19 @@ pub struct Fig19 {
 
 /// Runs the Fig. 19 experiment.
 pub fn fig19(scale: &Scale) -> Fig19 {
+    fig19_ckpt(scale, None)
+}
+
+/// [`fig19`] with an optional [`CheckpointStore`] (see [`fig13_ckpt`]).
+pub fn fig19_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig19 {
     let _span = pud_observe::span("experiment.fig19");
+    let ctx = ckpt.map(|s| RunCtx::new(s, "fig19"));
     let mut fleet = Fleet::build_simra_capable(scale.fleet);
     let cap = target_cap(scale);
     let mut sweep = SweepReport::default();
     let mut cells = Vec::new();
     for n in DS_GROUP_SIZES {
-        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, |_, chip| {
+        let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
             let bank = chip.bank();
             let mut by_region: Vec<Vec<f64>> = vec![Vec::new(); 5];
             for (kernel, victim) in ds_targets(chip, n, cap) {

@@ -94,6 +94,7 @@ pub fn table2_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Table2 {
                     .lookup(CHECKPOINT_STAGE, &chip.label())
                     .and_then(|data| decode_row(chip.profile, data))
                 {
+                    crate::fleet::supervisor::record_resumed();
                     return Some(row);
                 }
             }
@@ -151,9 +152,7 @@ pub fn table2_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Table2 {
                 quarantined: None,
             };
             if let Some(ckpt) = ckpt {
-                if let Err(e) = ckpt.record(CHECKPOINT_STAGE, &chip.label(), &encode_row(&row)) {
-                    eprintln!("warning: checkpoint write failed for {}: {e}", chip.label());
-                }
+                ckpt.record(CHECKPOINT_STAGE, &chip.label(), &encode_row(&row));
             }
             Some(row)
         },
@@ -174,6 +173,10 @@ pub fn table2_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Table2 {
                     });
                 }
             }
+            // A cancelled family's row is simply absent from the partial
+            // table (the sweep footer says why); it was never recorded, so
+            // a resumed run re-measures it.
+            SweepOutcome::Cancelled(_) => {}
         }
     }
     sweep.record_metrics();

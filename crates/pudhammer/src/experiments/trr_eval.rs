@@ -11,10 +11,12 @@ use std::sync::{Arc, Mutex};
 
 use pud_bender::{Executor, TestEnv};
 use pud_dram::{profiles, BankId, DataPattern, RowAddr};
-use pud_observe::{RingBufferSink, SharedSink};
+use pud_observe::json::JsonArray;
+use pud_observe::{JsonValue, RingBufferSink, SharedSink};
 use pud_trr::{patterns as trr_patterns, SamplingTrr, SamplingTrrConfig};
 
 use crate::experiments::Scale;
+use crate::fleet::checkpoint::{CheckpointStore, Codec};
 use crate::fleet::sweep::{SweepOutcome, SweepReport};
 use crate::patterns::{simra_ds_kernels, simra_ss_kernels, Kernel};
 use crate::report::Table;
@@ -82,8 +84,64 @@ impl Fig24 {
     }
 }
 
+/// Stage label under which Fig. 24 technique rows are checkpointed.
+const CHECKPOINT_STAGE: &str = "fig24";
+
+/// Compact positional encoding: `[avg_bits, min, max]` (the average is
+/// stored bit-exactly via [`f64::to_bits`]).
+impl Codec for FlipStat {
+    fn encode(&self) -> String {
+        JsonArray::new()
+            .raw(&self.avg.encode())
+            .u64(self.min)
+            .u64(self.max)
+            .finish()
+    }
+
+    fn decode(v: &JsonValue) -> Option<FlipStat> {
+        match v.as_arr()? {
+            [avg, min, max] => Some(FlipStat {
+                avg: Codec::decode(avg)?,
+                min: min.as_u64()?,
+                max: max.as_u64()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Compact positional encoding: `[technique, without_trr, with_trr]`.
+impl Codec for Fig24Row {
+    fn encode(&self) -> String {
+        JsonArray::new()
+            .str(&self.technique)
+            .raw(&self.without_trr.encode())
+            .raw(&self.with_trr.encode())
+            .finish()
+    }
+
+    fn decode(v: &JsonValue) -> Option<Fig24Row> {
+        match v.as_arr()? {
+            [tech, without, with] => Some(Fig24Row {
+                technique: tech.as_str()?.to_string(),
+                without_trr: Codec::decode(without)?,
+                with_trr: Codec::decode(with)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
 /// Runs the Fig. 24 experiment.
 pub fn fig24(scale: &Scale) -> Fig24 {
+    fig24_ckpt(scale, None)
+}
+
+/// [`fig24`] with an optional [`CheckpointStore`]: techniques already
+/// recorded are decoded instead of re-measured (their private trace ring
+/// stays empty), and freshly measured techniques are appended as they
+/// complete.
+pub fn fig24_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig24 {
     let _span = pud_observe::span("experiment.fig24");
     let profile = profiles::most_simra_vulnerable();
     let geometry = scale.fleet.geometry;
@@ -179,6 +237,15 @@ pub fn fig24(scale: &Scale) -> Fig24 {
         labels,
         techniques,
         |_, (name, tech)| {
+            if let Some(ckpt) = ckpt {
+                if let Some(row) = ckpt
+                    .lookup(CHECKPOINT_STAGE, name)
+                    .and_then(Fig24Row::decode)
+                {
+                    crate::fleet::supervisor::record_resumed();
+                    return (row, Vec::new());
+                }
+            }
             let ring = tracing.then(|| {
                 Arc::new(Mutex::new(RingBufferSink::new(
                     crate::fleet::sweep::TRACE_RING_CAPACITY,
@@ -210,14 +277,15 @@ pub fn fig24(scale: &Scale) -> Fig24 {
             let events = ring.map_or_else(Vec::new, |r| {
                 r.lock().expect("fig24 trace ring poisoned").to_vec()
             });
-            (
-                Fig24Row {
-                    technique: name.clone(),
-                    without_trr: FlipStat::from_counts(&counts_without),
-                    with_trr: FlipStat::from_counts(&counts_with),
-                },
-                events,
-            )
+            let row = Fig24Row {
+                technique: name.clone(),
+                without_trr: FlipStat::from_counts(&counts_without),
+                with_trr: FlipStat::from_counts(&counts_with),
+            };
+            if let Some(ckpt) = ckpt {
+                ckpt.record(CHECKPOINT_STAGE, name, &row.encode());
+            }
+            (row, events)
         },
     );
     let mut buffers = Vec::with_capacity(outcomes.len());
@@ -252,6 +320,8 @@ fn run_once(
     rep: u32,
     trace: Option<&SharedSink>,
 ) -> u64 {
+    // One evasion run is the cancellation grace unit for this experiment.
+    crate::fleet::supervisor::poll_cancel();
     let geometry = scale.fleet.geometry;
     let bank = BankId(0);
     let mut exec = Executor::new(profile, geometry, 0, scale.fleet.seed);

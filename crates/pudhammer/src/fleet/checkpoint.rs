@@ -25,6 +25,7 @@
 //! a resume retries them, keeping counters and rendered output identical
 //! to an uninterrupted run.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -32,7 +33,7 @@ use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use pud_observe::json::JsonObject;
+use pud_observe::json::{JsonArray, JsonObject};
 use pud_observe::JsonValue;
 
 /// Checkpoint file-format version.
@@ -177,6 +178,11 @@ pub struct CheckpointStore {
     header: CheckpointHeader,
     completed: HashMap<(String, String), JsonValue>,
     writer: Mutex<File>,
+    /// First append failure, latched. Sweep workers call [`Self::record`]
+    /// from hot paths where panicking on a full disk would masquerade as a
+    /// chip fault; instead the error is kept here and surfaced once, at
+    /// the end of the run, by the CLI (see [`Self::take_write_error`]).
+    write_error: Mutex<Option<std::io::Error>>,
 }
 
 impl fmt::Debug for CheckpointStore {
@@ -213,6 +219,7 @@ impl CheckpointStore {
                 header,
                 completed: HashMap::new(),
                 writer: Mutex::new(file),
+                write_error: Mutex::new(None),
             });
         }
         let corrupt = |line: usize, reason: String| CheckpointError::Corrupt {
@@ -256,6 +263,7 @@ impl CheckpointStore {
             header,
             completed,
             writer: Mutex::new(file),
+            write_error: Mutex::new(None),
         })
     }
 
@@ -279,7 +287,12 @@ impl CheckpointStore {
     /// a rendered JSON value (use `pud-observe`'s writers). Safe to call
     /// from parallel sweep workers; whole lines are written under one lock,
     /// so rows never interleave.
-    pub fn record(&self, stage: &str, chip: &str, data: &str) -> std::io::Result<()> {
+    ///
+    /// I/O failures do not panic and do not abort the sweep: the first one
+    /// is latched (later records become no-ops, keeping the file's valid
+    /// prefix intact) and reported through [`Self::take_write_error`]. The
+    /// run's in-memory results are unaffected — only resumability is lost.
+    pub fn record(&self, stage: &str, chip: &str, data: &str) {
         let line = format!(
             "{}\n",
             JsonObject::new()
@@ -288,9 +301,172 @@ impl CheckpointStore {
                 .raw("data", data)
                 .finish()
         );
-        let mut writer = self.writer.lock().expect("checkpoint writer poisoned");
-        writer.write_all(line.as_bytes())?;
-        writer.flush()
+        // `unwrap_or_else(into_inner)`: a panicking writer (e.g. a
+        // cancellation unwinding through a worker mid-record) must not turn
+        // every later record into a second panic.
+        let mut error = self.write_error.lock().unwrap_or_else(|e| e.into_inner());
+        if error.is_some() {
+            return;
+        }
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let result = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.flush());
+        if let Err(e) = result {
+            *error = Some(e);
+        }
+    }
+
+    /// Takes the first append failure, if any occurred (see
+    /// [`Self::record`]). The CLI calls this once after a run to turn a
+    /// silently degraded checkpoint into a hard, typed error.
+    pub fn take_write_error(&self) -> Option<std::io::Error> {
+        self.write_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+}
+
+/// Encoding of one per-unit result as a checkpoint `data` value.
+///
+/// Every experiment driver's sweep closure return type implements this,
+/// which is what lets [`crate::experiments::sweep_fleet`] transparently
+/// record and replay any driver's rows. Two invariants matter:
+///
+/// - **Round-trip exactness.** `decode(parse(encode(x))) == x`, bit for
+///   bit — the byte-identical-resume guarantee rests on it. Floats are
+///   therefore encoded as their IEEE-754 bit patterns (`f64::to_bits`),
+///   not as decimal literals: sentinel values like `f64::INFINITY` have
+///   no JSON number representation at all.
+/// - **Self-description is not a goal.** Rows are compact positional
+///   arrays; the header binds the file to one campaign and code version,
+///   so field names would be dead weight on a hot flush path.
+pub(crate) trait Codec: Sized {
+    /// Renders the value as a raw JSON fragment.
+    fn encode(&self) -> String;
+    /// Parses a value back; `None` marks a row this build cannot replay.
+    fn decode(v: &JsonValue) -> Option<Self>;
+}
+
+impl Codec for u64 {
+    fn encode(&self) -> String {
+        self.to_string()
+    }
+
+    fn decode(v: &JsonValue) -> Option<u64> {
+        v.as_u64()
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self) -> String {
+        self.to_bits().to_string()
+    }
+
+    fn decode(v: &JsonValue) -> Option<f64> {
+        v.as_u64().map(f64::from_bits)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self) -> String {
+        match self {
+            Some(value) => value.encode(),
+            None => "null".to_string(),
+        }
+    }
+
+    fn decode(v: &JsonValue) -> Option<Option<T>> {
+        match v {
+            JsonValue::Null => Some(None),
+            other => T::decode(other).map(Some),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self) -> String {
+        let mut arr = JsonArray::new();
+        for item in self {
+            arr = arr.raw(&item.encode());
+        }
+        arr.finish()
+    }
+
+    fn decode(v: &JsonValue) -> Option<Vec<T>> {
+        v.as_arr()?.iter().map(T::decode).collect()
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self) -> String {
+        JsonArray::new()
+            .raw(&self.0.encode())
+            .raw(&self.1.encode())
+            .finish()
+    }
+
+    fn decode(v: &JsonValue) -> Option<(A, B)> {
+        match v.as_arr()? {
+            [a, b] => Some((A::decode(a)?, B::decode(b)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self) -> String {
+        JsonArray::new()
+            .raw(&self.0.encode())
+            .raw(&self.1.encode())
+            .raw(&self.2.encode())
+            .finish()
+    }
+
+    fn decode(v: &JsonValue) -> Option<(A, B, C)> {
+        match v.as_arr()? {
+            [a, b, c] => Some((A::decode(a)?, B::decode(b)?, C::decode(c)?)),
+            _ => None,
+        }
+    }
+}
+
+/// Per-driver checkpoint context: the open store plus a deterministic
+/// stage-name allocator.
+///
+/// A driver calls [`RunCtx::next_stage`] once per fleet sweep, in code
+/// order, yielding `"{prefix}.s0"`, `"{prefix}.s1"`, … — the same
+/// sequence on every run of the same build, which is what lets a resumed
+/// run match its sweeps back to the recorded rows without any
+/// driver-specific naming. The prefix is the repro target name, so one
+/// store can host a whole `repro all` campaign without stage collisions.
+pub(crate) struct RunCtx<'a> {
+    store: &'a CheckpointStore,
+    prefix: &'static str,
+    stage: Cell<u32>,
+}
+
+impl<'a> RunCtx<'a> {
+    /// Binds a driver (by its stage `prefix`) to an open store.
+    pub(crate) fn new(store: &'a CheckpointStore, prefix: &'static str) -> RunCtx<'a> {
+        RunCtx {
+            store,
+            prefix,
+            stage: Cell::new(0),
+        }
+    }
+
+    /// The underlying store.
+    pub(crate) fn store(&self) -> &'a CheckpointStore {
+        self.store
+    }
+
+    /// Allocates the next stage name in code order.
+    pub(crate) fn next_stage(&self) -> String {
+        let n = self.stage.get();
+        self.stage.set(n + 1);
+        format!("{}.s{n}", self.prefix)
     }
 }
 
@@ -336,10 +512,9 @@ mod tests {
         {
             let store = CheckpointStore::open(&path, header()).expect("create");
             assert_eq!(store.recovered(), 0);
-            store
-                .record("rh", "A#0", "{\"hc\":12345,\"region\":\"begin\"}")
-                .expect("record");
-            store.record("rh", "B#0", "null").expect("record");
+            store.record("rh", "A#0", "{\"hc\":12345,\"region\":\"begin\"}");
+            store.record("rh", "B#0", "null");
+            assert!(store.take_write_error().is_none());
         }
         let store = CheckpointStore::open(&path, header()).expect("reopen");
         assert_eq!(store.recovered(), 2);
@@ -375,8 +550,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let store = CheckpointStore::open(&path, header()).expect("create");
-            store.record("rh", "A#0", "{\"hc\":1}").expect("record");
-            store.record("rh", "B#0", "{\"hc\":2}").expect("record");
+            store.record("rh", "A#0", "{\"hc\":1}");
+            store.record("rh", "B#0", "{\"hc\":2}");
         }
         // Simulate a kill mid-write: chop the last record in half.
         let content = std::fs::read_to_string(&path).expect("read");
@@ -386,7 +561,7 @@ mod tests {
             assert_eq!(store.recovered(), 1, "partial row dropped");
             assert!(store.lookup("rh", "A#0").is_some());
             assert!(store.lookup("rh", "B#0").is_none());
-            store.record("rh", "B#0", "{\"hc\":2}").expect("re-record");
+            store.record("rh", "B#0", "{\"hc\":2}");
         }
         let store = CheckpointStore::open(&path, header()).expect("reopen");
         assert_eq!(store.recovered(), 2);
@@ -399,7 +574,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let store = CheckpointStore::open(&path, header()).expect("create");
-            store.record("rh", "A#0", "{\"hc\":1}").expect("record");
+            store.record("rh", "A#0", "{\"hc\":1}");
         }
         let mut content = std::fs::read_to_string(&path).expect("read");
         content.push_str("not json at all\n");
@@ -422,6 +597,45 @@ mod tests {
             matches!(err, CheckpointError::Corrupt { line: 1, .. }),
             "{err}"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let encoded = value.encode();
+        let parsed = JsonValue::parse(&encoded).expect("encoded fragment parses");
+        assert_eq!(T::decode(&parsed).as_ref(), Some(&value), "{encoded}");
+    }
+
+    #[test]
+    fn codec_round_trips_are_bit_exact() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(1.5f64);
+        round_trip(-0.0f64);
+        // The sentinel that rules out decimal float encoding: infinity has
+        // no JSON number representation, but its bit pattern is just a u64.
+        round_trip(f64::INFINITY);
+        round_trip(f64::NEG_INFINITY);
+        round_trip(0.1f64 + 0.2f64);
+        round_trip(Option::<u64>::None);
+        round_trip(Some(7u64));
+        round_trip(Vec::<f64>::new());
+        round_trip(vec![1.0f64, f64::INFINITY, 3.25]);
+        round_trip((vec![1.0f64], 2.5f64, f64::INFINITY));
+        round_trip((vec![vec![1u64]], vec![0.5f64]));
+    }
+
+    #[test]
+    fn run_ctx_allocates_stage_names_in_code_order() {
+        let path = temp_path("runctx");
+        let _ = std::fs::remove_file(&path);
+        let store = CheckpointStore::open(&path, header()).expect("create");
+        let ctx = RunCtx::new(&store, "fig6");
+        assert_eq!(ctx.next_stage(), "fig6.s0");
+        assert_eq!(ctx.next_stage(), "fig6.s1");
+        assert_eq!(ctx.next_stage(), "fig6.s2");
+        let again = RunCtx::new(ctx.store(), "fig6");
+        assert_eq!(again.next_stage(), "fig6.s0", "fresh ctx restarts");
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -10,6 +10,7 @@ use pud_dram::{
 };
 
 pub mod checkpoint;
+pub mod supervisor;
 pub mod sweep;
 
 /// Scale and sampling configuration for experiments.

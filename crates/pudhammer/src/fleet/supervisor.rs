@@ -1,0 +1,357 @@
+//! Campaign supervisor: deadlines and cooperative cancellation for
+//! long-running fleet campaigns.
+//!
+//! A characterization campaign over a real fleet runs for days and dies in
+//! boring ways: an operator hits Ctrl-C, a batch scheduler sends SIGTERM,
+//! a time budget runs out. The supervisor turns all of those into the same
+//! cooperative shutdown: a [`CancelToken`] carrying the cancellation
+//! sources (an interrupt flag, a wall-clock deadline, a unit budget) is
+//! [`install`]ed process-wide, long-running inner loops call
+//! [`poll_cancel`] at safe points, and the sweep engine converts the
+//! resulting unwind into a `Cancelled` sweep outcome — in-flight chips are
+//! abandoned (and re-measured on resume), completed chips stay recorded in
+//! the checkpoint, and the campaign renders a partial report instead of
+//! hanging or panicking.
+//!
+//! Cancellation is *cooperative*: nothing is killed preemptively. The
+//! bound on the shutdown grace period is the distance between two polls —
+//! one bisection trial in the HC_first search, one data pattern in the
+//! WCDP search, or ~4096 executed DRAM commands inside `pud-bender`
+//! (registered via [`pud_bender::set_cancel_check`]).
+//!
+//! Everything here is observable through pud-observe counters:
+//! `supervisor.completed` (units measured or replayed this run),
+//! `supervisor.resumed` (subset served from a checkpoint), and
+//! `supervisor.cancelled` (units abandoned by a cancellation).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+/// Why a campaign was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// An external interrupt (SIGINT/SIGTERM or an explicit
+    /// [`CancelToken::cancel`]) asked the campaign to stop.
+    Interrupted,
+    /// The wall-clock deadline or the unit budget ran out.
+    DeadlineExpired,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::Interrupted => f.write_str("interrupted"),
+            CancelReason::DeadlineExpired => f.write_str("deadline expired"),
+        }
+    }
+}
+
+/// The panic payload [`poll_cancel`] unwinds with. The sweep engine
+/// downcasts for it *before* fault classification, so a cancellation is
+/// never mistaken for a transient chip fault (and never retried).
+#[derive(Debug, Clone, Copy)]
+pub struct Cancelled {
+    /// Why the unit was abandoned.
+    pub reason: CancelReason,
+}
+
+const REASON_INTERRUPTED: u8 = 0;
+const REASON_DEADLINE: u8 = 1;
+
+#[derive(Debug)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    reason: AtomicU8,
+    interrupt: Option<&'static AtomicBool>,
+    deadline: Option<Instant>,
+    unit_budget: Option<u64>,
+    units_done: AtomicU64,
+}
+
+/// A cooperative cancellation token: a latch fed by up to three sources
+/// (an external interrupt flag, a wall-clock deadline, a completed-unit
+/// budget). Cloning shares the underlying latch.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl CancelToken {
+    /// A token with no cancellation sources: it only cancels when
+    /// [`CancelToken::cancel`] is called explicitly.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                reason: AtomicU8::new(REASON_INTERRUPTED),
+                interrupt: None,
+                deadline: None,
+                unit_budget: None,
+                units_done: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn rebuild(self, f: impl FnOnce(&mut TokenInner)) -> CancelToken {
+        let mut inner = TokenInner {
+            cancelled: AtomicBool::new(self.inner.cancelled.load(Ordering::SeqCst)),
+            reason: AtomicU8::new(self.inner.reason.load(Ordering::SeqCst)),
+            interrupt: self.inner.interrupt,
+            deadline: self.inner.deadline,
+            unit_budget: self.inner.unit_budget,
+            units_done: AtomicU64::new(self.inner.units_done.load(Ordering::SeqCst)),
+        };
+        f(&mut inner);
+        CancelToken {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Cancels (as [`CancelReason::Interrupted`]) when `flag` becomes
+    /// true — the bridge from an async signal handler, which may only
+    /// flip an atomic.
+    pub fn with_interrupt_flag(self, flag: &'static AtomicBool) -> CancelToken {
+        self.rebuild(|inner| inner.interrupt = Some(flag))
+    }
+
+    /// Cancels (as [`CancelReason::DeadlineExpired`]) once `budget` of
+    /// wall-clock time has elapsed from this call.
+    pub fn with_deadline(self, budget: Duration) -> CancelToken {
+        self.rebuild(|inner| inner.deadline = Some(Instant::now() + budget))
+    }
+
+    /// Cancels (as [`CancelReason::DeadlineExpired`]) once `units`
+    /// supervised units have completed — a deterministic, virtual-time
+    /// deadline that expires at the same point at any thread count when
+    /// the sweep runs serially.
+    pub fn with_unit_budget(self, units: u64) -> CancelToken {
+        self.rebuild(|inner| inner.unit_budget = Some(units))
+    }
+
+    /// Latches the token as cancelled for `reason`. Idempotent: the first
+    /// reason wins.
+    pub fn cancel(&self, reason: CancelReason) {
+        let code = match reason {
+            CancelReason::Interrupted => REASON_INTERRUPTED,
+            CancelReason::DeadlineExpired => REASON_DEADLINE,
+        };
+        if !self.inner.cancelled.load(Ordering::SeqCst) {
+            self.inner.reason.store(code, Ordering::SeqCst);
+            self.inner.cancelled.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Evaluates every cancellation source, latching and returning the
+    /// reason if any has fired.
+    pub fn check(&self) -> Option<CancelReason> {
+        if let Some(latched) = self.latched() {
+            return Some(latched);
+        }
+        if let Some(flag) = self.inner.interrupt {
+            if flag.load(Ordering::SeqCst) {
+                self.cancel(CancelReason::Interrupted);
+                return Some(CancelReason::Interrupted);
+            }
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.cancel(CancelReason::DeadlineExpired);
+                return Some(CancelReason::DeadlineExpired);
+            }
+        }
+        if let Some(budget) = self.inner.unit_budget {
+            if self.inner.units_done.load(Ordering::SeqCst) >= budget {
+                self.cancel(CancelReason::DeadlineExpired);
+                return Some(CancelReason::DeadlineExpired);
+            }
+        }
+        None
+    }
+
+    /// The already-latched cancellation reason, without evaluating any
+    /// source — safe to call after a campaign finished to ask "was this
+    /// run actually cut short?" without a still-ticking wall deadline
+    /// retroactively expiring a completed run.
+    pub fn latched(&self) -> Option<CancelReason> {
+        if !self.inner.cancelled.load(Ordering::SeqCst) {
+            return None;
+        }
+        Some(match self.inner.reason.load(Ordering::SeqCst) {
+            REASON_DEADLINE => CancelReason::DeadlineExpired,
+            _ => CancelReason::Interrupted,
+        })
+    }
+
+    /// Units completed under this token so far.
+    pub fn units_done(&self) -> u64 {
+        self.inner.units_done.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static CURRENT: Mutex<Option<CancelToken>> = Mutex::new(None);
+
+/// Restores the previously installed token (if any) on drop, so nested
+/// and test installations compose.
+#[derive(Debug)]
+pub struct SupervisorGuard {
+    previous: Option<CancelToken>,
+}
+
+impl Drop for SupervisorGuard {
+    fn drop(&mut self) {
+        let mut current = CURRENT.lock().unwrap_or_else(|e| e.into_inner());
+        *current = self.previous.take();
+        ACTIVE.store(current.is_some(), Ordering::SeqCst);
+    }
+}
+
+/// Installs `token` as the process-wide campaign supervisor and registers
+/// the cancellation probe with `pud-bender` (once per process). Polls via
+/// [`poll_cancel`] consult the installed token until the returned guard
+/// drops.
+pub fn install(token: CancelToken) -> SupervisorGuard {
+    static BENDER_HOOK: Once = Once::new();
+    BENDER_HOOK.call_once(|| pud_bender::set_cancel_check(poll_cancel));
+    let mut current = CURRENT.lock().unwrap_or_else(|e| e.into_inner());
+    let previous = current.replace(token);
+    ACTIVE.store(true, Ordering::SeqCst);
+    SupervisorGuard { previous }
+}
+
+/// Whether a supervisor token is currently installed.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::SeqCst)
+}
+
+fn current() -> Option<CancelToken> {
+    if !active() {
+        return None;
+    }
+    CURRENT.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Non-panicking cancellation probe: evaluates the installed token (if
+/// any) and returns the latched reason. `None` when no supervisor is
+/// installed or nothing has fired.
+pub fn is_cancelled() -> Option<CancelReason> {
+    current().and_then(|token| token.check())
+}
+
+/// Cooperative cancellation point. When the installed supervisor token
+/// has cancelled, unwinds with a [`Cancelled`] payload; the sweep engine
+/// catches it and converts the in-flight unit into a `Cancelled` outcome.
+/// A no-op when no supervisor is installed.
+pub fn poll_cancel() {
+    if let Some(reason) = is_cancelled() {
+        std::panic::panic_any(Cancelled { reason });
+    }
+}
+
+/// Records one completed supervised unit: advances the unit budget and
+/// the `supervisor.completed` counter. A no-op when no supervisor is
+/// installed.
+pub fn complete_unit() {
+    if let Some(token) = current() {
+        token.inner.units_done.fetch_add(1, Ordering::SeqCst);
+        pud_observe::counter("supervisor.completed").incr();
+    }
+}
+
+/// Records one unit served from a checkpoint instead of re-measured
+/// (`supervisor.resumed`). A no-op when no supervisor is installed.
+pub fn record_resumed() {
+    if active() {
+        pud_observe::counter("supervisor.resumed").incr();
+    }
+}
+
+/// Records one unit abandoned by a cancellation (`supervisor.cancelled`).
+/// A no-op when no supervisor is installed.
+pub fn record_cancelled() {
+    if active() {
+        pud_observe::counter("supervisor.cancelled").incr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_without_sources_never_cancels() {
+        let token = CancelToken::new();
+        assert_eq!(token.check(), None);
+        assert_eq!(token.latched(), None);
+        token.cancel(CancelReason::DeadlineExpired);
+        assert_eq!(token.check(), Some(CancelReason::DeadlineExpired));
+        // First reason wins.
+        token.cancel(CancelReason::Interrupted);
+        assert_eq!(token.latched(), Some(CancelReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn interrupt_flag_latches_as_interrupted() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        FLAG.store(false, Ordering::SeqCst);
+        let token = CancelToken::new().with_interrupt_flag(&FLAG);
+        assert_eq!(token.check(), None);
+        FLAG.store(true, Ordering::SeqCst);
+        assert_eq!(token.check(), Some(CancelReason::Interrupted));
+        // Latched: clearing the flag does not un-cancel.
+        FLAG.store(false, Ordering::SeqCst);
+        assert_eq!(token.check(), Some(CancelReason::Interrupted));
+    }
+
+    #[test]
+    fn unit_budget_expires_as_deadline() {
+        let token = CancelToken::new().with_unit_budget(2);
+        assert_eq!(token.check(), None);
+        token.inner.units_done.fetch_add(2, Ordering::SeqCst);
+        assert_eq!(token.units_done(), 2);
+        assert_eq!(token.check(), Some(CancelReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn elapsed_deadline_expires() {
+        let token = CancelToken::new().with_deadline(Duration::from_secs(0));
+        assert_eq!(token.check(), Some(CancelReason::DeadlineExpired));
+    }
+
+    #[test]
+    fn clones_share_the_latch() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel(CancelReason::Interrupted);
+        assert_eq!(clone.latched(), Some(CancelReason::Interrupted));
+    }
+
+    #[test]
+    fn install_is_scoped_and_restores_the_previous_token() {
+        // Only source-free tokens are installed here: other tests in this
+        // process polling through them are unaffected. Cancellation of an
+        // *installed* token is exercised in the (serialized) integration
+        // tests instead.
+        let outer = CancelToken::new();
+        let guard = install(outer.clone());
+        assert!(active());
+        {
+            let inner = CancelToken::new();
+            let _nested = install(inner.clone());
+            let installed = current().expect("inner installed");
+            assert!(Arc::ptr_eq(&installed.inner, &inner.inner));
+        }
+        // The nested guard dropped: the outer token is back.
+        let restored = current().expect("outer restored");
+        assert!(Arc::ptr_eq(&restored.inner, &outer.inner));
+        drop(guard);
+    }
+}

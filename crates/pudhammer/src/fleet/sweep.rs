@@ -36,6 +36,7 @@ use std::sync::{Arc, Mutex, Once, OnceLock};
 use pud_bender::ExecError;
 use pud_observe::{merge_ordered, RingBufferSink, ShardGuard, SharedSink, TraceEvent};
 
+use super::supervisor::{self, CancelReason, Cancelled};
 use super::ChipUnderTest;
 
 /// Capacity of each per-chip trace ring during a sweep. Batched hammer
@@ -312,6 +313,10 @@ pub enum SweepOutcome<R> {
     Done(R),
     /// The chip was quarantined; no result is available.
     Quarantined(SweepError),
+    /// The campaign supervisor cancelled the unit before (or while) it
+    /// ran; no result is available and nothing was recorded — a resumed
+    /// run re-measures it.
+    Cancelled(CancelReason),
 }
 
 impl<R> SweepOutcome<R> {
@@ -319,7 +324,7 @@ impl<R> SweepOutcome<R> {
     pub fn ok(self) -> Option<R> {
         match self {
             SweepOutcome::Done(r) => Some(r),
-            SweepOutcome::Quarantined(_) => None,
+            SweepOutcome::Quarantined(_) | SweepOutcome::Cancelled(_) => None,
         }
     }
 
@@ -327,15 +332,23 @@ impl<R> SweepOutcome<R> {
     pub fn as_ok(&self) -> Option<&R> {
         match self {
             SweepOutcome::Done(r) => Some(r),
-            SweepOutcome::Quarantined(_) => None,
+            SweepOutcome::Quarantined(_) | SweepOutcome::Cancelled(_) => None,
         }
     }
 
     /// The quarantine error, if the chip failed.
     pub fn quarantine(&self) -> Option<&SweepError> {
         match self {
-            SweepOutcome::Done(_) => None,
             SweepOutcome::Quarantined(e) => Some(e),
+            SweepOutcome::Done(_) | SweepOutcome::Cancelled(_) => None,
+        }
+    }
+
+    /// The cancellation reason, if the unit was abandoned.
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        match self {
+            SweepOutcome::Cancelled(reason) => Some(*reason),
+            SweepOutcome::Done(_) | SweepOutcome::Quarantined(_) => None,
         }
     }
 }
@@ -351,6 +364,8 @@ pub struct ChipStatus {
     pub backoff_ns: u64,
     /// Quarantine reason, or `None` for a healthy chip.
     pub quarantined: Option<String>,
+    /// Cancellation reason, or `None` when the unit ran to a verdict.
+    pub cancelled: Option<CancelReason>,
 }
 
 /// What happened to each chip across one (or several merged) isolating
@@ -376,9 +391,15 @@ impl SweepReport {
             .count()
     }
 
-    /// Whether the sweep saw no faults at all (no retries, no quarantine).
+    /// Number of cancelled units.
+    pub fn cancelled(&self) -> usize {
+        self.chips.iter().filter(|c| c.cancelled.is_some()).count()
+    }
+
+    /// Whether the sweep saw no faults at all (no retries, no quarantine,
+    /// no cancellation).
     pub fn is_clean(&self) -> bool {
-        self.retries() == 0 && self.quarantined() == 0
+        self.retries() == 0 && self.quarantined() == 0 && self.cancelled() == 0
     }
 
     /// Merges another report (typically from a later sweep over the same
@@ -392,6 +413,9 @@ impl SweepReport {
                     ours.backoff_ns += theirs.backoff_ns;
                     if ours.quarantined.is_none() {
                         ours.quarantined.clone_from(&theirs.quarantined);
+                    }
+                    if ours.cancelled.is_none() {
+                        ours.cancelled = theirs.cancelled;
                     }
                 }
                 None => self.chips.push(theirs.clone()),
@@ -410,11 +434,22 @@ impl SweepReport {
                 lines.push(format!("QUARANTINED {}: {reason}", c.label));
             }
         }
+        for c in &self.chips {
+            if let Some(reason) = c.cancelled {
+                lines.push(format!("CANCELLED {}: {reason}", c.label));
+            }
+        }
         let retries = self.retries();
         if retries > 0 {
             lines.push(format!(
                 "sweep: {retries} transient failure(s) retried ({} quarantined)",
                 self.quarantined()
+            ));
+        }
+        let cancelled = self.cancelled();
+        if cancelled > 0 {
+            lines.push(format!(
+                "sweep: {cancelled} unit(s) cancelled before completion — partial results"
             ));
         }
         lines
@@ -442,6 +477,10 @@ impl SweepReport {
         let quarantined = self.quarantined();
         if quarantined > 0 {
             pud_observe::counter("sweep.quarantined").add(quarantined as u64);
+        }
+        let cancelled = self.cancelled();
+        if cancelled > 0 {
+            pud_observe::counter("sweep.cancelled").add(cancelled as u64);
         }
     }
 }
@@ -489,18 +528,42 @@ fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> (bool, String) {
     }
 }
 
-fn run_isolated<R>(
+/// The shared per-unit harness of every isolating sweep: supervisor
+/// pre-check, `catch_unwind` isolation, transient retry with virtual
+/// backoff, quarantine — and cooperative cancellation, which is checked
+/// *before* fault classification so a [`Cancelled`] unwind is never
+/// mistaken for a chip fault (and never retried).
+fn run_supervised<R>(
     policy: SweepPolicy,
-    index: usize,
-    chip: &mut ChipUnderTest,
-    f: &(impl Fn(usize, &mut ChipUnderTest) -> R + Sync),
+    mut attempt: impl FnMut() -> R,
 ) -> (SweepOutcome<R>, u32, u64) {
     let mut retries = 0u32;
     let mut backoff_ns = 0u64;
+    // Workers still claim every queued unit after a cancellation; the
+    // pre-check turns the remainder into `Cancelled` outcomes without
+    // starting any measurement, bounding the shutdown grace period.
+    if let Some(reason) = supervisor::is_cancelled() {
+        supervisor::record_cancelled();
+        return (SweepOutcome::Cancelled(reason), retries, backoff_ns);
+    }
     loop {
-        match catch_quiet(|| f(index, chip)) {
-            Ok(r) => return (SweepOutcome::Done(r), retries, backoff_ns),
+        match catch_quiet(&mut attempt) {
+            Ok(r) => {
+                supervisor::complete_unit();
+                return (SweepOutcome::Done(r), retries, backoff_ns);
+            }
             Err(payload) => {
+                let payload = match payload.downcast::<Cancelled>() {
+                    Ok(cancelled) => {
+                        supervisor::record_cancelled();
+                        return (
+                            SweepOutcome::Cancelled(cancelled.reason),
+                            retries,
+                            backoff_ns,
+                        );
+                    }
+                    Err(payload) => payload,
+                };
                 let (transient, message) = classify_payload(payload);
                 if transient && retries < policy.max_retries {
                     // Exponential virtual backoff: recorded, not slept (see
@@ -544,7 +607,18 @@ where
     F: Fn(usize, &mut ChipUnderTest) -> R + Sync,
 {
     let labels: Vec<String> = chips.iter().map(ChipUnderTest::label).collect();
-    let raw = sweep(threads, chips, |i, chip| run_isolated(policy, i, chip, &f));
+    let raw = sweep(threads, chips, |i, chip| {
+        run_supervised(policy, || f(i, &mut *chip))
+    });
+    collate_outcomes(labels, raw)
+}
+
+/// Zips raw `(outcome, retries, backoff)` rows with their labels into the
+/// caller-facing `(outcomes, report)` pair.
+fn collate_outcomes<R>(
+    labels: Vec<String>,
+    raw: Vec<(SweepOutcome<R>, u32, u64)>,
+) -> (Vec<SweepOutcome<R>>, SweepReport) {
     let mut outcomes = Vec::with_capacity(raw.len());
     let mut status = Vec::with_capacity(raw.len());
     for (label, (outcome, retries, backoff_ns)) in labels.into_iter().zip(raw) {
@@ -553,6 +627,7 @@ where
             retries,
             backoff_ns,
             quarantined: outcome.quarantine().map(|e| e.to_string()),
+            cancelled: outcome.cancelled(),
         });
         outcomes.push(outcome);
     }
@@ -577,40 +652,9 @@ where
 {
     assert_eq!(labels.len(), items.len(), "one label per item");
     let raw = sweep_items(threads, items, |i, item| {
-        let mut retries = 0u32;
-        let mut backoff_ns = 0u64;
-        loop {
-            match catch_quiet(|| f(i, item)) {
-                Ok(r) => return (SweepOutcome::Done(r), retries, backoff_ns),
-                Err(payload) => {
-                    let (transient, message) = classify_payload(payload);
-                    if transient && retries < policy.max_retries {
-                        backoff_ns += BACKOFF_BASE_NS << retries;
-                        retries += 1;
-                        continue;
-                    }
-                    let error = SweepError {
-                        transient,
-                        message,
-                        attempts: retries + 1,
-                    };
-                    return (SweepOutcome::Quarantined(error), retries, backoff_ns);
-                }
-            }
-        }
+        run_supervised(policy, || f(i, &mut *item))
     });
-    let mut outcomes = Vec::with_capacity(raw.len());
-    let mut status = Vec::with_capacity(raw.len());
-    for (label, (outcome, retries, backoff_ns)) in labels.into_iter().zip(raw) {
-        status.push(ChipStatus {
-            label,
-            retries,
-            backoff_ns,
-            quarantined: outcome.quarantine().map(|e| e.to_string()),
-        });
-        outcomes.push(outcome);
-    }
-    (outcomes, SweepReport { chips: status })
+    collate_outcomes(labels, raw)
 }
 
 #[cfg(test)]
@@ -835,6 +879,7 @@ mod tests {
                 retries: 1,
                 backoff_ns: BACKOFF_BASE_NS,
                 quarantined: None,
+                cancelled: None,
             }],
         };
         total.absorb(&SweepReport {
@@ -844,12 +889,14 @@ mod tests {
                     retries: 2,
                     backoff_ns: 3 * BACKOFF_BASE_NS,
                     quarantined: Some("injected fault: chip_dead".to_string()),
+                    cancelled: None,
                 },
                 ChipStatus {
                     label: "b".to_string(),
                     retries: 0,
                     backoff_ns: 0,
                     quarantined: None,
+                    cancelled: Some(CancelReason::Interrupted),
                 },
             ],
         });
@@ -859,5 +906,52 @@ mod tests {
         assert!(total.chips[0].quarantined.is_some());
         assert_eq!(total.retries(), 3);
         assert_eq!(total.quarantined(), 1);
+        assert_eq!(total.cancelled(), 1);
+        assert!(!total.is_clean());
+    }
+
+    #[test]
+    fn cancelled_unwinds_become_cancelled_outcomes_not_quarantines() {
+        // No supervisor is installed here: the Cancelled payload is raised
+        // directly by the closure, exercising the sweep engine's payload
+        // handling without touching process-global supervisor state (which
+        // would race with concurrently running tests).
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let (outcomes, report) = sweep_items_isolated(
+            1,
+            SweepPolicy::default(),
+            labels,
+            vec![0usize, 1],
+            |_, v: &mut usize| {
+                if *v == 1 {
+                    std::panic::panic_any(Cancelled {
+                        reason: CancelReason::DeadlineExpired,
+                    });
+                }
+                *v
+            },
+        );
+        assert_eq!(outcomes[0].as_ok(), Some(&0));
+        assert_eq!(
+            outcomes[1].cancelled(),
+            Some(CancelReason::DeadlineExpired),
+            "cancellation is not a fault"
+        );
+        assert!(outcomes[1].quarantine().is_none());
+        // Never retried: a cancelled unit costs no retry budget or backoff.
+        assert_eq!(report.chips[1].retries, 0);
+        assert_eq!(report.chips[1].backoff_ns, 0);
+        assert_eq!(report.cancelled(), 1);
+        let footer = report.footer_lines();
+        assert!(
+            footer.iter().any(|l| l == "CANCELLED b: deadline expired"),
+            "{footer:?}"
+        );
+        assert!(
+            footer
+                .iter()
+                .any(|l| l.contains("1 unit(s) cancelled before completion")),
+            "{footer:?}"
+        );
     }
 }

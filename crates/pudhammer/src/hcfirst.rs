@@ -188,6 +188,9 @@ fn search_once(
     let mut iterations = 0u64;
     let (result, bracket) = 'search: {
         let mut check = |count: u64| -> bool {
+            // One trial is the cancellation grace unit: a cancelled search
+            // unwinds before the next (expensive) hammer sequence.
+            crate::fleet::supervisor::poll_cancel();
             iterations += 1;
             prepare(exec, bank, kernel, victim, aggressor_dp, victim_dp);
             let report = exec.run(&kernel.program(bank, count));
@@ -242,11 +245,20 @@ pub fn prepare(
     victim_dp: DataPattern,
 ) {
     exec.quiesce();
-    let aggressors = kernel.aggressors();
-    let aggressor_phys: Vec<RowAddr> = aggressors
-        .iter()
-        .map(|&a| exec.chip().to_physical(a))
-        .collect();
+    // The rows the kernel actually opens: a SiMRA kernel activates its
+    // full decoded member group, not just the two encoded addresses.
+    // Every opened row charge-shares its contents, so the whole group
+    // must start from the aggressor pattern — stale data left in the
+    // undecoded members by an earlier trial would otherwise couple
+    // measurements to device history.
+    let aggressor_phys: Vec<RowAddr> = crate::patterns::simra_members(exec.chip(), kernel)
+        .unwrap_or_else(|| {
+            kernel
+                .aggressors()
+                .iter()
+                .map(|&a| exec.chip().to_physical(a))
+                .collect()
+        });
     let rows_per_bank = exec.chip().geometry().rows_per_bank();
     for delta in -2i64..=2 {
         let Some(row) = victim.offset(delta) else {
@@ -258,8 +270,9 @@ pub fn prepare(
         let logical = exec.chip().to_logical(row);
         exec.write_row(bank, logical, victim_dp);
     }
-    for &a in &aggressors {
-        exec.write_row(bank, a, aggressor_dp);
+    for &a in &aggressor_phys {
+        let logical = exec.chip().to_logical(a);
+        exec.write_row(bank, logical, aggressor_dp);
     }
 }
 

@@ -14,7 +14,10 @@
 //! - [`rev_eng`] — reverse engineering of subarray boundaries, physical
 //!   row adjacency, and SiMRA row groups (§3.2, §5.2);
 //! - [`fleet`] — the simulated 40-module / 316-chip test fleet, with a
-//!   deterministic work-stealing parallel sweep engine ([`fleet::sweep`]);
+//!   deterministic work-stealing parallel sweep engine ([`fleet::sweep`]),
+//!   per-driver checkpoint/resume ([`fleet::checkpoint`]), and a campaign
+//!   supervisor for deadlines and cooperative cancellation
+//!   ([`fleet::supervisor`]);
 //! - [`experiments`] — one function per table/figure of the paper;
 //! - [`stats`] / [`report`] — distribution summaries and text rendering.
 //!

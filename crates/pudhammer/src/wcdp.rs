@@ -40,6 +40,9 @@ pub fn find_wcdp(
     };
     let mut warm = WarmStart::new();
     for dp in DataPattern::TESTED {
+        // Poll between per-pattern searches so a cancelled WCDP sweep
+        // unwinds without starting the next full HC_first search.
+        crate::fleet::supervisor::poll_cancel();
         let hc = measure_hc_first_warm(
             exec,
             bank,

@@ -5,7 +5,8 @@
 //! ```text
 //! repro <target> [--full] [--threads <n>] [--metrics] [--trace-out <path>] [--quiet]
 //!                [--fault-seed <u64>] [--max-retries <n>] [--checkpoint <path>]
-//! repro all [--full] [--threads <n>] [--metrics] [--trace-out <path>] [--quiet]
+//!                [--deadline <secs>] [--deadline-units <n>] [--strict]
+//! repro all [...same flags...]
 //! repro list
 //! ```
 //!
@@ -33,9 +34,25 @@
 //!   and reported in a footer under the affected tables;
 //! - `--max-retries <n>` sets the per-chip transient retry budget
 //!   (default 3);
-//! - `--checkpoint <path>` appends each completed family to a JSONL
-//!   checkpoint and, on a re-run against the same file, skips families
-//!   already recorded (currently supported for `table2`).
+//! - `--checkpoint <path>` appends each completed unit (chip, family, or
+//!   technique) to a JSONL checkpoint and, on a re-run against the same
+//!   file, replays units already recorded instead of re-measuring them.
+//!   Supported for every experiment target and `all`; `fig25` (the
+//!   memory-system simulation, which has no per-chip units) rejects it.
+//!
+//! Campaign supervision (see `pudhammer::fleet::supervisor`):
+//!
+//! - SIGINT/SIGTERM cancel the campaign cooperatively: in-flight chips are
+//!   abandoned, completed units stay checkpointed, a partial report is
+//!   printed, and a completeness footer goes to stderr;
+//! - `--deadline <secs>` bounds the campaign by wall-clock time;
+//!   `--deadline-units <n>` bounds it by completed units (a deterministic,
+//!   virtual-time deadline useful in tests);
+//! - `--strict` maps the campaign outcome to documented exit codes:
+//!   `0` clean, `1` usage/I-O error, `10` at least one chip quarantined,
+//!   `20` deadline expired, `30` interrupted (highest applicable wins).
+//!   Without `--strict` those campaign outcomes still exit `0`;
+//!   checkpoint write failures exit `1` regardless.
 //!
 //! `repro all` additionally prints one JSON run-metadata line summarizing
 //! the run (targets, elapsed time, key counters; fault-injection counters
@@ -45,11 +62,13 @@ use std::env;
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use pud_bender::fault::FaultConfig;
 use pudhammer::experiments::{self, Scale};
-use pudhammer::fleet::checkpoint::{CheckpointError, CheckpointHeader, CheckpointStore};
+use pudhammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore};
+use pudhammer::fleet::supervisor::{self, CancelReason, CancelToken};
 use pudhammer::report;
 
 const TARGETS: [&str; 21] = [
@@ -57,15 +76,55 @@ const TARGETS: [&str; 21] = [
     "fig15", "fig16", "fig17", "fig18", "fig19", "fig21", "fig22", "fig23", "fig24", "fig25",
 ];
 
+/// Set by the SIGINT/SIGTERM handler; the supervisor token polls it at
+/// every cancellation point.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod signals {
+    //! Minimal libc-free signal hookup. The handler only flips an atomic
+    //! (the only async-signal-safe thing it could do); everything else —
+    //! abandoning in-flight chips, flushing the checkpoint, rendering the
+    //! partial report — happens at the next cooperative poll.
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn handle(_sig: i32) {
+        super::INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        let handler = handle as extern "C" fn(i32);
+        unsafe {
+            signal(SIGINT, handler as usize);
+            signal(SIGTERM, handler as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+}
+
 struct Options {
     full: bool,
     metrics: bool,
     quiet: bool,
+    strict: bool,
     threads: usize,
     trace_out: Option<String>,
     fault_seed: Option<u64>,
     max_retries: Option<u32>,
     checkpoint: Option<String>,
+    deadline: Option<f64>,
+    deadline_units: Option<u64>,
     target: Option<String>,
 }
 
@@ -73,7 +132,7 @@ fn usage() {
     eprintln!(
         "usage: repro <target|all|list> [--full] [--threads <n>] [--metrics] \
          [--trace-out <path>] [--quiet] [--fault-seed <u64>] [--max-retries <n>] \
-         [--checkpoint <path>]"
+         [--checkpoint <path>] [--deadline <secs>] [--deadline-units <n>] [--strict]"
     );
     eprintln!("targets: {}", TARGETS.join(", "));
 }
@@ -83,11 +142,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         full: false,
         metrics: false,
         quiet: false,
+        strict: false,
         threads: 0,
         trace_out: None,
         fault_seed: None,
         max_retries: None,
         checkpoint: None,
+        deadline: None,
+        deadline_units: None,
         target: None,
     };
     let mut it = args.iter();
@@ -96,6 +158,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--full" => opts.full = true,
             "--metrics" => opts.metrics = true,
             "--quiet" => opts.quiet = true,
+            "--strict" => opts.strict = true,
             "--threads" => {
                 let n = it
                     .next()
@@ -129,6 +192,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--checkpoint requires a path".to_string());
                 };
                 opts.checkpoint = Some(path.clone());
+            }
+            "--deadline" => {
+                let secs = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|s| s.is_finite() && *s > 0.0);
+                let Some(secs) = secs else {
+                    return Err("--deadline requires a positive number of seconds".to_string());
+                };
+                opts.deadline = Some(secs);
+            }
+            "--deadline-units" => {
+                let units = it
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n > 0);
+                let Some(units) = units else {
+                    return Err("--deadline-units requires a positive integer".to_string());
+                };
+                opts.deadline_units = Some(units);
             }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
@@ -190,9 +273,23 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
+            usage();
             return ExitCode::FAILURE;
         }
     };
+    // The supervisor is always on: SIGINT/SIGTERM cancel cooperatively
+    // even without a deadline, and the `supervisor.*` counters feed the
+    // campaign footer. The kept clone answers "was this run cut short?"
+    // after the guard drops.
+    signals::install();
+    let mut token = CancelToken::new().with_interrupt_flag(&INTERRUPTED);
+    if let Some(secs) = opts.deadline {
+        token = token.with_deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(units) = opts.deadline_units {
+        token = token.with_unit_budget(units);
+    }
+    let supervisor_guard = supervisor::install(token.clone());
     let started = Instant::now();
     let mut ran: Vec<&str> = Vec::new();
     match target.as_str() {
@@ -203,7 +300,10 @@ fn main() -> ExitCode {
         }
         "all" => {
             for t in TARGETS {
-                run_target(t, &scale, &opts, None);
+                if supervisor::is_cancelled().is_some() {
+                    break;
+                }
+                run_target(t, &scale, &opts, ckpt.as_ref());
                 ran.push(t);
             }
         }
@@ -217,6 +317,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    drop(supervisor_guard);
     pud_observe::flush_global();
     if target == "all" {
         println!(
@@ -224,8 +325,61 @@ fn main() -> ExitCode {
             run_metadata(&ran, &scale, opts.full, started.elapsed())
         );
     }
+    let snap = pud_observe::snapshot();
+    campaign_footer(&snap, &token);
     if opts.metrics {
-        eprint!("{}", report::metrics_table(&pud_observe::snapshot()));
+        eprint!("{}", report::metrics_table(&snap));
+    }
+    // A checkpoint that could not be written means a "resumable" run that
+    // silently would not resume — a hard failure even without --strict.
+    if let Some(store) = &ckpt {
+        if let Some(e) = store.take_write_error() {
+            eprintln!("error: checkpoint write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    exit_code(&opts, &snap, &token)
+}
+
+/// The campaign completeness footer (stderr, so result tables on stdout
+/// stay byte-identical): how many supervised units completed, how many of
+/// those were replayed from a checkpoint, how many were abandoned by a
+/// cancellation, and why the campaign was cut short (if it was). Clean
+/// uncheckpointed runs print nothing — the footer appears only when a
+/// resume or a cancellation made the campaign's history non-trivial.
+fn campaign_footer(snap: &pud_observe::Snapshot, token: &CancelToken) {
+    let completed = snap.counter("supervisor.completed").unwrap_or(0);
+    let resumed = snap.counter("supervisor.resumed").unwrap_or(0);
+    let cancelled = snap.counter("supervisor.cancelled").unwrap_or(0);
+    if resumed + cancelled == 0 && token.latched().is_none() {
+        return;
+    }
+    let mut line = format!(
+        "campaign: {completed} unit(s) completed ({resumed} resumed from checkpoint), \
+         {cancelled} cancelled"
+    );
+    if let Some(reason) = token.latched() {
+        line.push_str(&format!(" — {reason}"));
+    }
+    eprintln!("{line}");
+}
+
+/// Maps the campaign outcome to the documented `--strict` exit codes
+/// (interrupted=30 > deadline=20 > quarantined=10 > clean=0). Without
+/// `--strict` every completed campaign exits 0.
+fn exit_code(opts: &Options, snap: &pud_observe::Snapshot, token: &CancelToken) -> ExitCode {
+    if !opts.strict {
+        return ExitCode::SUCCESS;
+    }
+    let latched = token.latched();
+    if INTERRUPTED.load(Ordering::SeqCst) || latched == Some(CancelReason::Interrupted) {
+        return ExitCode::from(30);
+    }
+    if latched == Some(CancelReason::DeadlineExpired) {
+        return ExitCode::from(20);
+    }
+    if snap.counter("sweep.quarantined").unwrap_or(0) > 0 {
+        return ExitCode::from(10);
     }
     ExitCode::SUCCESS
 }
@@ -299,19 +453,22 @@ fn run_target(target: &str, scale: &Scale, opts: &Options, ckpt: Option<&Checkpo
     }
 }
 
-/// Opens the `--checkpoint` store for targets that support one (`table2`).
-/// Other targets get a note on stderr and run checkpoint-free.
+/// Opens the `--checkpoint` store. Every experiment target (and `all`)
+/// supports one; `fig25` and `list` are hard usage errors.
 fn open_checkpoint(
     opts: &Options,
     target: &str,
     scale: &Scale,
-) -> Result<Option<CheckpointStore>, CheckpointError> {
+) -> Result<Option<CheckpointStore>, String> {
     let Some(path) = &opts.checkpoint else {
         return Ok(None);
     };
-    if target != "table2" {
-        eprintln!("note: --checkpoint currently supports only table2; ignoring it for {target}");
-        return Ok(None);
+    let supported = target == "all" || (TARGETS.contains(&target) && target != "fig25");
+    if !supported {
+        return Err(format!(
+            "--checkpoint is not supported for {target} \
+             (supported: all and every experiment target except fig25)"
+        ));
     }
     let header = CheckpointHeader {
         target: target.to_string(),
@@ -319,10 +476,11 @@ fn open_checkpoint(
         fingerprint: scale.fleet.fingerprint(),
         fault_seed: scale.fleet.fault.map(|f| f.seed),
     };
-    let store = CheckpointStore::open(std::path::Path::new(path), header)?;
+    let store =
+        CheckpointStore::open(std::path::Path::new(path), header).map_err(|e| e.to_string())?;
     if store.recovered() > 0 {
         eprintln!(
-            "checkpoint: resuming {} completed family row(s) from {path}",
+            "checkpoint: resuming {} completed unit(s) from {path}",
             store.recovered()
         );
     }
@@ -337,25 +495,25 @@ fn render_target(
 ) -> String {
     match target {
         "table2" => experiments::table2::table2_ckpt(scale, ckpt).to_string(),
-        "fig4" => experiments::comra::fig4(scale).to_string(),
-        "fig5" => experiments::comra::fig5(scale).to_string(),
-        "fig6" => experiments::comra::fig6(scale).to_string(),
-        "fig7" => experiments::comra::fig7(scale).to_string(),
-        "fig8" => experiments::comra::fig8(scale).to_string(),
-        "fig9" => experiments::comra::fig9(scale).to_string(),
-        "fig10" => experiments::comra::fig10(scale).to_string(),
-        "fig11" => experiments::comra::fig11(scale).to_string(),
-        "fig13" => experiments::simra::fig13(scale).to_string(),
-        "fig14" => experiments::simra::fig14(scale).to_string(),
-        "fig15" => experiments::simra::fig15(scale).to_string(),
-        "fig16" => experiments::simra::fig16(scale).to_string(),
-        "fig17" => experiments::simra::fig17(scale).to_string(),
-        "fig18" => experiments::simra::fig18(scale).to_string(),
-        "fig19" => experiments::simra::fig19(scale).to_string(),
-        "fig21" => experiments::combined::fig21(scale).to_string(),
-        "fig22" => experiments::combined::fig22(scale).to_string(),
-        "fig23" => experiments::combined::fig23(scale).to_string(),
-        "fig24" => experiments::trr_eval::fig24(scale).to_string(),
+        "fig4" => experiments::comra::fig4_ckpt(scale, ckpt).to_string(),
+        "fig5" => experiments::comra::fig5_ckpt(scale, ckpt).to_string(),
+        "fig6" => experiments::comra::fig6_ckpt(scale, ckpt).to_string(),
+        "fig7" => experiments::comra::fig7_ckpt(scale, ckpt).to_string(),
+        "fig8" => experiments::comra::fig8_ckpt(scale, ckpt).to_string(),
+        "fig9" => experiments::comra::fig9_ckpt(scale, ckpt).to_string(),
+        "fig10" => experiments::comra::fig10_ckpt(scale, ckpt).to_string(),
+        "fig11" => experiments::comra::fig11_ckpt(scale, ckpt).to_string(),
+        "fig13" => experiments::simra::fig13_ckpt(scale, ckpt).to_string(),
+        "fig14" => experiments::simra::fig14_ckpt(scale, ckpt).to_string(),
+        "fig15" => experiments::simra::fig15_ckpt(scale, ckpt).to_string(),
+        "fig16" => experiments::simra::fig16_ckpt(scale, ckpt).to_string(),
+        "fig17" => experiments::simra::fig17_ckpt(scale, ckpt).to_string(),
+        "fig18" => experiments::simra::fig18_ckpt(scale, ckpt).to_string(),
+        "fig19" => experiments::simra::fig19_ckpt(scale, ckpt).to_string(),
+        "fig21" => experiments::combined::fig21_ckpt(scale, ckpt).to_string(),
+        "fig22" => experiments::combined::fig22_ckpt(scale, ckpt).to_string(),
+        "fig23" => experiments::combined::fig23_ckpt(scale, ckpt).to_string(),
+        "fig24" => experiments::trr_eval::fig24_ckpt(scale, ckpt).to_string(),
         "fig25" => {
             let cfg = if full {
                 pud_memsim::Fig25Config::full()

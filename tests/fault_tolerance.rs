@@ -1,14 +1,16 @@
 //! Fault-tolerant campaign behavior end to end: the curated fault seed
-//! quarantines exactly one family and retries two, checkpointed runs
-//! resume byte-identically after a mid-fleet kill, and mismatched
-//! checkpoints are rejected.
+//! quarantines exactly one family and retries two, checkpointed runs of
+//! every driver resume byte-identically after a mid-fleet kill, an
+//! expired deadline flushes a resumable checkpoint alongside the partial
+//! report, and mismatched checkpoints are rejected.
 
 use std::path::PathBuf;
 use std::sync::Mutex;
 
 use pudhammer_suite::bender::fault::FaultConfig;
-use pudhammer_suite::hammer::experiments::{table2, Scale};
+use pudhammer_suite::hammer::experiments::{combined, comra, simra, table2, trr_eval, Scale};
 use pudhammer_suite::hammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore};
+use pudhammer_suite::hammer::fleet::supervisor::{self, CancelReason, CancelToken};
 
 /// Tests in this binary read the process-global metrics registry, so they
 /// must not overlap.
@@ -133,6 +135,132 @@ fn checkpoint_resume_is_byte_identical_after_a_mid_fleet_kill() {
     assert_eq!(store.recovered(), 14);
     let replayed = table2::table2_ckpt(&scale, Some(&store)).to_string();
     assert_eq!(reference, replayed);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The generic kill-and-resume check behind the per-driver tests below:
+/// run the driver once checkpointed (the reference), simulate a mid-run
+/// kill by keeping the header plus roughly half the completed records
+/// (with a torn trailing write), then resume against the truncated file
+/// and require the rendered report to match byte for byte.
+fn kill_and_resume_case(
+    name: &str,
+    scale: &Scale,
+    target: &str,
+    render: impl Fn(&Scale, Option<&CheckpointStore>) -> String,
+) {
+    let header = || CheckpointHeader {
+        target: target.to_string(),
+        scale: "quick".to_string(),
+        fingerprint: scale.fleet.fingerprint(),
+        fault_seed: None,
+    };
+    let path = temp_path(name);
+    let _ = std::fs::remove_file(&path);
+
+    let store = CheckpointStore::open(&path, header()).expect("create");
+    let reference = render(scale, Some(&store));
+    drop(store);
+
+    let content = std::fs::read_to_string(&path).expect("read checkpoint");
+    let lines: Vec<&str> = content.split_inclusive('\n').collect();
+    assert!(lines.len() > 2, "{name}: checkpoint must hold several rows");
+    let keep = 1 + (lines.len() - 1) / 2;
+    let mut truncated: String = lines[..keep].concat();
+    truncated.push_str(&lines[keep][..lines[keep].len() / 2]);
+    std::fs::write(&path, &truncated).expect("truncate");
+
+    let store = CheckpointStore::open(&path, header()).expect("reopen");
+    assert_eq!(
+        store.recovered(),
+        keep - 1,
+        "{name}: the torn trailing row must be dropped"
+    );
+    let resumed = render(scale, Some(&store));
+    assert_eq!(reference, resumed, "{name}: resume must be byte-identical");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fig4_resumes_byte_identically_and_matches_the_uncheckpointed_run() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let scale = tiny_scale();
+    // The checkpoint codec must be invisible: a checkpointed run renders
+    // the same bytes as a checkpoint-free one (bit-exact f64 round-trip).
+    let plain = comra::fig4(&scale).to_string();
+    kill_and_resume_case("fig4", &scale, "fig4", |s, c| {
+        let rendered = comra::fig4_ckpt(s, c).to_string();
+        assert_eq!(plain, rendered, "checkpointing must not change output");
+        rendered
+    });
+}
+
+#[test]
+fn fig16_resumes_byte_identically() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let scale = tiny_scale();
+    kill_and_resume_case("fig16", &scale, "fig16", |s, c| {
+        simra::fig16_ckpt(s, c).to_string()
+    });
+}
+
+#[test]
+fn fig21_resumes_byte_identically() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let scale = tiny_scale();
+    kill_and_resume_case("fig21", &scale, "fig21", |s, c| {
+        combined::fig21_ckpt(s, c).to_string()
+    });
+}
+
+#[test]
+fn fig24_resumes_byte_identically() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut scale = tiny_scale();
+    scale.trr_hammers = 60_000;
+    kill_and_resume_case("fig24", &scale, "fig24", |s, c| {
+        trr_eval::fig24_ckpt(s, c).to_string()
+    });
+}
+
+#[test]
+fn deadline_expiry_renders_a_partial_report_and_resumes_to_completion() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut scale = tiny_scale();
+    // One worker makes the unit budget expire at a deterministic point.
+    scale.threads = 1;
+    let header = || CheckpointHeader {
+        target: "fig4".to_string(),
+        scale: "quick".to_string(),
+        fingerprint: scale.fleet.fingerprint(),
+        fault_seed: None,
+    };
+    let path = temp_path("deadline");
+    let _ = std::fs::remove_file(&path);
+    let reference = comra::fig4(&scale).to_string();
+
+    // Budgeted run: the virtual-time deadline expires after two chips.
+    let store = CheckpointStore::open(&path, header()).expect("create");
+    let token = CancelToken::new().with_unit_budget(2);
+    let supervisor_guard = supervisor::install(token.clone());
+    let partial = comra::fig4_ckpt(&scale, Some(&store)).to_string();
+    drop(supervisor_guard);
+    assert_eq!(token.latched(), Some(CancelReason::DeadlineExpired));
+    assert_eq!(token.units_done(), 2);
+    // The partial report says what was cut and why instead of panicking.
+    assert!(partial.contains("CANCELLED"), "{partial}");
+    assert!(partial.contains("deadline expired"), "{partial}");
+    assert!(partial.contains("cancelled before completion"), "{partial}");
+    assert!(store.take_write_error().is_none());
+    drop(store);
+
+    // Both completed chips were flushed before the campaign wound down.
+    let store = CheckpointStore::open(&path, header()).expect("reopen");
+    assert_eq!(store.recovered(), 2);
+    // Resuming without a budget completes the campaign byte-identically
+    // to an uninterrupted, checkpoint-free run.
+    let resumed = comra::fig4_ckpt(&scale, Some(&store)).to_string();
+    assert_eq!(reference, resumed);
     let _ = std::fs::remove_file(&path);
 }
 
