@@ -105,6 +105,21 @@ fn bench_fleet_sweep_serial_vs_parallel() {
         serial / parallel,
         hits as f64 / total as f64 * 100.0,
     );
+    // One combined trajectory record so the serial-vs-parallel comparison
+    // survives as a single row (the per-run records above carry the full
+    // percentile detail).
+    let record = pud_bench::perf::PerfRecord::from_samples(
+        &pud_bench::perf::current_group(),
+        "fleet_sweep_serial_vs_parallel",
+        &[serial, parallel],
+    )
+    .threads(4)
+    .counter("serial_ns", serial)
+    .counter("parallel4_ns", parallel)
+    .counter("speedup", serial / parallel)
+    .counter("warm_hit_rate", hits as f64 / total as f64)
+    .counter("cores", cores as f64);
+    pud_bench::perf::append(&record);
 }
 
 fn bench_memsim_slice() {

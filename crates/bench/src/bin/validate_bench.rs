@@ -1,0 +1,60 @@
+//! Validates `BENCH_<n>.json` perf-trajectory files (see
+//! `pud_bench::perf`): schema marker, required keys, strictly increasing
+//! record ids.
+//!
+//! Usage: `validate-bench [FILE ...]` — with no arguments it validates
+//! every `BENCH_<n>.json` in the resolved bench directory (`PUD_BENCH_DIR`
+//! or the repository root) and fails when there is none to check. Exits 0
+//! when every file is valid, 1 otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pud_bench::perf;
+
+fn discover() -> Vec<PathBuf> {
+    let Some(dir) = perf::bench_dir() else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| {
+                    name.strip_prefix("BENCH_")
+                        .and_then(|rest| rest.strip_suffix(".json"))
+                        .is_some_and(|n| n.parse::<u64>().is_ok())
+                })
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let files = if args.is_empty() { discover() } else { args };
+    if files.is_empty() {
+        eprintln!("validate-bench: no BENCH_<n>.json trajectory files found");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for file in &files {
+        match perf::validate_file(file) {
+            Ok(records) => println!("{}: {records} valid record(s)", file.display()),
+            Err(err) => {
+                eprintln!("validate-bench: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -3,9 +3,16 @@
 //! Every bench target regenerates one table or figure of the paper (run
 //! `cargo bench -p pud-bench` to print them all). Set `PUD_BENCH_FULL=1`
 //! for paper-density runs.
+//!
+//! Both runners append a schema-versioned record to the repository's
+//! `BENCH_<n>.json` performance trajectory (see [`perf`]), so every bench
+//! run extends the historical curve future optimisation PRs are judged
+//! against.
 
 use std::fmt::Display;
 use std::time::Instant;
+
+pub mod perf;
 
 use pudhammer::experiments::Scale;
 
@@ -19,36 +26,50 @@ pub fn bench_scale() -> Scale {
     }
 }
 
-/// Runs one experiment, printing its result and wall-clock time.
+/// Runs one experiment, printing its result and wall-clock time, and
+/// appending a single-sample record to the perf trajectory.
 pub fn run_experiment<T: Display>(name: &str, f: impl FnOnce() -> T) {
     let start = Instant::now();
     let result = f();
     let elapsed = start.elapsed();
     println!("{result}");
     println!("[{name}] regenerated in {:.2?}\n", elapsed);
+    let record =
+        perf::PerfRecord::from_samples(&perf::current_group(), name, &[elapsed.as_nanos() as f64]);
+    perf::append(&record);
 }
 
 /// Times `f` for `samples` samples of `inner` iterations each, after one
 /// warm-up sample. Per-iteration nanoseconds go into the global histogram
-/// `bench.<name>` (so `--metrics`-style consumers see them) and a summary
-/// line is printed. Returns the mean ns/iteration.
+/// `bench.<name>` (so `--metrics`-style consumers see them) and into the
+/// perf trajectory with exact percentiles, and a summary line is printed.
+/// Returns the mean ns/iteration.
 pub fn run_micro<T>(name: &str, samples: u64, inner: u64, mut f: impl FnMut() -> T) -> f64 {
     let inner = inner.max(1);
     for _ in 0..inner {
         std::hint::black_box(f());
     }
+    // One handle for the whole sample loop; each sample records the f64
+    // per-iteration time (total ns divided in float — the old integer
+    // division truncated sub-`inner` samples toward 0 ns).
     let hist = pud_observe::histogram(&format!("bench.{name}"));
+    let mut per_iter = Vec::with_capacity(samples as usize);
     for _ in 0..samples {
         let start = Instant::now();
         for _ in 0..inner {
             std::hint::black_box(f());
         }
-        hist.record(start.elapsed().as_nanos() as u64 / u128::from(inner) as u64);
+        let ns = start.elapsed().as_nanos() as f64 / inner as f64;
+        per_iter.push(ns);
+        hist.record(ns.round() as u64);
     }
-    let snap = hist.snapshot();
+    let record = perf::PerfRecord::from_samples(&perf::current_group(), name, &per_iter);
     println!(
-        "[{name}] {samples} samples x {inner} iters: mean {:.0} ns/iter (min {}, p50<={}, max {})",
-        snap.mean, snap.min, snap.p50, snap.max
+        "[{name}] {samples} samples x {inner} iters: mean {:.0} ns/iter \
+         (min {:.0}, p50 {:.0}, p90 {:.0}, p99 {:.0}, max {:.0})",
+        record.mean_ns, record.min_ns, record.p50_ns, record.p90_ns, record.p99_ns, record.max_ns
     );
-    snap.mean
+    let mean = record.mean_ns;
+    perf::append(&record);
+    mean
 }

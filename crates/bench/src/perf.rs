@@ -1,0 +1,427 @@
+//! Perf-trajectory harness: schema-versioned benchmark records appended to
+//! `BENCH_<n>.json` at the repository root.
+//!
+//! Every `run_micro`/`run_experiment` call appends one JSON-lines record,
+//! so re-running the quick benches over the life of the repository grows a
+//! machine-readable performance trajectory — the evidence base for
+//! ROADMAP's ≥10× executor-throughput goal. Records carry exact
+//! percentiles computed from the raw per-sample values (not the
+//! log-bucket histogram upper bounds), the bench group and name, thread
+//! count, scale, a unix timestamp, and free-form numeric counters.
+//!
+//! File discovery: the records land in the highest-numbered existing
+//! `BENCH_<n>.json` in the repository root (`BENCH_1.json` is created when
+//! none exists). A future PR that wants a fresh epoch — say, after the
+//! compiled-stream executor lands — starts `BENCH_2.json` by hand and new
+//! records follow it. Set `PUD_BENCH_DIR` to redirect the output (tests
+//! and CI sandboxes).
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pud_observe::json::{JsonObject, JsonValue};
+
+/// Schema identifier stamped into every record.
+pub const SCHEMA: &str = "pud-bench-v1";
+
+/// Environment variable redirecting where `BENCH_<n>.json` is looked up
+/// and written (defaults to the repository root).
+pub const BENCH_DIR_ENV: &str = "PUD_BENCH_DIR";
+
+/// One benchmark observation, serialized as a single JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfRecord {
+    /// Bench group (the bench target, e.g. `micro_kernels`).
+    pub group: String,
+    /// Bench name within the group.
+    pub bench: String,
+    /// Mean ns per iteration.
+    pub mean_ns: f64,
+    /// Exact 50th percentile of the per-sample values.
+    pub p50_ns: f64,
+    /// Exact 90th percentile of the per-sample values.
+    pub p90_ns: f64,
+    /// Exact 99th percentile of the per-sample values.
+    pub p99_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of timed samples behind the statistics.
+    pub samples: u64,
+    /// Worker threads the benched code ran with.
+    pub threads: u64,
+    /// Scale the bench ran at (`quick` or `full`).
+    pub scale: String,
+    /// Free-form numeric context (speedups, hit rates, work counts).
+    pub counters: Vec<(String, f64)>,
+}
+
+impl PerfRecord {
+    /// Builds a record from raw per-sample nanosecond values, computing
+    /// exact percentiles (nearest-rank on the sorted samples).
+    pub fn from_samples(group: &str, bench: &str, samples_ns: &[f64]) -> PerfRecord {
+        let mut sorted: Vec<f64> = samples_ns
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let mean = if n > 0 {
+            sorted.iter().sum::<f64>() / n as f64
+        } else {
+            0.0
+        };
+        PerfRecord {
+            group: group.to_string(),
+            bench: bench.to_string(),
+            mean_ns: mean,
+            p50_ns: percentile(&sorted, 50.0),
+            p90_ns: percentile(&sorted, 90.0),
+            p99_ns: percentile(&sorted, 99.0),
+            min_ns: sorted.first().copied().unwrap_or(0.0),
+            max_ns: sorted.last().copied().unwrap_or(0.0),
+            samples: n as u64,
+            threads: 1,
+            scale: scale_label(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Sets the thread count (builder-style).
+    pub fn threads(mut self, threads: u64) -> PerfRecord {
+        self.threads = threads;
+        self
+    }
+
+    /// Adds one context counter (builder-style).
+    pub fn counter(mut self, name: &str, value: f64) -> PerfRecord {
+        self.counters.push((name.to_string(), value));
+        self
+    }
+
+    /// Serializes the record as one JSON object with `id` and timestamp
+    /// stamped in.
+    pub fn to_json_line(&self, id: u64, unix_ts: u64) -> String {
+        let mut counters = JsonObject::new();
+        for (name, value) in &self.counters {
+            counters = counters.f64(name, *value);
+        }
+        JsonObject::new()
+            .str("schema", SCHEMA)
+            .u64("id", id)
+            .u64("unix_ts", unix_ts)
+            .str("group", &self.group)
+            .str("bench", &self.bench)
+            .f64("mean_ns", self.mean_ns)
+            .f64("p50_ns", self.p50_ns)
+            .f64("p90_ns", self.p90_ns)
+            .f64("p99_ns", self.p99_ns)
+            .f64("min_ns", self.min_ns)
+            .f64("max_ns", self.max_ns)
+            .u64("samples", self.samples)
+            .u64("threads", self.threads)
+            .str("scale", &self.scale)
+            .raw("counters", &counters.finish())
+            .finish()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (exact: indexes
+/// the actual sample, unlike the log-bucket histogram's upper bounds).
+pub fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The scale label benches run at (mirrors `bench_scale`).
+pub fn scale_label() -> String {
+    if std::env::var_os("PUD_BENCH_FULL").is_some() {
+        "full".to_string()
+    } else {
+        "quick".to_string()
+    }
+}
+
+/// The bench group of the running binary: its file stem with the trailing
+/// cargo hash (`-0123456789abcdef`) stripped.
+pub fn current_group() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+/// Resolves the directory `BENCH_<n>.json` lives in: `PUD_BENCH_DIR` when
+/// set, otherwise the repository root found by walking up from the current
+/// directory (the first ancestor holding a `ROADMAP.md`). `None` when no
+/// root is found — recording is then silently skipped, so the harness
+/// stays usable from odd working directories.
+pub fn bench_dir() -> Option<PathBuf> {
+    if let Some(dir) = std::env::var_os(BENCH_DIR_ENV) {
+        return Some(PathBuf::from(dir));
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("ROADMAP.md").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// The active trajectory file in `dir`: the highest-numbered existing
+/// `BENCH_<n>.json`, or `BENCH_1.json` when none exists yet.
+pub fn trajectory_file(dir: &Path) -> PathBuf {
+    let mut best: Option<(u64, PathBuf)> = None;
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(b, _)| n > *b) {
+                best = Some((n, entry.path()));
+            }
+        }
+    }
+    best.map(|(_, path)| path)
+        .unwrap_or_else(|| dir.join("BENCH_1.json"))
+}
+
+/// The next monotonic record id for `file`: one past the highest `id` of
+/// the existing records (1 for a fresh file; malformed lines count as
+/// occupied ids so a corrupted tail cannot make ids regress).
+fn next_id(file: &Path) -> u64 {
+    let Ok(content) = fs::read_to_string(file) else {
+        return 1;
+    };
+    let mut max_id = 0u64;
+    let mut lines = 0u64;
+    for line in content.lines().filter(|l| !l.trim().is_empty()) {
+        lines += 1;
+        if let Ok(v) = JsonValue::parse(line) {
+            if let Some(id) = v.get("id").and_then(JsonValue::as_u64) {
+                max_id = max_id.max(id);
+            }
+        }
+    }
+    max_id.max(lines) + 1
+}
+
+/// Appends `record` to the active trajectory file, returning the path it
+/// was written to (`None` when no repository root was found or the write
+/// failed — benches never abort over bookkeeping).
+pub fn append(record: &PerfRecord) -> Option<PathBuf> {
+    let dir = bench_dir()?;
+    let file = trajectory_file(&dir);
+    let id = next_id(&file);
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = record.to_json_line(id, unix_ts);
+    let mut handle = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&file)
+        .ok()?;
+    writeln!(handle, "{line}").ok()?;
+    Some(file)
+}
+
+/// Validates one trajectory file: every non-empty line parses as JSON,
+/// carries the [`SCHEMA`] marker and the required keys, and ids are
+/// strictly increasing. Returns the number of valid records.
+pub fn validate_file(path: &Path) -> Result<u64, String> {
+    let content =
+        fs::read_to_string(path).map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+    let mut prev_id = 0u64;
+    let mut records = 0u64;
+    for (lineno, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = format!("{}:{}", path.display(), lineno + 1);
+        let v = JsonValue::parse(line).map_err(|e| format!("{at}: bad JSON: {e}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{at}: missing schema"))?;
+        if schema != SCHEMA {
+            return Err(format!("{at}: unknown schema {schema:?}"));
+        }
+        for key in ["group", "bench", "scale"] {
+            if v.get(key).and_then(JsonValue::as_str).is_none() {
+                return Err(format!("{at}: missing string key {key:?}"));
+            }
+        }
+        for key in ["mean_ns", "p50_ns", "p90_ns", "p99_ns", "min_ns", "max_ns"] {
+            if v.get(key).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("{at}: missing numeric key {key:?}"));
+            }
+        }
+        for key in ["unix_ts", "samples", "threads"] {
+            if v.get(key).and_then(JsonValue::as_u64).is_none() {
+                return Err(format!("{at}: missing integer key {key:?}"));
+            }
+        }
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("{at}: missing id"))?;
+        if id <= prev_id {
+            return Err(format!("{at}: id {id} not above previous {prev_id}"));
+        }
+        prev_id = id;
+        records += 1;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tests mutate `PUD_BENCH_DIR`; serialize them.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pud-bench-perf-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn exact_percentiles_from_samples() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let rec = PerfRecord::from_samples("g", "b", &samples);
+        assert_eq!(rec.p50_ns, 50.0);
+        assert_eq!(rec.p90_ns, 90.0);
+        assert_eq!(rec.p99_ns, 99.0);
+        assert_eq!(rec.min_ns, 1.0);
+        assert_eq!(rec.max_ns, 100.0);
+        assert_eq!(rec.mean_ns, 50.5);
+        assert_eq!(rec.samples, 100);
+    }
+
+    #[test]
+    fn percentile_of_tiny_sets() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 90.0), 2.0);
+    }
+
+    #[test]
+    fn append_creates_validates_and_increments_ids() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = temp_dir("append");
+        std::env::set_var(BENCH_DIR_ENV, &dir);
+        let rec = PerfRecord::from_samples("micro_kernels", "unit_bench", &[10.0, 20.0, 30.0])
+            .threads(4)
+            .counter("speedup", 2.5);
+        let file = append(&rec).expect("record written");
+        assert_eq!(file, dir.join("BENCH_1.json"));
+        let file2 = append(&rec).expect("second record written");
+        assert_eq!(file, file2);
+        assert_eq!(validate_file(&file), Ok(2));
+        let content = fs::read_to_string(&file).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = JsonValue::parse(lines[0]).unwrap();
+        assert_eq!(first.get("id").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            first.get("bench").and_then(JsonValue::as_str),
+            Some("unit_bench")
+        );
+        assert_eq!(first.get("threads").and_then(JsonValue::as_u64), Some(4));
+        let second = JsonValue::parse(lines[1]).unwrap();
+        assert_eq!(second.get("id").and_then(JsonValue::as_u64), Some(2));
+        std::env::remove_var(BENCH_DIR_ENV);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn highest_numbered_file_wins() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = temp_dir("epochs");
+        fs::write(dir.join("BENCH_1.json"), "").unwrap();
+        fs::write(dir.join("BENCH_3.json"), "").unwrap();
+        assert_eq!(trajectory_file(&dir), dir.join("BENCH_3.json"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_trajectories() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = temp_dir("invalid");
+        let file = dir.join("BENCH_1.json");
+        fs::write(&file, "not json\n").unwrap();
+        assert!(validate_file(&file).unwrap_err().contains("bad JSON"));
+        fs::write(&file, "{\"schema\":\"other\"}\n").unwrap();
+        assert!(validate_file(&file).unwrap_err().contains("unknown schema"));
+        // Regressing ids are rejected.
+        let good = PerfRecord::from_samples("g", "b", &[1.0]);
+        let l5 = good.to_json_line(5, 0);
+        let l4 = good.to_json_line(4, 0);
+        fs::write(&file, format!("{l5}\n{l4}\n")).unwrap();
+        assert!(validate_file(&file)
+            .unwrap_err()
+            .contains("id 4 not above previous 5"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn next_id_survives_a_corrupted_tail() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = temp_dir("corrupt");
+        std::env::set_var(BENCH_DIR_ENV, &dir);
+        let file = dir.join("BENCH_1.json");
+        let good = PerfRecord::from_samples("g", "b", &[1.0]);
+        fs::write(
+            &file,
+            format!("{}\ngarbage line\n", good.to_json_line(1, 0)),
+        )
+        .unwrap();
+        let written = append(&good).expect("append still works");
+        let content = fs::read_to_string(&written).unwrap();
+        let last = JsonValue::parse(content.lines().last().unwrap()).unwrap();
+        // Two occupied lines → the new id must be at least 3.
+        assert_eq!(last.get("id").and_then(JsonValue::as_u64), Some(3));
+        std::env::remove_var(BENCH_DIR_ENV);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_strips_cargo_hash() {
+        // current_group() parses argv[0]; exercise the stripping logic via
+        // a representative stem the same way.
+        let stem = "micro_kernels-0123456789abcdef";
+        let (name, hash) = stem.rsplit_once('-').unwrap();
+        assert_eq!(hash.len(), 16);
+        assert!(hash.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(name, "micro_kernels");
+    }
+}

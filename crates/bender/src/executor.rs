@@ -594,6 +594,11 @@ impl Executor {
         let body_acts: u64 = body.iter().map(Step::act_count).sum();
         self.acts += body_acts * remaining;
         self.metrics.acts.add(body_acts * remaining);
+        // The replayed iterations never reach `exec_cmd`; account their
+        // elided commands here (batchable bodies contain only Cmd steps).
+        let elided_cmds = body.len() as u64 * remaining;
+        pud_observe::live::add_commands(elided_cmds);
+        pud_observe::profile::work_commands(elided_cmds);
         // Per-command events are elided for replayed iterations; one batch
         // marker keeps the trace accountable for them.
         self.trace(TraceKind::LoopBatch {
@@ -614,6 +619,11 @@ impl Executor {
             self.cancel_countdown = CANCEL_CHECK_INTERVAL;
             crate::cancel_check();
         }
+        // Telemetry (one relaxed load each when off): the live counter
+        // feeds the `--progress` cmds/s readout, the profiler attributes
+        // the command to the innermost span.
+        pud_observe::live::add_commands(1);
+        pud_observe::profile::work_commands(1);
         match cmd {
             DramCommand::Act { bank, row } => {
                 self.trace(TraceKind::Act {

@@ -97,6 +97,9 @@ impl DisturbEngine {
     ///
     /// Returns the flips produced by this call (possibly empty).
     pub fn hammer(&mut self, ev: &HammerEvent, victim_data: &mut RowData) -> Vec<Bitflip> {
+        // A batched event with repeat N stands for N applied disturbance
+        // events; the profiler's work counter weights it accordingly.
+        pud_observe::profile::work_events(ev.repeat);
         let vuln = self.model.row_vuln(ev.bank, ev.victim);
         let class = ev.kind.flip_class();
         let w = self.event_weight(ev, &vuln);

@@ -15,6 +15,12 @@
 //!   sinks for structured command-stream events ([`TraceEvent`]), and
 //!   [`merge_ordered`] for folding per-worker buffers back together.
 //! - [`span`] — RAII wall-clock spans recording into histograms.
+//! - [`profile`] — opt-in hierarchical profiler aggregating span stacks
+//!   into a deterministic call tree with work counters, exported as
+//!   collapsed-stack text.
+//! - [`live`] — always-current process-global progress counters for the
+//!   campaign telemetry reporter (shards only drain at barriers, so they
+//!   cannot feed a live display).
 //! - [`json`] — the minimal hand-rolled JSON writer everything above uses.
 //! - [`export`] — snapshot rendering as an aligned text table or JSON.
 //!
@@ -29,16 +35,20 @@
 
 pub mod export;
 pub mod json;
+pub mod live;
 pub mod metrics;
+pub mod profile;
 pub mod shard;
 pub mod span;
 pub mod trace;
 
 pub use json::JsonValue;
+pub use live::LiveSnapshot;
 pub use metrics::{
     bucket_bounds, bucket_index, global, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
     Snapshot, HISTOGRAM_BUCKETS,
 };
+pub use profile::{Anchor, AnchorGuard, ProfileNode};
 pub use shard::{sharded, ShardGuard};
 pub use span::{span_in, SpanGuard};
 pub use trace::{

@@ -1,0 +1,169 @@
+//! Process-global live progress counters.
+//!
+//! The sharded metrics in [`metrics`](crate::metrics) are only drained
+//! into the global registry at sweep barriers, so mid-sweep they are
+//! invisible to an observer thread. Campaign telemetry (the `--progress`
+//! reporter) instead reads these always-current relaxed atomics, which the
+//! hot paths bump directly — gated on [`enabled`] so the cost when
+//! telemetry is off is a single relaxed load.
+//!
+//! These counters are *advisory*: they feed human-facing progress lines on
+//! stderr and never experiment output, so cross-thread ordering is
+//! irrelevant and `Relaxed` everywhere is correct.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static COMMANDS: AtomicU64 = AtomicU64::new(0);
+static ITEMS_DONE: AtomicU64 = AtomicU64::new(0);
+static ITEMS_TOTAL: AtomicU64 = AtomicU64::new(0);
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+static UNITS_DONE: AtomicU64 = AtomicU64::new(0);
+
+/// Whether live telemetry is being collected (a single relaxed load — the
+/// cost every hot path pays when telemetry is off).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns live counter collection on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns live counter collection off (counter values are kept).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Zeroes every live counter (the enabled flag is untouched).
+pub fn reset() {
+    for c in [
+        &COMMANDS,
+        &ITEMS_DONE,
+        &ITEMS_TOTAL,
+        &RETRIES,
+        &QUARANTINED,
+        &UNITS_DONE,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Records `n` executed DRAM commands. No-op unless [`enabled`].
+#[inline]
+pub fn add_commands(n: u64) {
+    if enabled() {
+        COMMANDS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records one completed sweep item (chip). No-op unless [`enabled`].
+#[inline]
+pub fn item_done() {
+    if enabled() {
+        ITEMS_DONE.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Announces `n` more sweep items entering execution. No-op unless
+/// [`enabled`].
+#[inline]
+pub fn add_items_total(n: u64) {
+    if enabled() {
+        ITEMS_TOTAL.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records one retried sweep item. No-op unless [`enabled`].
+#[inline]
+pub fn retry() {
+    if enabled() {
+        RETRIES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records one quarantined sweep item. No-op unless [`enabled`].
+#[inline]
+pub fn quarantine() {
+    if enabled() {
+        QUARANTINED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records one completed supervisor unit. No-op unless [`enabled`].
+#[inline]
+pub fn unit_done() {
+    if enabled() {
+        UNITS_DONE.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time reading of every live counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveSnapshot {
+    /// DRAM commands executed so far.
+    pub commands: u64,
+    /// Sweep items (chips) completed so far.
+    pub items_done: u64,
+    /// Sweep items announced so far (across all sweeps of the run).
+    pub items_total: u64,
+    /// Sweep items retried after a transient fault.
+    pub retries: u64,
+    /// Sweep items quarantined after exhausting retries.
+    pub quarantined: u64,
+    /// Supervisor units completed.
+    pub units_done: u64,
+}
+
+/// Reads every live counter (relaxed; values may be mid-update skewed,
+/// which is fine for progress display).
+pub fn live_snapshot() -> LiveSnapshot {
+    LiveSnapshot {
+        commands: COMMANDS.load(Ordering::Relaxed),
+        items_done: ITEMS_DONE.load(Ordering::Relaxed),
+        items_total: ITEMS_TOTAL.load(Ordering::Relaxed),
+        retries: RETRIES.load(Ordering::Relaxed),
+        quarantined: QUARANTINED.load(Ordering::Relaxed),
+        units_done: UNITS_DONE.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Counters are process-global; tests serialize on this.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_only_move_while_enabled() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        reset();
+        add_commands(10);
+        item_done();
+        retry();
+        assert_eq!(live_snapshot(), LiveSnapshot::default());
+        enable();
+        add_commands(10);
+        add_items_total(4);
+        item_done();
+        retry();
+        quarantine();
+        unit_done();
+        let snap = live_snapshot();
+        assert_eq!(snap.commands, 10);
+        assert_eq!(snap.items_total, 4);
+        assert_eq!(snap.items_done, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.quarantined, 1);
+        assert_eq!(snap.units_done, 1);
+        disable();
+        reset();
+    }
+}

@@ -1,0 +1,459 @@
+//! Hierarchical wall-clock profiler: thread-local span stacks aggregated
+//! into a deterministic call tree.
+//!
+//! The flat [`SpanGuard`](crate::SpanGuard) histograms answer "how long do
+//! `hcfirst.search_ns` calls take?"; they cannot answer "where inside
+//! `experiment.table2` do the cycles go?". This module adds that second
+//! axis. While profiling is [`enable`]d, every span additionally pushes its
+//! name onto a thread-local *stack*; on drop, the elapsed nanoseconds are
+//! attributed to the call-tree node addressed by the full stack path
+//! (`experiment.table2;sweep.chip_ns;hcfirst.search_ns`). Each node
+//! accumulates:
+//!
+//! - `calls`, `total_ns` (inclusive) and `self_ns` (exclusive — total minus
+//!   the time spent in same-thread child spans), and
+//! - deterministic *work counters* fed by the hot paths: DRAM commands
+//!   executed ([`work_commands`]), disturbance events applied
+//!   ([`work_events`]), and warm-start bisection hits ([`work_warm_hits`]).
+//!
+//! **Determinism across thread counts.** Nodes are keyed by path, not by
+//! thread. A fleet-sweep worker inherits the path of the frame that
+//! launched the sweep through an [`AnchorGuard`] (the sweep engine captures
+//! [`fork_anchor`] at the barrier entry and installs it on every worker),
+//! so a span that runs on a worker lands at exactly the path it would have
+//! at `threads == 1`. Tree *shape*, call counts, and work counters are
+//! therefore identical at any thread count; only the nanosecond values
+//! vary (and under parallelism a parent's `self_ns` legitimately shrinks
+//! toward zero while the summed child `total_ns` exceeds the parent's wall
+//! time).
+//!
+//! The canonical export is the collapsed-stack ("folded") format consumed
+//! by flamegraph tooling: one line per node, `path self_ns`, followed by
+//! `# `-prefixed annotation lines carrying the call and work counters
+//! (flamegraph scripts skip lines they cannot parse).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Separator between frame names in a node path (the collapsed-stack
+/// convention).
+pub const PATH_SEP: char = ';';
+
+/// Number of distinct work-counter kinds a node carries.
+const WORK_KINDS: usize = 3;
+
+/// Index of the DRAM-commands-executed work counter.
+const WORK_CMDS: usize = 0;
+/// Index of the disturbance-events-applied work counter.
+const WORK_EVENTS: usize = 1;
+/// Index of the warm-start-hits work counter.
+const WORK_WARM: usize = 2;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One frame of a thread's span stack.
+struct Frame {
+    /// Byte length of the thread path *before* this frame was pushed (so
+    /// popping restores it exactly).
+    parent_len: usize,
+    /// Nanoseconds accumulated by directly nested (same-thread) spans.
+    child_ns: u64,
+    /// Work counted while this frame was the innermost span.
+    work: [u64; WORK_KINDS],
+}
+
+/// Per-thread profiler state: the current path and the live frame stack.
+#[derive(Default)]
+struct ThreadState {
+    path: String,
+    frames: Vec<Frame>,
+}
+
+thread_local! {
+    static THREAD: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+}
+
+/// Aggregated statistics of one call-tree node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct NodeStats {
+    calls: u64,
+    total_ns: u64,
+    child_ns: u64,
+    work: [u64; WORK_KINDS],
+}
+
+/// A frozen call-tree node, as returned by [`snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// `;`-joined span names from the root (collapsed-stack path).
+    pub path: String,
+    /// Times a span completed at this path.
+    pub calls: u64,
+    /// Inclusive nanoseconds (sum over all completed spans at this path).
+    pub total_ns: u64,
+    /// Exclusive nanoseconds: `total_ns` minus same-thread child time
+    /// (saturating — under parallelism children can out-accumulate their
+    /// parent's wall clock).
+    pub self_ns: u64,
+    /// DRAM commands executed while a span at this path was innermost.
+    pub commands: u64,
+    /// Disturbance events applied while a span at this path was innermost.
+    pub events: u64,
+    /// Warm-start bisection hits while a span at this path was innermost.
+    pub warm_hits: u64,
+}
+
+impl ProfileNode {
+    /// Stack depth of the node (1 = a root span).
+    pub fn depth(&self) -> usize {
+        self.path.matches(PATH_SEP).count() + 1
+    }
+}
+
+fn tree() -> &'static Mutex<BTreeMap<String, NodeStats>> {
+    static TREE: OnceLock<Mutex<BTreeMap<String, NodeStats>>> = OnceLock::new();
+    TREE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Whether the profiler is currently collecting. A single relaxed load —
+/// the cost every span and hot-path counter pays when profiling is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns profiling on. Spans started after this call are attributed to the
+/// call tree; spans already live keep their flat-histogram behaviour only.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns profiling off (the collected tree is kept until [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears the collected call tree.
+pub fn reset() {
+    tree().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Pushes `name` onto the calling thread's span stack. Returns `true` when
+/// the frame was pushed (profiling enabled) — the caller must pass that
+/// flag back to [`exit_span`] so enable/disable races cannot unbalance the
+/// stack.
+pub(crate) fn enter_span(name: &str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    THREAD.with(|t| {
+        let mut t = t.borrow_mut();
+        let parent_len = t.path.len();
+        if !t.path.is_empty() {
+            t.path.push(PATH_SEP);
+        }
+        t.path.push_str(name);
+        t.frames.push(Frame {
+            parent_len,
+            child_ns: 0,
+            work: [0; WORK_KINDS],
+        });
+    });
+    true
+}
+
+/// Pops the innermost frame, attributing `elapsed_ns` to its node and the
+/// node's share of child time to the parent frame.
+pub(crate) fn exit_span(elapsed_ns: u64) {
+    THREAD.with(|t| {
+        let mut t = t.borrow_mut();
+        let Some(frame) = t.frames.pop() else {
+            return;
+        };
+        let path = t.path.clone();
+        t.path.truncate(frame.parent_len);
+        if let Some(parent) = t.frames.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+        }
+        let mut tree = tree().lock().unwrap_or_else(|e| e.into_inner());
+        let node = tree.entry(path).or_default();
+        node.calls += 1;
+        node.total_ns = node.total_ns.saturating_add(elapsed_ns);
+        node.child_ns = node.child_ns.saturating_add(frame.child_ns);
+        for (total, add) in node.work.iter_mut().zip(frame.work) {
+            *total = total.saturating_add(add);
+        }
+    });
+}
+
+#[inline]
+fn add_work(kind: usize, n: u64) {
+    THREAD.with(|t| {
+        if let Some(frame) = t.borrow_mut().frames.last_mut() {
+            frame.work[kind] = frame.work[kind].saturating_add(n);
+        }
+    });
+}
+
+/// Attributes `n` executed DRAM commands to the innermost span. No-op when
+/// profiling is off or the thread has no live span.
+#[inline]
+pub fn work_commands(n: u64) {
+    if enabled() {
+        add_work(WORK_CMDS, n);
+    }
+}
+
+/// Attributes `n` applied disturbance events to the innermost span.
+#[inline]
+pub fn work_events(n: u64) {
+    if enabled() {
+        add_work(WORK_EVENTS, n);
+    }
+}
+
+/// Attributes `n` warm-start bisection hits to the innermost span.
+#[inline]
+pub fn work_warm_hits(n: u64) {
+    if enabled() {
+        add_work(WORK_WARM, n);
+    }
+}
+
+/// A captured stack path, ready to be re-installed on another thread so
+/// spans there nest under the capturing frame — see [`fork_anchor`].
+#[derive(Debug, Clone, Default)]
+pub struct Anchor {
+    path: String,
+}
+
+impl Anchor {
+    /// Installs the anchor as the calling thread's base path until the
+    /// guard drops. The thread must not already hold live frames.
+    pub fn install(&self) -> AnchorGuard {
+        THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            debug_assert!(
+                t.frames.is_empty(),
+                "anchors install under an empty span stack"
+            );
+            let previous = std::mem::replace(&mut t.path, self.path.clone());
+            AnchorGuard { previous }
+        })
+    }
+}
+
+/// Captures the calling thread's current span path as an [`Anchor`]. The
+/// fleet-sweep engine calls this at the sweep barrier and installs the
+/// anchor on every worker, so worker-side spans land at the same call-tree
+/// path the serial execution would give them.
+pub fn fork_anchor() -> Anchor {
+    THREAD.with(|t| Anchor {
+        path: t.borrow().path.clone(),
+    })
+}
+
+/// Restores the thread's previous base path on drop.
+#[derive(Debug)]
+pub struct AnchorGuard {
+    previous: String,
+}
+
+impl Drop for AnchorGuard {
+    fn drop(&mut self) {
+        THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            debug_assert!(
+                t.frames.is_empty(),
+                "anchor dropped with live frames on the stack"
+            );
+            t.path = std::mem::take(&mut self.previous);
+        });
+    }
+}
+
+/// The collected call tree, sorted by path (deterministic order).
+pub fn snapshot() -> Vec<ProfileNode> {
+    let tree = tree().lock().unwrap_or_else(|e| e.into_inner());
+    tree.iter()
+        .map(|(path, s)| ProfileNode {
+            path: path.clone(),
+            calls: s.calls,
+            total_ns: s.total_ns,
+            self_ns: s.total_ns.saturating_sub(s.child_ns),
+            commands: s.work[WORK_CMDS],
+            events: s.work[WORK_EVENTS],
+            warm_hits: s.work[WORK_WARM],
+        })
+        .collect()
+}
+
+/// Renders nodes in collapsed-stack ("folded") format: one `path self_ns`
+/// line per node (flamegraph input), then one `# ` annotation line per node
+/// with the inclusive time and the deterministic counters. Annotation lines
+/// start with `#` so stack-collapsing tools skip them.
+pub fn render_folded(nodes: &[ProfileNode]) -> String {
+    let mut out = String::new();
+    for n in nodes {
+        out.push_str(&format!("{} {}\n", n.path, n.self_ns));
+    }
+    for n in nodes {
+        out.push_str(&format!(
+            "# {} calls={} total_ns={} cmds={} events={} warm_hits={}\n",
+            n.path, n.calls, n.total_ns, n.commands, n.events, n.warm_hits
+        ));
+    }
+    out
+}
+
+/// Sum of `self_ns` over all nodes — the profiler's "total measured"
+/// denominator (exclusive times partition the measured wall clock, so they
+/// add up without double counting).
+pub fn total_self_ns(nodes: &[ProfileNode]) -> u64 {
+    nodes.iter().map(|n| n.self_ns).sum()
+}
+
+/// Sum of `total_ns` over root (depth-1) nodes — what the roots account
+/// for. For a well-covered profile this is ≥ the vast majority of
+/// [`total_self_ns`] (worker-side time lands under the roots through
+/// anchors; only spans opened outside any root escape).
+pub fn root_total_ns(nodes: &[ProfileNode]) -> u64 {
+    nodes
+        .iter()
+        .filter(|n| n.depth() == 1)
+        .map(|n| n.total_ns)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// The profiler is process-global; tests serialize on this.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn with_clean_profiler(f: impl FnOnce()) {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        f();
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn two_level_nest_builds_the_expected_tree() {
+        with_clean_profiler(|| {
+            {
+                let _outer = crate::span("outer.unit");
+                work_commands(5);
+                {
+                    let _inner = crate::span("inner.unit");
+                    work_commands(7);
+                    work_events(2);
+                }
+                {
+                    let _inner = crate::span("inner.unit");
+                    work_warm_hits(1);
+                }
+            }
+            let nodes = snapshot();
+            let paths: Vec<&str> = nodes.iter().map(|n| n.path.as_str()).collect();
+            assert_eq!(paths, vec!["outer.unit", "outer.unit;inner.unit"]);
+            let outer = &nodes[0];
+            let inner = &nodes[1];
+            assert_eq!(outer.calls, 1);
+            assert_eq!(inner.calls, 2);
+            assert_eq!(outer.commands, 5, "inner work does not roll up");
+            assert_eq!(inner.commands, 7);
+            assert_eq!(inner.events, 2);
+            assert_eq!(inner.warm_hits, 1);
+            assert!(outer.total_ns >= inner.total_ns);
+            assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+        });
+    }
+
+    #[test]
+    fn folded_render_lists_nodes_then_annotations() {
+        with_clean_profiler(|| {
+            {
+                let _outer = crate::span("outer.fold");
+                let _inner = crate::span("inner.fold");
+            }
+            let nodes = snapshot();
+            let folded = render_folded(&nodes);
+            let lines: Vec<&str> = folded.lines().collect();
+            assert_eq!(lines.len(), 4);
+            assert!(lines[0].starts_with("outer.fold "));
+            assert!(lines[1].starts_with("outer.fold;inner.fold "));
+            assert!(lines[2].starts_with("# outer.fold calls=1 "));
+            assert!(lines[3].starts_with("# outer.fold;inner.fold calls=1 "));
+            // Every non-annotation line is `path <u64>`.
+            for l in &lines[..2] {
+                let (_, v) = l.rsplit_once(' ').expect("value column");
+                v.parse::<u64>().expect("numeric self_ns");
+            }
+        });
+    }
+
+    #[test]
+    fn anchors_put_worker_spans_under_the_forking_frame() {
+        with_clean_profiler(|| {
+            let _outer = crate::span("outer.anchor");
+            let anchor = fork_anchor();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _anchored = anchor.install();
+                    let _span = crate::span("worker.anchor");
+                });
+            });
+            drop(_outer);
+            let nodes = snapshot();
+            let paths: Vec<&str> = nodes.iter().map(|n| n.path.as_str()).collect();
+            assert_eq!(paths, vec!["outer.anchor", "outer.anchor;worker.anchor"]);
+        });
+    }
+
+    #[test]
+    fn disabled_profiler_collects_nothing() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        disable();
+        {
+            let _span = crate::span("never.recorded");
+            work_commands(100);
+        }
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn depth_and_totals_helpers() {
+        let nodes = vec![
+            ProfileNode {
+                path: "a".into(),
+                calls: 1,
+                total_ns: 100,
+                self_ns: 40,
+                commands: 0,
+                events: 0,
+                warm_hits: 0,
+            },
+            ProfileNode {
+                path: "a;b".into(),
+                calls: 2,
+                total_ns: 60,
+                self_ns: 60,
+                commands: 0,
+                events: 0,
+                warm_hits: 0,
+            },
+        ];
+        assert_eq!(nodes[0].depth(), 1);
+        assert_eq!(nodes[1].depth(), 2);
+        assert_eq!(total_self_ns(&nodes), 100);
+        assert_eq!(root_total_ns(&nodes), 100);
+    }
+}

@@ -11,10 +11,19 @@ use std::time::Instant;
 use crate::metrics::{Histogram, Registry};
 
 /// RAII guard recording its lifetime into a histogram on drop.
+///
+/// While the hierarchical profiler is [`enable`](crate::profile::enable)d,
+/// the guard additionally holds a frame on the calling thread's span stack
+/// and attributes its elapsed time (and any work counted via
+/// `profile::work_*`) to the call-tree node addressed by the full stack
+/// path on drop.
 #[derive(Debug)]
 pub struct SpanGuard {
     hist: Arc<Histogram>,
     start: Instant,
+    /// Whether this guard pushed a profiler frame (captured at creation so
+    /// an enable/disable race cannot unbalance the stack).
+    profiled: bool,
 }
 
 impl SpanGuard {
@@ -26,7 +35,11 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        self.hist.record(self.elapsed_ns());
+        let elapsed = self.elapsed_ns();
+        self.hist.record(elapsed);
+        if self.profiled {
+            crate::profile::exit_span(elapsed);
+        }
     }
 }
 
@@ -42,6 +55,7 @@ pub fn span(name: &str) -> SpanGuard {
 pub fn span_in(registry: &Registry, name: &str) -> SpanGuard {
     SpanGuard {
         hist: registry.histogram(name),
+        profiled: crate::profile::enter_span(name),
         start: Instant::now(),
     }
 }

@@ -10,6 +10,7 @@ use pud_dram::{
 };
 
 pub mod checkpoint;
+pub mod progress;
 pub mod supervisor;
 pub mod sweep;
 

@@ -1,0 +1,238 @@
+//! Live campaign telemetry: a background progress reporter for
+//! long-running fleet campaigns.
+//!
+//! A full characterization run over the paper-scale fleet is silent for
+//! minutes at a time — everything interesting happens inside sweep
+//! barriers where the sharded metrics are invisible. The
+//! [`ProgressReporter`] fixes that: while it is alive, a background thread
+//! samples the process-global [`pud_observe::live`] counters on a fixed
+//! period and prints one status line per tick **to stderr only** —
+//! experiment output on stdout stays byte-identical with the reporter on
+//! or off, at any thread count. Each line carries:
+//!
+//! - chips (sweep items) done / total, plus supervisor units done,
+//! - command throughput over the last tick (`cmds/s`) and the cumulative
+//!   command count,
+//! - retry and quarantine counts from the fault-tolerant sweep harness,
+//! - a deadline-aware ETA when the installed supervisor carries a
+//!   wall-clock deadline: the projected time-to-completion from the
+//!   current completion rate, flagged `OVER BUDGET` when it exceeds the
+//!   time remaining on the deadline.
+//!
+//! Enabled from `repro` via `--progress` or `PUD_PROGRESS=1`.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use pud_observe::live;
+
+use super::supervisor;
+
+/// Default sampling period of the reporter thread.
+pub const DEFAULT_PERIOD: Duration = Duration::from_millis(500);
+
+/// Environment variable that enables progress reporting (same effect as
+/// `repro --progress`).
+pub const PROGRESS_ENV: &str = "PUD_PROGRESS";
+
+/// Whether the environment asks for progress reporting (`PUD_PROGRESS` set
+/// to anything but `0` or empty).
+pub fn env_enabled() -> bool {
+    std::env::var(PROGRESS_ENV).is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+}
+
+/// One formatted reporter tick. Split from the printing so the formatting
+/// logic is testable without a live thread or a real clock.
+pub fn format_tick(
+    snap: live::LiveSnapshot,
+    prev_commands: u64,
+    tick: Duration,
+    deadline_left: Option<Duration>,
+) -> String {
+    let dt = tick.as_secs_f64();
+    let rate = if dt > 0.0 {
+        (snap.commands.saturating_sub(prev_commands)) as f64 / dt
+    } else {
+        0.0
+    };
+    let mut line = format!(
+        "[progress] chips {}/{} units {} | {:.0} cmds/s ({} total)",
+        snap.items_done, snap.items_total, snap.units_done, rate, snap.commands
+    );
+    if snap.retries > 0 || snap.quarantined > 0 {
+        line.push_str(&format!(
+            " | retries {} quarantined {}",
+            snap.retries, snap.quarantined
+        ));
+    }
+    if let Some(left) = deadline_left {
+        line.push_str(&format!(" | deadline {:.0}s left", left.as_secs_f64()));
+        // Project time-to-completion from the completion rate so far and
+        // compare against the budget.
+        if let Some(eta) = eta_seconds(snap, tick) {
+            line.push_str(&format!(" eta {eta:.0}s"));
+            if eta > left.as_secs_f64() {
+                line.push_str(" OVER BUDGET");
+            }
+        }
+    } else if let Some(eta) = eta_seconds(snap, tick) {
+        line.push_str(&format!(" | eta {eta:.0}s"));
+    }
+    line
+}
+
+/// Projected seconds until all announced items complete, extrapolating the
+/// average per-item time observed so far. `None` until at least one item
+/// has completed (no rate to extrapolate) or when nothing is pending.
+fn eta_seconds(snap: live::LiveSnapshot, elapsed: Duration) -> Option<f64> {
+    if snap.items_done == 0 || snap.items_total <= snap.items_done {
+        return None;
+    }
+    let per_item = elapsed.as_secs_f64() / snap.items_done as f64;
+    Some(per_item * (snap.items_total - snap.items_done) as f64)
+}
+
+/// RAII handle over the reporter thread: constructing it enables the live
+/// counters and spawns the sampler; dropping it stops the thread (joining
+/// it, so no line is ever emitted after the guard is gone) and disables
+/// the counters again.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    stop: mpsc::Sender<()>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressReporter {
+    /// Starts a reporter printing to stderr every [`DEFAULT_PERIOD`].
+    pub fn start() -> ProgressReporter {
+        ProgressReporter::with_period(DEFAULT_PERIOD)
+    }
+
+    /// Starts a reporter with a custom sampling period.
+    pub fn with_period(period: Duration) -> ProgressReporter {
+        live::reset();
+        live::enable();
+        let (stop, stopped) = mpsc::channel::<()>();
+        let thread = std::thread::Builder::new()
+            .name("pud-progress".into())
+            .spawn(move || {
+                let start = Instant::now();
+                let mut prev_commands = 0u64;
+                // recv_timeout doubles as the tick clock and the stop
+                // signal: a disconnect (guard dropped) ends the loop.
+                while let Err(mpsc::RecvTimeoutError::Timeout) = stopped.recv_timeout(period) {
+                    let snap = live::live_snapshot();
+                    let line = format_tick(
+                        snap,
+                        prev_commands,
+                        start.elapsed(),
+                        supervisor::deadline_remaining(),
+                    );
+                    eprintln!("{line}");
+                    prev_commands = snap.commands;
+                }
+            })
+            .expect("spawn progress reporter thread");
+        ProgressReporter {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for ProgressReporter {
+    fn drop(&mut self) {
+        // Dropping the sender disconnects the channel; send() is just a
+        // wake-up that is allowed to fail if the thread already exited.
+        let _ = self.stop.send(());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+        live::disable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(done: u64, total: u64, commands: u64) -> live::LiveSnapshot {
+        live::LiveSnapshot {
+            commands,
+            items_done: done,
+            items_total: total,
+            retries: 0,
+            quarantined: 0,
+            units_done: done,
+        }
+    }
+
+    #[test]
+    fn tick_reports_rate_and_counts() {
+        let line = format_tick(snap(3, 14, 10_000), 4_000, Duration::from_secs(2), None);
+        assert!(line.starts_with("[progress] chips 3/14 units 3 | 3000 cmds/s (10000 total)"));
+        assert!(!line.contains("retries"), "clean runs omit fault columns");
+    }
+
+    #[test]
+    fn tick_includes_faults_when_present() {
+        let mut s = snap(3, 14, 100);
+        s.retries = 2;
+        s.quarantined = 1;
+        let line = format_tick(s, 0, Duration::from_secs(1), None);
+        assert!(line.contains("retries 2 quarantined 1"), "{line}");
+    }
+
+    #[test]
+    fn eta_projects_from_completion_rate() {
+        // 3 of 14 done in 3s → 1s per item → 11s remaining.
+        let line = format_tick(snap(3, 14, 0), 0, Duration::from_secs(3), None);
+        assert!(line.contains("eta 11s"), "{line}");
+        // No completions yet → no ETA column.
+        let line = format_tick(snap(0, 14, 0), 0, Duration::from_secs(3), None);
+        assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn deadline_flags_over_budget() {
+        // 11s of projected work against a 5s budget.
+        let line = format_tick(
+            snap(3, 14, 0),
+            0,
+            Duration::from_secs(3),
+            Some(Duration::from_secs(5)),
+        );
+        assert!(line.contains("deadline 5s left"), "{line}");
+        assert!(line.contains("OVER BUDGET"), "{line}");
+        // A comfortable budget is not flagged.
+        let line = format_tick(
+            snap(3, 14, 0),
+            0,
+            Duration::from_secs(3),
+            Some(Duration::from_secs(60)),
+        );
+        assert!(!line.contains("OVER BUDGET"), "{line}");
+    }
+
+    #[test]
+    fn reporter_thread_stops_on_drop() {
+        let reporter = ProgressReporter::with_period(Duration::from_millis(5));
+        assert!(live::enabled());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(reporter);
+        assert!(!live::enabled());
+    }
+
+    #[test]
+    fn env_gate_parses_common_values() {
+        // Uses the raw parser logic through a scoped env mutation; other
+        // tests in this binary do not read PUD_PROGRESS.
+        std::env::remove_var(PROGRESS_ENV);
+        assert!(!env_enabled());
+        std::env::set_var(PROGRESS_ENV, "0");
+        assert!(!env_enabled());
+        std::env::set_var(PROGRESS_ENV, "1");
+        assert!(env_enabled());
+        std::env::remove_var(PROGRESS_ENV);
+    }
+}

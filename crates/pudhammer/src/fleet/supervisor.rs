@@ -188,6 +188,15 @@ impl CancelToken {
     pub fn units_done(&self) -> u64 {
         self.inner.units_done.load(Ordering::SeqCst)
     }
+
+    /// Wall-clock time left before the deadline fires (zero once it has
+    /// passed), or `None` when the token carries no deadline. Feeds the
+    /// progress reporter's deadline-aware ETA.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 impl Default for CancelToken {
@@ -263,7 +272,15 @@ pub fn complete_unit() {
     if let Some(token) = current() {
         token.inner.units_done.fetch_add(1, Ordering::SeqCst);
         pud_observe::counter("supervisor.completed").incr();
+        pud_observe::live::unit_done();
     }
+}
+
+/// Wall-clock time left on the installed supervisor's deadline, if a
+/// supervisor with a deadline is installed — see
+/// [`CancelToken::remaining_time`].
+pub fn deadline_remaining() -> Option<Duration> {
+    current().and_then(|token| token.remaining_time())
 }
 
 /// Records one unit served from a checkpoint instead of re-measured

@@ -130,19 +130,29 @@ where
     F: Fn(usize, &mut T) -> R + Sync,
 {
     let n = items.len();
+    pud_observe::live::add_items_total(n as u64);
     if threads <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, mut item)| f(i, &mut item))
+            .map(|(i, mut item)| {
+                let r = f(i, &mut item);
+                pud_observe::live::item_done();
+                r
+            })
             .collect();
     }
     let slots: Vec<Mutex<T>> = items.into_iter().map(Mutex::new).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // Capture the caller's span path so worker-side spans nest under it:
+    // the profiler's call tree then has the same shape at any thread count
+    // (see `pud_observe::profile`).
+    let anchor = pud_observe::profile::fork_anchor();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| {
+                let _anchored = anchor.install();
                 let _shard = ShardGuard::install();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -155,6 +165,7 @@ where
                     let mut item = slots[i].lock().expect("sweep item slot poisoned");
                     let r = f(i, &mut item);
                     *results[i].lock().expect("sweep result slot poisoned") = Some(r);
+                    pud_observe::live::item_done();
                 }
                 // `_shard` drops here, draining this worker's metrics into
                 // the global registry — the sweep-barrier flush point.
@@ -570,6 +581,7 @@ fn run_supervised<R>(
                     // BACKOFF_BASE_NS) — determinism across thread counts.
                     backoff_ns += BACKOFF_BASE_NS << retries;
                     retries += 1;
+                    pud_observe::live::retry();
                     continue;
                 }
                 let error = SweepError {
@@ -577,6 +589,7 @@ fn run_supervised<R>(
                     message,
                     attempts: retries + 1,
                 };
+                pud_observe::live::quarantine();
                 return (SweepOutcome::Quarantined(error), retries, backoff_ns);
             }
         }

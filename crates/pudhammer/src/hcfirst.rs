@@ -201,6 +201,7 @@ fn search_once(
         if let Some((wlo, whi)) = warm.bracket_for(victim) {
             if check(whi) && !check(wlo) {
                 pud_observe::counter("hcfirst.warm.hits").incr();
+                pud_observe::profile::work_warm_hits(1);
                 pud_observe::histogram("hcfirst.warm.saved_iterations")
                     .record(probe_steps(whi, search.max_hammers).saturating_sub(2));
                 let (lo, hi) = bisect(&mut check, wlo, whi, search.tolerance);

@@ -91,8 +91,8 @@ pub fn metrics_table(snap: &pud_observe::Snapshot) -> Table {
         t.push_row(vec![
             name.clone(),
             format!(
-                "n={} mean={:.1} p50<={} p99<={} max={}",
-                h.count, h.mean, h.p50, h.p99, h.max
+                "n={} mean={:.1} min={} p50<={} p90<={} p99<={} max={}",
+                h.count, h.mean, h.min, h.p50, h.p90, h.p99, h.max
             ),
         ]);
     }

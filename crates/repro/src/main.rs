@@ -24,6 +24,14 @@
 //!   HC_first search histograms, experiment spans) to stderr after the run;
 //! - `--trace-out <path>` streams every DRAM command-stream event the
 //!   executors emit as JSON lines to `path`;
+//! - `--profile-out <path>` enables the hierarchical profiler
+//!   (`pud_observe::profile`) and writes the aggregated call tree as
+//!   collapsed-stack/folded text to `path` after the run — flamegraph
+//!   input, with `# `-annotation lines carrying call and work counters;
+//! - `--progress` (or `PUD_PROGRESS=1`) prints live campaign telemetry to
+//!   stderr every 500 ms: chips done/total, cmds/s, retry/quarantine
+//!   counts, and a deadline-aware ETA. Stderr-only, so result tables on
+//!   stdout stay byte-identical with it on or off;
 //! - `--quiet` suppresses the result tables (metrics/trace still emitted).
 //!
 //! Fault tolerance (see the README "Fault tolerance & resume" section):
@@ -68,6 +76,7 @@ use std::time::{Duration, Instant};
 use pud_bender::fault::FaultConfig;
 use pudhammer::experiments::{self, Scale};
 use pudhammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore};
+use pudhammer::fleet::progress::{self, ProgressReporter};
 use pudhammer::fleet::supervisor::{self, CancelReason, CancelToken};
 use pudhammer::report;
 
@@ -120,6 +129,8 @@ struct Options {
     strict: bool,
     threads: usize,
     trace_out: Option<String>,
+    profile_out: Option<String>,
+    progress: bool,
     fault_seed: Option<u64>,
     max_retries: Option<u32>,
     checkpoint: Option<String>,
@@ -131,8 +142,9 @@ struct Options {
 fn usage() {
     eprintln!(
         "usage: repro <target|all|list> [--full] [--threads <n>] [--metrics] \
-         [--trace-out <path>] [--quiet] [--fault-seed <u64>] [--max-retries <n>] \
-         [--checkpoint <path>] [--deadline <secs>] [--deadline-units <n>] [--strict]"
+         [--trace-out <path>] [--profile-out <path>] [--progress] [--quiet] \
+         [--fault-seed <u64>] [--max-retries <n>] [--checkpoint <path>] \
+         [--deadline <secs>] [--deadline-units <n>] [--strict]"
     );
     eprintln!("targets: {}", TARGETS.join(", "));
 }
@@ -145,6 +157,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strict: false,
         threads: 0,
         trace_out: None,
+        profile_out: None,
+        progress: false,
         fault_seed: None,
         max_retries: None,
         checkpoint: None,
@@ -175,6 +189,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
                 opts.trace_out = Some(path.clone());
             }
+            "--profile-out" => {
+                let Some(path) = it.next() else {
+                    return Err("--profile-out requires a path".to_string());
+                };
+                opts.profile_out = Some(path.clone());
+            }
+            "--progress" => opts.progress = true,
             "--fault-seed" => {
                 let Some(seed) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                     return Err("--fault-seed requires an unsigned integer".to_string());
@@ -290,8 +311,25 @@ fn main() -> ExitCode {
         token = token.with_unit_budget(units);
     }
     let supervisor_guard = supervisor::install(token.clone());
+    // Profiling and progress are observer-only: the profiler writes to its
+    // own file and the reporter to stderr, so primary stdout stays
+    // byte-identical with either on or off.
+    if opts.profile_out.is_some() {
+        pud_observe::profile::reset();
+        pud_observe::profile::enable();
+    }
+    let reporter = (opts.progress || progress::env_enabled()).then(ProgressReporter::start);
     let started = Instant::now();
     let mut ran: Vec<&str> = Vec::new();
+    let mut phases: Vec<(&str, u64)> = Vec::new();
+    let mut timed_run = |t, scale: &Scale, ckpt: Option<&CheckpointStore>| {
+        let phase_start = Instant::now();
+        run_target(t, scale, &opts, ckpt);
+        phases.push((
+            t,
+            phase_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        ));
+    };
     match target.as_str() {
         "list" => {
             for t in TARGETS {
@@ -303,12 +341,12 @@ fn main() -> ExitCode {
                 if supervisor::is_cancelled().is_some() {
                     break;
                 }
-                run_target(t, &scale, &opts, ckpt.as_ref());
+                timed_run(t, &scale, ckpt.as_ref());
                 ran.push(t);
             }
         }
         t if TARGETS.contains(&t) => {
-            run_target(t, &scale, &opts, ckpt.as_ref());
+            timed_run(t, &scale, ckpt.as_ref());
             ran.push(t);
         }
         other => {
@@ -317,12 +355,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    drop(reporter);
     drop(supervisor_guard);
     pud_observe::flush_global();
+    if let Some(path) = &opts.profile_out {
+        pud_observe::profile::disable();
+        let nodes = pud_observe::profile::snapshot();
+        let folded = pud_observe::profile::render_folded(&nodes);
+        if let Err(e) = std::fs::write(path, folded) {
+            eprintln!("error: cannot write profile file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if target == "all" {
         println!(
             "{}",
-            run_metadata(&ran, &scale, opts.full, started.elapsed())
+            run_metadata(&ran, &scale, opts.full, started.elapsed(), &phases)
         );
     }
     let snap = pud_observe::snapshot();
@@ -384,19 +432,44 @@ fn exit_code(opts: &Options, snap: &pud_observe::Snapshot, token: &CancelToken) 
     ExitCode::SUCCESS
 }
 
-/// One JSON line summarizing a `repro all` run: what ran, how long it took,
-/// the effective sweep thread count, and the headline command-stream
-/// counters.
+/// Peak resident-set size of this process in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`). Best-effort: `None` on platforms without
+/// procfs, in which case the metadata key is simply omitted.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|line| {
+        line.strip_prefix("VmHWM:")?
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse::<u64>()
+            .ok()
+    })
+}
+
+/// One JSON line summarizing a `repro all` run: what ran, how long it took
+/// (overall and per phase), peak memory, the effective sweep thread count,
+/// and the headline command-stream counters.
 fn run_metadata(
     targets: &[&str],
     scale: &Scale,
     full: bool,
     elapsed: std::time::Duration,
+    phases: &[(&str, u64)],
 ) -> String {
     let snap = pud_observe::snapshot();
     let mut list = pud_observe::json::JsonArray::new();
     for t in targets {
         list = list.str(t);
+    }
+    let mut phase_list = pud_observe::json::JsonArray::new();
+    for (name, ns) in phases {
+        phase_list = phase_list.raw(
+            &pud_observe::json::JsonObject::new()
+                .str("target", name)
+                .u64("elapsed_ns", *ns)
+                .finish(),
+        );
     }
     let mut obj = pud_observe::json::JsonObject::new()
         .str("run", "repro-all")
@@ -408,6 +481,11 @@ fn run_metadata(
         .u64("targets", targets.len() as u64)
         .raw("target_list", &list.finish())
         .f64("elapsed_s", elapsed.as_secs_f64())
+        .raw("phases", &phase_list.finish());
+    if let Some(kb) = peak_rss_kb() {
+        obj = obj.u64("peak_rss_kb", kb);
+    }
+    obj = obj
         .u64("acts", snap.counter("bender.acts").unwrap_or(0))
         .u64("bitflips", snap.counter("bender.flips").unwrap_or(0))
         .u64(

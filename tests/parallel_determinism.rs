@@ -10,7 +10,7 @@ use pudhammer_suite::bender::ops;
 use pudhammer_suite::dram::RowAddr;
 use pudhammer_suite::hammer::experiments::{simra, table2, Scale};
 use pudhammer_suite::hammer::fleet::{sweep, Fleet, FleetConfig};
-use pudhammer_suite::observe::{RingBufferSink, SharedSink, TraceEvent};
+use pudhammer_suite::observe::{profile, RingBufferSink, SharedSink, TraceEvent};
 
 /// Tests in this binary share process-global observability state (the
 /// global trace sink, the metrics registry), so they must not overlap.
@@ -135,4 +135,124 @@ fn sweeps_are_byte_identical_across_thread_counts() {
         merged_serial, merged_parallel,
         "merged trace stream must not depend on threads"
     );
+}
+
+/// The call-tree shape a profiled run produces, with the wall-clock fields
+/// stripped: everything here must be independent of the worker count.
+fn tree_shape(nodes: &[profile::ProfileNode]) -> Vec<(String, u64, u64, u64, u64)> {
+    nodes
+        .iter()
+        .map(|n| (n.path.clone(), n.calls, n.commands, n.events, n.warm_hits))
+        .collect()
+}
+
+#[test]
+fn profiled_sweeps_keep_output_and_tree_shape_thread_invariant() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Baseline: the experiment rendered with the profiler off. Profiling
+    // must be invisible to the experiment's own output.
+    profile::disable();
+    profile::reset();
+    let baseline = table2::table2(&tiny_scale(4)).to_string();
+
+    let profiled_run = |threads| {
+        profile::reset();
+        profile::enable();
+        let rendered = table2::table2(&tiny_scale(threads)).to_string();
+        profile::disable();
+        (rendered, profile::snapshot())
+    };
+    let (serial, nodes_serial) = profiled_run(1);
+    let (parallel, nodes_parallel) = profiled_run(4);
+    profile::reset();
+
+    assert_eq!(serial, baseline, "profiling must not change table2 output");
+    assert_eq!(parallel, baseline, "profiled parallel table2 must match");
+
+    // Anchor-based merging puts worker spans at the path the serial
+    // execution would give them, so the tree shape, call counts, and the
+    // deterministic work counters are identical at 1 and 4 threads.
+    let shape = tree_shape(&nodes_serial);
+    assert!(!shape.is_empty(), "a profiled run must collect spans");
+    assert_eq!(
+        shape,
+        tree_shape(&nodes_parallel),
+        "call-tree shape must not depend on threads"
+    );
+    assert!(
+        shape.iter().any(|(path, ..)| path == "experiment.table2"),
+        "the driver span must be a root of the tree"
+    );
+    assert!(
+        shape
+            .iter()
+            .any(|(path, ..)| path.starts_with("experiment.table2;")),
+        "worker spans must nest under the driver span via anchors"
+    );
+    let commands: u64 = shape.iter().map(|&(_, _, cmds, ..)| cmds).sum();
+    assert!(commands > 0, "the sweep must attribute executed commands");
+
+    // Root spans must account for (almost) all measured time: only spans
+    // opened outside any root escape the roots' inclusive totals.
+    let measured = profile::total_self_ns(&nodes_serial);
+    let roots = profile::root_total_ns(&nodes_serial);
+    assert!(
+        roots as f64 >= measured as f64 * 0.95,
+        "root spans cover {roots} of {measured} measured ns"
+    );
+}
+
+/// Replaces the run-dependent nanosecond fields of a folded rendering with
+/// `NS`, leaving the deterministic structure for a golden comparison.
+fn scrub_ns(folded: &str) -> String {
+    folded
+        .lines()
+        .map(|line| {
+            if let Some(rest) = line.strip_prefix("# ") {
+                let scrubbed: Vec<String> = rest
+                    .split(' ')
+                    .map(|field| match field.split_once("total_ns=") {
+                        Some(("", _)) => "total_ns=NS".to_string(),
+                        _ => field.to_string(),
+                    })
+                    .collect();
+                format!("# {}", scrubbed.join(" "))
+            } else {
+                let (path, _) = line.rsplit_once(' ').expect("folded line has a count");
+                format!("{path} NS")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn folded_export_of_a_two_level_nest_matches_the_golden_rendering() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    profile::reset();
+    profile::enable();
+    {
+        let _outer = pudhammer_suite::observe::span("golden.outer");
+        profile::work_commands(2);
+        {
+            let _inner = pudhammer_suite::observe::span("golden.inner");
+            profile::work_events(3);
+            profile::work_warm_hits(1);
+        }
+        {
+            let _inner = pudhammer_suite::observe::span("golden.inner");
+        }
+    }
+    profile::disable();
+    let nodes: Vec<_> = profile::snapshot()
+        .into_iter()
+        .filter(|n| n.path.starts_with("golden.outer"))
+        .collect();
+    profile::reset();
+    let golden = "\
+golden.outer NS
+golden.outer;golden.inner NS
+# golden.outer calls=1 total_ns=NS cmds=2 events=0 warm_hits=0
+# golden.outer;golden.inner calls=2 total_ns=NS cmds=0 events=3 warm_hits=1";
+    assert_eq!(scrub_ns(&profile::render_folded(&nodes)), golden);
 }
