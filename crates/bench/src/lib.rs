@@ -16,6 +16,9 @@ pub mod perf;
 
 use pudhammer::experiments::Scale;
 
+/// Minimum warm-up iterations before [`run_micro`] starts sampling.
+pub const WARMUP_FLOOR: u64 = 4;
+
 /// The scale benches run at (quick by default; `PUD_BENCH_FULL=1` for the
 /// paper-density configuration).
 pub fn bench_scale() -> Scale {
@@ -39,14 +42,21 @@ pub fn run_experiment<T: Display>(name: &str, f: impl FnOnce() -> T) {
     perf::append(&record);
 }
 
-/// Times `f` for `samples` samples of `inner` iterations each, after one
-/// warm-up sample. Per-iteration nanoseconds go into the global histogram
-/// `bench.<name>` (so `--metrics`-style consumers see them) and into the
-/// perf trajectory with exact percentiles, and a summary line is printed.
-/// Returns the mean ns/iteration.
+/// Times `f` for `samples` samples of `inner` iterations each, after a
+/// warm-up phase of at least [`WARMUP_FLOOR`] iterations (one full
+/// sample's worth for cheap benches). Per-iteration nanoseconds go into
+/// the global histogram `bench.<name>` (so `--metrics`-style consumers
+/// see them) and into the perf trajectory with exact percentiles, and a
+/// summary line is printed. Returns the mean ns/iteration.
 pub fn run_micro<T>(name: &str, samples: u64, inner: u64, mut f: impl FnMut() -> T) -> f64 {
     let inner = inner.max(1);
-    for _ in 0..inner {
+    // Expensive benches run with `inner == 1`, where a single warm-up
+    // call left the first measured samples carrying one-time costs (lazy
+    // allocations, page faults, branch-predictor training) — the old
+    // trajectory records show p99/max ~20x p50 from exactly this. A small
+    // fixed floor absorbs the cold start without distorting cheap benches
+    // (their warm-up was already `inner` >> floor iterations).
+    for _ in 0..inner.max(WARMUP_FLOOR) {
         std::hint::black_box(f());
     }
     // One handle for the whole sample loop; each sample records the f64

@@ -9,14 +9,17 @@
 //! (CoMRA), while an ACT‑PRE‑ACT burst with both delays violated activates
 //! a whole SiMRA row group (on chips that support it).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use pud_disturb::{AggressionKind, Bitflip, DataSummary, DisturbEngine, FlipClass, HammerEvent};
+use pud_disturb::{
+    AggressionKind, BatchState, BatchStats, Bitflip, DataSummary, DisturbEngine, FlipClass,
+    HammerEvent,
+};
 use pud_dram::{BankId, Chip, ChipGeometry, DataPattern, ModuleProfile, Picos, RowAddr, RowData};
 use pud_observe::{Counter, SharedSink, TraceEvent, TraceKind};
 
 use crate::command::DramCommand;
+use crate::compile::{CompiledOp, CompiledProgram, ResolvedCmd};
 use crate::env::TestEnv;
 use crate::error::ExecError;
 use crate::fault::{FaultConfig, FaultPlan, FaultState, StuckCell};
@@ -180,7 +183,7 @@ pub struct Executor {
     acts: u64,
     banks: Vec<BankState>,
     episodes: Vec<Option<Episode>>,
-    hist: HashMap<(u8, u32), VictimHist>,
+    hist: pud_disturb::FastMap<(u8, u32), VictimHist>,
     refresh_acc: f64,
     refresh_ptr: u32,
     refs_seen: u64,
@@ -190,6 +193,20 @@ pub struct Executor {
     trace: Option<SharedSink>,
     fault: Option<FaultState>,
     cancel_countdown: u32,
+    /// Whether `try_run` lowers compilable programs onto the compiled
+    /// replay path (the `--no-compile` escape hatch clears it).
+    compile_enabled: bool,
+    /// True while a compiled replay is in flight: `apply_event` then
+    /// routes through the engine's batching caches.
+    batched: bool,
+    /// Pure-function caches for the compiled path (vulnerability samples,
+    /// factor-curve products, victim data summaries). Persists across
+    /// runs — every entry is either immutable or invalidated on data
+    /// writes.
+    batch: BatchState,
+    /// Reusable flip buffer: keeps `apply_event` allocation-free on both
+    /// paths.
+    flip_scratch: Vec<Bitflip>,
 }
 
 /// Commands executed between two invocations of the registered
@@ -228,7 +245,7 @@ impl Executor {
             acts: 0,
             banks,
             episodes,
-            hist: HashMap::new(),
+            hist: pud_disturb::FastMap::default(),
             refresh_acc: 0.0,
             refresh_ptr: 0,
             refs_seen: 0,
@@ -240,7 +257,29 @@ impl Executor {
             trace: pud_observe::global_sink(),
             fault: None,
             cancel_countdown: CANCEL_CHECK_INTERVAL,
+            compile_enabled: true,
+            batched: false,
+            batch: BatchState::new(),
+            flip_scratch: Vec::new(),
         }
+    }
+
+    /// Enables or disables the compiled fast path of [`Executor::try_run`]
+    /// (enabled by default). Results are byte-identical either way; the
+    /// escape hatch exists for A/B measurement and debugging.
+    pub fn set_compile(&mut self, enabled: bool) {
+        self.compile_enabled = enabled;
+    }
+
+    /// Whether `try_run` uses the compiled fast path for compilable
+    /// programs.
+    pub fn compile_enabled(&self) -> bool {
+        self.compile_enabled
+    }
+
+    /// Cache statistics of the compiled path's batching state.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch.stats()
     }
 
     /// Installs a resolved fault schedule (see [`crate::fault`]), replacing
@@ -330,6 +369,7 @@ impl Executor {
         }
         if forced > 0 {
             pud_observe::counter("faults.injected.stuck_bits").add(forced);
+            self.batch.invalidate_row(bank, phys);
         }
     }
 
@@ -434,6 +474,7 @@ impl Executor {
             .expect("valid bank")
             .fill_row(phys, pattern);
         self.engine.rewrite(bank, phys);
+        self.batch.invalidate_row(bank, phys);
         self.apply_stuck(bank, phys);
     }
 
@@ -480,6 +521,14 @@ impl Executor {
         crate::cancel_check();
         self.validate(program)?;
         self.check_fault(program.cmd_count())?;
+        if self.compile_enabled {
+            // Validation passed, so the only reason compilation can fail
+            // here is a pathological program shape — fall through to the
+            // interpreter in that case.
+            if let Some(compiled) = CompiledProgram::compile(program, &self.chip) {
+                return Ok(self.replay(&compiled));
+            }
+        }
         self.report = RunReport::default();
         let start_clock = self.clock;
         let start_acts = self.acts;
@@ -488,6 +537,52 @@ impl Executor {
         self.report.elapsed = self.clock - start_clock;
         self.report.acts = self.acts - start_acts;
         Ok(std::mem::take(&mut self.report))
+    }
+
+    /// Lowers a program onto this chip's geometry and row mapping for
+    /// repeated replay via [`Executor::run_compiled`]. Returns `None` when
+    /// the program is invalid for this chip or not compilable —
+    /// [`Executor::try_run`] then reports the usual typed error (or
+    /// interprets the program).
+    pub fn compile(&self, program: &TestProgram) -> Option<CompiledProgram> {
+        if self.validate_steps(program.steps()).is_err() {
+            return None;
+        }
+        CompiledProgram::compile(program, &self.chip)
+    }
+
+    /// Executes a pre-compiled program, performing the same run-time
+    /// checks as [`Executor::try_run`] (cancellation, the refresh-window
+    /// bound, the fault clock) before replaying the op buffer.
+    pub fn run_compiled(&mut self, compiled: &CompiledProgram) -> Result<RunReport, ExecError> {
+        crate::cancel_check();
+        if self.env.enforce_refresh_window && !self.env.refresh_enabled {
+            let refw = Picos::from_ns(pud_disturb::calib::T_REFW_NS);
+            if compiled.duration() > refw {
+                return Err(ExecError::RefreshWindowExceeded {
+                    duration: compiled.duration(),
+                    refw,
+                });
+            }
+        }
+        self.check_fault(compiled.cmd_count())?;
+        Ok(self.replay(compiled))
+    }
+
+    /// Replays a compiled op buffer. Identical observable semantics to
+    /// `run_steps` over the source program; hammer events route through
+    /// the engine's batching caches.
+    fn replay(&mut self, compiled: &CompiledProgram) -> RunReport {
+        self.report = RunReport::default();
+        let start_clock = self.clock;
+        let start_acts = self.acts;
+        self.batched = true;
+        self.run_ops(&compiled.ops);
+        self.flush_all_pending();
+        self.batched = false;
+        self.report.elapsed = self.clock - start_clock;
+        self.report.acts = self.acts - start_acts;
+        std::mem::take(&mut self.report)
     }
 
     /// Invariant checks on a caller-supplied program (formerly in-line
@@ -555,18 +650,7 @@ impl Executor {
     }
 
     fn run_loop(&mut self, count: u64, body: &[Step]) {
-        let batchable = body.iter().all(|s| {
-            matches!(
-                s,
-                Step::Cmd(tc) if matches!(
-                    tc.cmd,
-                    DramCommand::Act { .. }
-                        | DramCommand::Pre { .. }
-                        | DramCommand::PreAll
-                        | DramCommand::Nop
-                )
-            )
-        });
+        let batchable = body.iter().all(Step::is_batchable_cmd);
         if count <= 3 || !batchable {
             for _ in 0..count {
                 self.run_steps(body);
@@ -610,6 +694,145 @@ impl Executor {
             if let Some(h) = self.hist.get_mut(&(ev.bank.0, ev.victim.0)) {
                 h.last_end = now;
             }
+        }
+    }
+
+    /// Walks a flat op buffer (`run_steps` over compiled slots).
+    fn run_ops(&mut self, ops: &[CompiledOp]) {
+        let mut i = 0;
+        while i < ops.len() {
+            match ops[i] {
+                CompiledOp::Cmd { cmd, delay_after } => {
+                    self.exec_resolved(cmd);
+                    self.clock = self.clock.saturating_add(delay_after);
+                    i += 1;
+                }
+                CompiledOp::Block {
+                    count,
+                    len,
+                    batchable,
+                    body_time,
+                    body_acts,
+                } => {
+                    let body = &ops[i + 1..i + 1 + len as usize];
+                    self.run_block(count, body, batchable, body_time, body_acts);
+                    i += 1 + len as usize;
+                }
+            }
+        }
+    }
+
+    /// `run_loop` over a compiled block: identical warm-up-then-bulk
+    /// semantics, with the batchability predicate and the per-iteration
+    /// aggregates precomputed at compile time.
+    fn run_block(
+        &mut self,
+        count: u64,
+        body: &[CompiledOp],
+        batchable: bool,
+        body_time: Picos,
+        body_acts: u64,
+    ) {
+        if count <= 3 || !batchable {
+            for _ in 0..count {
+                self.run_ops(body);
+            }
+            return;
+        }
+        // Warm up one iteration (side-history effects), record the steady
+        // state from the second, then replay the recorded events in bulk.
+        self.run_ops(body);
+        self.recording = Some(Vec::new());
+        self.run_ops(body);
+        let recorded = self.recording.take().expect("recording was on");
+        let remaining = count - 2;
+        for ev in &recorded {
+            let mut bulk = *ev;
+            bulk.repeat = ev.repeat.saturating_mul(remaining);
+            self.apply_event(&bulk);
+        }
+        self.clock = self
+            .clock
+            .saturating_add(body_time.saturating_mul(remaining));
+        self.acts += body_acts * remaining;
+        self.metrics.acts.add(body_acts * remaining);
+        // The replayed iterations never reach `exec_resolved`; account
+        // their elided commands here (batchable bodies contain only Cmd
+        // slots, so the slot count is the command count).
+        let elided_cmds = body.len() as u64 * remaining;
+        pud_observe::live::add_commands(elided_cmds);
+        pud_observe::profile::work_commands(elided_cmds);
+        // Per-command events are elided for replayed iterations; one batch
+        // marker keeps the trace accountable for them.
+        self.trace(TraceKind::LoopBatch {
+            iterations: remaining,
+            acts: body_acts * remaining,
+        });
+        let now = self.clock;
+        for ev in &recorded {
+            if let Some(h) = self.hist.get_mut(&(ev.bank.0, ev.victim.0)) {
+                h.last_end = now;
+            }
+        }
+    }
+
+    /// `exec_cmd` over a pre-resolved command: same cancellation cadence,
+    /// telemetry, trace events, and metrics — ACT skips the row-decoder
+    /// scramble, which the compiler already applied.
+    fn exec_resolved(&mut self, cmd: ResolvedCmd) {
+        self.cancel_countdown -= 1;
+        if self.cancel_countdown == 0 {
+            self.cancel_countdown = CANCEL_CHECK_INTERVAL;
+            crate::cancel_check();
+        }
+        pud_observe::live::add_commands(1);
+        pud_observe::profile::work_commands(1);
+        match cmd {
+            ResolvedCmd::Act {
+                bank,
+                logical,
+                phys,
+            } => {
+                self.trace(TraceKind::Act {
+                    bank: bank.0,
+                    row: logical.0,
+                });
+                self.do_act_resolved(bank, logical, phys);
+            }
+            ResolvedCmd::Pre { bank } => {
+                self.metrics.pres.incr();
+                self.trace(TraceKind::Pre { bank: bank.0 });
+                self.do_pre(bank);
+            }
+            ResolvedCmd::PreAll => {
+                for b in 0..self.banks.len() as u8 {
+                    self.metrics.pres.incr();
+                    self.trace(TraceKind::Pre { bank: b });
+                    self.do_pre(BankId(b));
+                }
+            }
+            ResolvedCmd::Rd { bank } => {
+                self.metrics.reads.incr();
+                self.trace(TraceKind::Rd { bank: bank.0 });
+                self.do_rd(bank);
+            }
+            ResolvedCmd::Wr { bank, pattern } => {
+                self.metrics.writes.incr();
+                self.trace(TraceKind::Wr { bank: bank.0 });
+                self.do_wr(bank, pattern);
+            }
+            ResolvedCmd::Ref => {
+                self.metrics.refs.incr();
+                self.trace(TraceKind::Ref);
+                self.do_ref();
+                self.refs_seen += 1;
+                if self.refs_seen.is_multiple_of(REFS_PER_WINDOW as u64) {
+                    self.trace(TraceKind::RefreshWindow {
+                        refs: self.refs_seen,
+                    });
+                }
+            }
+            ResolvedCmd::Nop => {}
         }
     }
 
@@ -670,8 +893,12 @@ impl Executor {
     }
 
     fn do_act(&mut self, bank: BankId, logical: RowAddr) {
-        let now = self.clock;
         let phys = self.chip.to_physical(logical);
+        self.do_act_resolved(bank, logical, phys);
+    }
+
+    fn do_act_resolved(&mut self, bank: BankId, logical: RowAddr, phys: RowAddr) {
+        let now = self.clock;
         if let Some(obs) = self.observer.as_mut() {
             obs.on_act(bank, logical);
         }
@@ -839,6 +1066,7 @@ impl Executor {
                 .expect("valid bank")
                 .fill_row(r, pattern);
             self.engine.rewrite(bank, r);
+            self.batch.invalidate_row(bank, r);
             self.apply_stuck(bank, r);
         }
     }
@@ -891,6 +1119,7 @@ impl Executor {
             .expect("valid bank")
             .write_row(dst, data)
             .expect("copy within geometry");
+        self.batch.invalidate_row(bank, dst);
         self.apply_stuck(bank, dst);
     }
 
@@ -922,20 +1151,27 @@ impl Executor {
                 .expect("valid bank")
                 .write_row(r, result.clone())
                 .expect("group within geometry");
+            self.batch.invalidate_row(bank, r);
             self.apply_stuck(bank, r);
         }
     }
 
-    fn aggressor_summary(&self, bank: BankId, row: RowAddr) -> DataSummary {
-        self.chip
-            .bank(bank)
-            .ok()
-            .and_then(|b| b.row(row))
-            .map(DataSummary::from_row)
-            .unwrap_or(DataSummary {
+    fn aggressor_summary(&mut self, bank: BankId, row: RowAddr) -> DataSummary {
+        match self.chip.bank(bank).ok().and_then(|b| b.row(row)) {
+            // On the compiled path existing rows go through the batch
+            // summary cache (shared with the engine's victim summaries —
+            // same key, same data, same invalidation). Missing rows stay
+            // uncached: they can come into existence without an
+            // invalidation call, so their default must never stick.
+            Some(r) if self.batched => self
+                .batch
+                .summary_or_else(bank, row, || DataSummary::from_row(r)),
+            Some(r) => DataSummary::from_row(r),
+            None => DataSummary {
                 ones_fraction: 0.5,
                 checker_fraction: 0.5,
-            })
+            },
+        }
     }
 
     fn flush_pending(&mut self, bank: BankId) {
@@ -1147,20 +1383,32 @@ impl Executor {
         let default_fill = DataPattern::ZEROS;
         let bank = self.chip.bank_mut(ev.bank).expect("event banks are valid");
         let victim_data = bank.row_mut_or(ev.victim, default_fill);
-        let flips: Vec<Bitflip> = self.engine.hammer(ev, victim_data);
-        if !flips.is_empty() {
-            self.metrics.flips.add(flips.len() as u64);
+        self.flip_scratch.clear();
+        if self.batched {
+            self.engine
+                .hammer_batched(ev, victim_data, &mut self.batch, &mut self.flip_scratch);
+        } else {
+            self.engine
+                .hammer_into(ev, victim_data, &mut self.flip_scratch);
+            // Uncached path, but the summary cache may hold this row from
+            // an earlier compiled run: drop it if this event flipped bits.
+            if !self.flip_scratch.is_empty() {
+                self.batch.invalidate_row(ev.bank, ev.victim);
+            }
+        }
+        if !self.flip_scratch.is_empty() {
+            self.metrics.flips.add(self.flip_scratch.len() as u64);
             let logical = self.chip.to_logical(ev.victim);
-            self.report
-                .flips
-                .extend(flips.into_iter().map(|f| FlipRecord {
+            for f in &self.flip_scratch {
+                self.report.flips.push(FlipRecord {
                     bank: ev.bank,
                     phys_row: ev.victim,
                     logical_row: logical,
                     col: f.col,
                     to: f.to,
                     class: f.class,
-                }));
+                });
+            }
         }
     }
 }

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod command;
+mod compile;
 mod env;
 mod error;
 mod executor;
@@ -50,6 +51,7 @@ mod program;
 pub mod simra_decode;
 
 pub use command::{DramCommand, TimedCommand};
+pub use compile::{CompiledProgram, MAX_NEST_DEPTH};
 pub use env::TestEnv;
 pub use error::ExecError;
 pub use executor::{ActivityObserver, Executor, FlipRecord, RunReport};

@@ -333,6 +333,84 @@ fn run_raises_exec_errors_as_typed_panic_payloads() {
 }
 
 #[test]
+fn compiled_replay_is_bit_identical_to_interpreter() {
+    // One composite program touching every command kind the compiler
+    // lowers: writes, a batchable double-sided loop, CoMRA timing
+    // violations, RD capture, and a nested loop. The compiled replay and
+    // the interpreter must agree on every observable output.
+    let bank = BankId(0);
+    let mut compiled_exec = executor_seeded(9);
+    let mut interp_exec = executor_seeded(9);
+    // Aggressors at physical rows 20 and 22 sandwich physical row 21.
+    let a = compiled_exec.chip().to_logical(RowAddr(20));
+    let b_row = compiled_exec.chip().to_logical(RowAddr(22));
+    let far = compiled_exec.chip().to_logical(RowAddr(40));
+    let dst = compiled_exec.chip().to_logical(RowAddr(60));
+    let mut program = TestProgram::new();
+    // Seed the aggressors with a known pattern through WR commands so the
+    // whole experiment, writes included, flows through one program.
+    program
+        .act(bank, a, ops::t_ras())
+        .wr(bank, DataPattern::CHECKER_55, Picos::from_ns(15.0))
+        .pre(bank, ops::t_rp())
+        .act(bank, b_row, ops::t_ras())
+        .wr(bank, DataPattern::CHECKER_55, Picos::from_ns(15.0))
+        .pre(bank, ops::t_rp());
+    program.repeat(500_000, |b| {
+        b.act(bank, a, ops::t_ras())
+            .pre(bank, ops::t_rp())
+            .act(bank, b_row, ops::t_ras())
+            .pre(bank, ops::t_rp());
+    });
+    program.repeat(3, |inner| {
+        inner.repeat(500, |b| {
+            b.act(bank, far, ops::t_ras()).pre(bank, ops::t_rp());
+        });
+        inner
+            .act(bank, far, ops::t_ras())
+            .rd(bank, Picos::from_ns(15.0))
+            .pre(bank, ops::t_rp());
+    });
+    // RowClone-style copy: ACT src - tRAS - PRE - 7.5 ns - ACT dst.
+    program
+        .act(bank, a, ops::t_ras())
+        .pre(bank, Picos::from_ns(7.5))
+        .act(bank, dst, ops::t_ras())
+        .pre(bank, ops::t_rp());
+    interp_exec.set_compile(false);
+    assert!(compiled_exec.compile_enabled());
+    assert!(!interp_exec.compile_enabled());
+    assert!(
+        compiled_exec.compile(&program).is_some(),
+        "composite program must be compilable"
+    );
+
+    let rc = compiled_exec.run(&program);
+    let ri = interp_exec.run(&program);
+    assert_eq!(rc.flips, ri.flips);
+    assert_eq!(rc.reads, ri.reads);
+    assert_eq!(rc.elapsed, ri.elapsed);
+    assert_eq!(rc.acts, ri.acts);
+    assert!(!rc.flips.is_empty(), "500K ds cycles exceed any HC_first");
+    for row in 18..=24 {
+        assert_eq!(
+            compiled_exec.read_row(bank, RowAddr(row)),
+            interp_exec.read_row(bank, RowAddr(row)),
+            "row {row} data diverged"
+        );
+    }
+    let (acc_c, _) = compiled_exec.engine().accumulated(bank, RowAddr(21));
+    let (acc_i, _) = interp_exec.engine().accumulated(bank, RowAddr(21));
+    assert_eq!(acc_c, acc_i, "accumulated disturbance diverged");
+    let stats = compiled_exec.batch_stats();
+    assert!(
+        stats.hits() > 0,
+        "compiled path must serve lookups from the batch caches"
+    );
+    assert_eq!(interp_exec.batch_stats().hits(), 0);
+}
+
+#[test]
 fn strict_env_allows_long_programs_when_refresh_is_on() {
     let mut exec = executor();
     let mut env = TestEnv::with_refresh();

@@ -1,10 +1,9 @@
 //! The disturbance engine: turns hammer events into accumulated disturbance
 //! and materialized bitflips.
 
-use std::collections::HashMap;
-
 use pud_dram::{BankId, ChipGeometry, Manufacturer, ModuleProfile, RowAddr, RowData};
 
+use crate::batch::{BatchState, FastMap, WeightKey};
 use crate::calib;
 use crate::curve::LogLogCurve;
 use crate::event::{AggressionKind, DataSummary, FlipClass, HammerEvent};
@@ -52,7 +51,7 @@ pub struct DisturbEngine {
     /// Columns already flipped per victim row — survives charge
     /// restoration (a refresh preserves the flipped data), cleared only
     /// when the row is rewritten.
-    flip_history: HashMap<(BankId, RowAddr), std::collections::HashSet<u32>>,
+    flip_history: FastMap<(BankId, RowAddr), std::collections::HashSet<u32>>,
     press_rh: LogLogCurve,
     press_comra: LogLogCurve,
     comra_timing: LogLogCurve,
@@ -60,7 +59,7 @@ pub struct DisturbEngine {
     simra_pre_act: LogLogCurve,
     temp_comra: LogLogCurve,
     spatial_rh: [f64; 5],
-    states: HashMap<(BankId, RowAddr), RowState>,
+    states: FastMap<(BankId, RowAddr), RowState>,
 }
 
 impl DisturbEngine {
@@ -75,7 +74,7 @@ impl DisturbEngine {
         let mfr = profile.chip_vendor;
         DisturbEngine {
             model: VulnModel::new(profile, geometry, chip_index, seed),
-            flip_history: HashMap::new(),
+            flip_history: FastMap::default(),
             press_rh: calib::press_curve_rowhammer(),
             press_comra: calib::press_curve_comra(),
             comra_timing: calib::comra_timing_curve(mfr),
@@ -83,7 +82,7 @@ impl DisturbEngine {
             simra_pre_act: calib::simra_pre_act_curve(),
             temp_comra: calib::temp_curve_comra(mfr),
             spatial_rh: calib::spatial_weights_rh(mfr),
-            states: HashMap::new(),
+            states: FastMap::default(),
         }
     }
 
@@ -97,31 +96,102 @@ impl DisturbEngine {
     ///
     /// Returns the flips produced by this call (possibly empty).
     pub fn hammer(&mut self, ev: &HammerEvent, victim_data: &mut RowData) -> Vec<Bitflip> {
+        let mut flips = Vec::new();
+        self.hammer_into(ev, victim_data, &mut flips);
+        flips
+    }
+
+    /// As [`DisturbEngine::hammer`], but appends the produced flips to a
+    /// caller-provided buffer instead of allocating a fresh `Vec` per
+    /// event — the executor keeps one scratch buffer per run so the
+    /// interpreter hot loop stays allocation-free.
+    pub fn hammer_into(
+        &mut self,
+        ev: &HammerEvent,
+        victim_data: &mut RowData,
+        out: &mut Vec<Bitflip>,
+    ) {
         // A batched event with repeat N stands for N applied disturbance
         // events; the profiler's work counter weights it accordingly.
         pud_observe::profile::work_events(ev.repeat);
         let vuln = self.model.row_vuln(ev.bank, ev.victim);
-        let class = ev.kind.flip_class();
         let w = self.event_weight(ev, &vuln);
-        let st = self.states.entry((ev.bank, ev.victim)).or_default();
-        let add = w * ev.repeat as f64;
-        if ev.kind.is_comra() {
-            st.a_comra += add;
-        } else {
-            match class {
-                FlipClass::RowHammer => st.a_rh += add,
-                FlipClass::Simra => st.a_simra += add,
+        self.apply_weighted(ev, &vuln, w, victim_data, out, None);
+    }
+
+    /// As [`DisturbEngine::hammer_into`], with the per-row vulnerability
+    /// sample, the per-event factor-curve product, and the victim data
+    /// summary served from `batch`'s caches. Every cached value is a pure
+    /// function of its key, so the accumulated disturbance and the
+    /// materialized flips are bit-identical to the uncached path — the
+    /// compiled executor replay leans on this.
+    pub fn hammer_batched(
+        &mut self,
+        ev: &HammerEvent,
+        victim_data: &mut RowData,
+        batch: &mut BatchState,
+        out: &mut Vec<Bitflip>,
+    ) {
+        pud_observe::profile::work_events(ev.repeat);
+        let key = (ev.bank, ev.victim);
+        let vuln = match batch.vulns.get(&key) {
+            Some(v) => {
+                batch.stats.vuln_hits += 1;
+                *v
             }
-        }
-        let st = *self
-            .states
-            .get(&(ev.bank, ev.victim))
-            .expect("state just inserted");
-        let mut flips = Vec::new();
+            None => {
+                batch.stats.vuln_misses += 1;
+                let v = self.model.row_vuln(ev.bank, ev.victim);
+                batch.vulns.insert(key, v);
+                v
+            }
+        };
+        let wkey = WeightKey::of(ev);
+        let w = match batch.weights.get(&wkey) {
+            Some(w) => {
+                batch.stats.weight_hits += 1;
+                *w
+            }
+            None => {
+                batch.stats.weight_misses += 1;
+                let w = self.event_weight(ev, &vuln);
+                batch.weights.insert(wkey, w);
+                w
+            }
+        };
+        self.apply_weighted(ev, &vuln, w, victim_data, out, Some(batch));
+    }
+
+    /// Shared back half of [`DisturbEngine::hammer_into`] and
+    /// [`DisturbEngine::hammer_batched`]: accumulates the weighted
+    /// disturbance and evaluates both flip classes against the (stale, as
+    /// of before this event) state snapshot.
+    fn apply_weighted(
+        &mut self,
+        ev: &HammerEvent,
+        vuln: &RowVuln,
+        w: f64,
+        victim_data: &mut RowData,
+        out: &mut Vec<Bitflip>,
+        mut batch: Option<&mut BatchState>,
+    ) {
+        let class = ev.kind.flip_class();
+        let st = {
+            let st = self.states.entry((ev.bank, ev.victim)).or_default();
+            let add = w * ev.repeat as f64;
+            if ev.kind.is_comra() {
+                st.a_comra += add;
+            } else {
+                match class {
+                    FlipClass::RowHammer => st.a_rh += add,
+                    FlipClass::Simra => st.a_simra += add,
+                }
+            }
+            *st
+        };
         for c in [FlipClass::RowHammer, FlipClass::Simra] {
-            flips.extend(self.evaluate_flips(ev, &vuln, st, c, victim_data));
+            self.evaluate_flips_into(ev, vuln, st, c, victim_data, out, batch.as_deref_mut());
         }
-        flips
     }
 
     /// Reports charge restoration of a victim row (activation or refresh):
@@ -242,6 +312,30 @@ impl DisturbEngine {
     /// victim holding `summary`: the fraction of cells whose stored value
     /// can flip under the class's direction mix, normalized to the
     /// worst-case data pattern.
+    /// [`DisturbEngine::eligibility`] through the batch cache when one is
+    /// available: the result is pure in `(class, ones_fraction, beta)` and
+    /// its `powf` is a measurable slice of a cache-hit hammer call.
+    fn eligibility_cached(
+        class: FlipClass,
+        summary: &DataSummary,
+        beta: f64,
+        batch: Option<&mut BatchState>,
+    ) -> (f64, f64) {
+        match batch {
+            Some(b) => {
+                let key = (class as u8, summary.ones_fraction.to_bits(), beta.to_bits());
+                if let Some(v) = b.eligs.get(&key) {
+                    *v
+                } else {
+                    let v = DisturbEngine::eligibility(class, summary, beta);
+                    b.eligs.insert(key, v);
+                    v
+                }
+            }
+            None => DisturbEngine::eligibility(class, summary, beta),
+        }
+    }
+
     fn eligibility(class: FlipClass, summary: &DataSummary, beta: f64) -> (f64, f64) {
         let dom = class.dominant_fraction();
         let frac_src_dom = if class.dominant_source_bit() {
@@ -305,29 +399,49 @@ impl DisturbEngine {
         }
     }
 
-    fn evaluate_flips(
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_flips_into(
         &mut self,
         ev: &HammerEvent,
         vuln: &RowVuln,
         st: RowState,
         class: FlipClass,
         victim_data: &mut RowData,
-    ) -> Vec<Bitflip> {
+        out: &mut Vec<Bitflip>,
+        mut batch: Option<&mut BatchState>,
+    ) {
         let t_base = vuln.base_threshold(class);
         if !t_base.is_finite() {
-            return Vec::new();
+            return;
         }
         // Data-dependent eligibility: fraction of the victim's cells whose
         // stored value lets them flip under this class's direction mix.
-        let summary = DataSummary::from_row(victim_data);
+        // The batched path serves the summary from its cache; entries are
+        // invalidated below whenever this call mutates the row, so the
+        // cached value always equals a fresh scan.
+        let summary = match batch.as_deref_mut() {
+            Some(b) => {
+                if let Some(s) = b.summaries.get(&(ev.bank, ev.victim)) {
+                    b.stats.summary_hits += 1;
+                    *s
+                } else {
+                    b.stats.summary_misses += 1;
+                    let s = DataSummary::from_row(victim_data);
+                    b.summaries.insert((ev.bank, ev.victim), s);
+                    s
+                }
+            }
+            None => DataSummary::from_row(victim_data),
+        };
         let progress = self.effective_progress(st, vuln, class, &summary);
         if progress <= 0.0 {
-            return Vec::new();
+            return;
         }
-        let (p, elig_factor) = DisturbEngine::eligibility(class, &summary, vuln.beta);
+        let (p, elig_factor) =
+            DisturbEngine::eligibility_cached(class, &summary, vuln.beta, batch.as_deref_mut());
         let t_first = t_base * elig_factor;
         if progress < t_first {
-            return Vec::new();
+            return;
         }
         let crossed = (progress / t_first).powf(vuln.beta).floor() as u64;
         let eligible_cells = (p * f64::from(victim_data.cols())).ceil() as u64;
@@ -345,10 +459,11 @@ impl DisturbEngine {
         }
         .max(hist_len);
         if visible <= already {
-            return Vec::new();
+            return;
         }
         let fresh = (visible - already).min(MATERIALIZE_CAP);
-        let mut flips = Vec::with_capacity(fresh as usize);
+        let before = out.len();
+        out.reserve(fresh as usize);
         let cols = victim_data.cols();
         let class_tag = match class {
             FlipClass::RowHammer => 0xA1u64,
@@ -381,11 +496,20 @@ impl DisturbEngine {
             if let Some((col, src)) = found {
                 history.insert(col);
                 victim_data.set_bit(col, !src);
-                flips.push(Bitflip {
+                out.push(Bitflip {
                     col,
                     to: !src,
                     class,
                 });
+            }
+        }
+        // The victim data changed under a cached summary: drop the entry
+        // so the next evaluation (including the second class of this very
+        // event) rescans the mutated row, exactly as the uncached path
+        // does.
+        if out.len() > before {
+            if let Some(b) = batch {
+                b.summaries.remove(&(ev.bank, ev.victim));
             }
         }
         let st_mut = self
@@ -396,7 +520,6 @@ impl DisturbEngine {
             FlipClass::RowHammer => st_mut.emitted_rh = already + fresh,
             FlipClass::Simra => st_mut.emitted_simra = already + fresh,
         }
-        flips
     }
 }
 
@@ -453,6 +576,62 @@ mod tests {
         // RowHammer-class flips dominate 0→1 (55/45 direction mix).
         let up = flips.iter().filter(|f| f.to).count() as f64 / flips.len() as f64;
         assert!(up > 0.42, "dominant direction should be 0->1, up={up}");
+    }
+
+    #[test]
+    fn batched_path_is_bit_identical_to_plain_hammer() {
+        use crate::batch::BatchState;
+        // Drive both paths through the full lifecycle — sub-threshold
+        // accumulation, the first flips, massive over-hammering, restore,
+        // and a temperature change — and require identical flips, identical
+        // victim data, and identical f64 accumulator state at every step.
+        let mut plain = engine(1);
+        let mut batched = engine(1);
+        let mut batch = BatchState::new();
+        let mut v_plain = victim_row();
+        let mut v_batched = victim_row();
+        let vuln = plain.model().row_vuln(BankId(0), RowAddr(10));
+        let kinds = [
+            AggressionKind::RowHammerDouble,
+            AggressionKind::RowHammerSingle,
+            AggressionKind::ComraDouble {
+                pre_to_act: Picos::from_ns(7.5),
+                reversed: false,
+            },
+            AggressionKind::SimraDouble {
+                n_rows: 4,
+                act_to_pre: Picos::from_ns(3.0),
+                pre_to_act: Picos::from_ns(3.0),
+            },
+        ];
+        let repeats = [10, 500, (vuln.t_rh * 20.0) as u64, 100, 100_000];
+        for (step, &repeat) in repeats.iter().enumerate() {
+            for kind in kinds {
+                let mut ev = checker_event(kind, repeat);
+                if step == 4 {
+                    ev.temperature = pud_dram::Celsius(50.0);
+                }
+                let expected = plain.hammer(&ev, &mut v_plain);
+                let mut got = Vec::new();
+                batched.hammer_batched(&ev, &mut v_batched, &mut batch, &mut got);
+                assert_eq!(expected, got, "flips diverge at step {step} {kind:?}");
+                assert_eq!(
+                    v_plain, v_batched,
+                    "victim data diverges at step {step} {kind:?}"
+                );
+                assert_eq!(
+                    plain.accumulated(BankId(0), RowAddr(10)),
+                    batched.accumulated(BankId(0), RowAddr(10)),
+                    "accumulators diverge at step {step} {kind:?}"
+                );
+            }
+            if step == 2 {
+                plain.restore(BankId(0), RowAddr(10));
+                batched.restore(BankId(0), RowAddr(10));
+            }
+        }
+        let stats = batch.stats();
+        assert!(stats.hits() > stats.misses(), "caches must carry the load");
     }
 
     #[test]

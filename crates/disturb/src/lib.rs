@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod calib;
 mod curve;
 mod engine;
@@ -53,6 +54,7 @@ mod event;
 pub mod rng;
 mod vuln;
 
+pub use batch::{BatchState, BatchStats, FastHasher, FastMap};
 pub use curve::{solve_mu_for_inverse_mean, LogLogCurve};
 pub use engine::{Bitflip, DisturbEngine};
 pub use event::{AggressionKind, DataSummary, FlipClass, HammerEvent};

@@ -16,7 +16,7 @@ use crate::rng;
 /// The sampled vulnerability of one victim row.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RowVuln {
-    key: u64,
+    pub(crate) key: u64,
     /// Weakest-cell threshold (effective hammers) for the RowHammer class
     /// at reference conditions.
     pub t_rh: f64,

@@ -35,6 +35,14 @@ pub struct FleetConfig {
     /// itself — only the `repro` CLI resolves the environment into this
     /// field, so library callers and tests stay race-free.
     pub fault: Option<FaultConfig>,
+    /// Disables the compiled-replay fast path so every program runs
+    /// through the step interpreter. Results are bit-identical either way
+    /// (the equivalence suite enforces it), so this field is deliberately
+    /// NOT part of [`FleetConfig::fingerprint`]: checkpoints written by a
+    /// compiled run resume cleanly under `--no-compile` and vice versa.
+    /// Like `fault`, only the `repro` CLI resolves `PUD_NO_COMPILE` into
+    /// this field.
+    pub no_compile: bool,
 }
 
 impl FleetConfig {
@@ -46,6 +54,7 @@ impl FleetConfig {
             chips_per_family: 1,
             victims_per_subarray: 4,
             fault: None,
+            no_compile: false,
         }
     }
 
@@ -57,6 +66,7 @@ impl FleetConfig {
             chips_per_family: 2,
             victims_per_subarray: 32,
             fault: None,
+            no_compile: false,
         }
     }
 
@@ -234,6 +244,7 @@ impl Fleet {
             }
             for chip_index in 0..config.chips_per_family {
                 let mut exec = Executor::new(profile, config.geometry, chip_index, config.seed);
+                exec.set_compile(!config.no_compile);
                 if let Some(fault) = &config.fault {
                     exec.enable_faults(fault, &profile.key(), chip_index);
                 }

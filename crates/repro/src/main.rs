@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! repro <target> [--full] [--threads <n>] [--metrics] [--trace-out <path>] [--quiet]
-//!                [--fault-seed <u64>] [--max-retries <n>] [--checkpoint <path>]
-//!                [--deadline <secs>] [--deadline-units <n>] [--strict]
+//!                [--fault-seed <u64>] [--no-compile] [--max-retries <n>]
+//!                [--checkpoint <path>] [--deadline <secs>] [--deadline-units <n>]
+//!                [--strict]
 //! repro all [...same flags...]
 //! repro list
 //! ```
@@ -42,6 +43,10 @@
 //!   and reported in a footer under the affected tables;
 //! - `--max-retries <n>` sets the per-chip transient retry budget
 //!   (default 3);
+//! - `--no-compile` (or `PUD_NO_COMPILE=1`) disables the compiled-replay
+//!   fast path so every test program runs through the step interpreter.
+//!   Output is bit-identical either way; the flag exists to bisect a
+//!   suspected compiled-path divergence and to benchmark the baseline;
 //! - `--checkpoint <path>` appends each completed unit (chip, family, or
 //!   technique) to a JSONL checkpoint and, on a re-run against the same
 //!   file, replays units already recorded instead of re-measuring them.
@@ -132,6 +137,7 @@ struct Options {
     profile_out: Option<String>,
     progress: bool,
     fault_seed: Option<u64>,
+    no_compile: bool,
     max_retries: Option<u32>,
     checkpoint: Option<String>,
     deadline: Option<f64>,
@@ -143,8 +149,9 @@ fn usage() {
     eprintln!(
         "usage: repro <target|all|list> [--full] [--threads <n>] [--metrics] \
          [--trace-out <path>] [--profile-out <path>] [--progress] [--quiet] \
-         [--fault-seed <u64>] [--max-retries <n>] [--checkpoint <path>] \
-         [--deadline <secs>] [--deadline-units <n>] [--strict]"
+         [--fault-seed <u64>] [--no-compile] [--max-retries <n>] \
+         [--checkpoint <path>] [--deadline <secs>] [--deadline-units <n>] \
+         [--strict]"
     );
     eprintln!("targets: {}", TARGETS.join(", "));
 }
@@ -160,6 +167,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         profile_out: None,
         progress: false,
         fault_seed: None,
+        no_compile: false,
         max_retries: None,
         checkpoint: None,
         deadline: None,
@@ -202,6 +210,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
                 opts.fault_seed = Some(seed);
             }
+            "--no-compile" => opts.no_compile = true,
             "--max-retries" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
                     return Err("--max-retries requires an unsigned integer".to_string());
@@ -287,6 +296,11 @@ fn main() -> ExitCode {
         .fault_seed
         .map(FaultConfig::from_seed)
         .or_else(FaultConfig::from_env);
+    // `--no-compile` (or PUD_NO_COMPILE=1) pins every executor to the step
+    // interpreter — the escape hatch for bisecting a suspected compiled-
+    // replay divergence. Results are bit-identical either way.
+    scale.fleet.no_compile =
+        opts.no_compile || env::var("PUD_NO_COMPILE").is_ok_and(|v| !v.is_empty() && v != "0");
     if let Some(n) = opts.max_retries {
         scale.max_retries = n;
     }
@@ -504,6 +518,11 @@ fn run_metadata(
             "hcfirst_searches",
             snap.counter("hcfirst.searches").unwrap_or(0),
         );
+    // The interpreter key appears only under --no-compile, so a default
+    // (compiled) run's metadata is byte-identical to a pre-compile build.
+    if scale.fleet.no_compile {
+        obj = obj.bool("no_compile", true);
+    }
     // Fault-injection keys appear only when faults are enabled, so a
     // fault-free run's metadata is byte-identical to a pre-fault build.
     if scale.fleet.fault.is_some() {

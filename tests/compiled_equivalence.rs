@@ -1,0 +1,181 @@
+//! Interpreter-vs-compiled equivalence: the compiled replay fast path
+//! (`CompiledProgram` + batched disturbance accumulation) is a pure
+//! optimisation, so every observable artifact — rendered experiment
+//! output, trace streams, checkpoint records, fault-injection behavior —
+//! must be byte-identical to the step interpreter at any thread count.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use pudhammer_suite::bender::fault::FaultConfig;
+use pudhammer_suite::hammer::experiments::{comra, simra, table2, Scale};
+use pudhammer_suite::hammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore};
+use pudhammer_suite::observe::{RingBufferSink, TraceEvent};
+
+/// Tests in this binary share process-global observability state (the
+/// global trace sink, the metrics registry), so they must not overlap.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn tiny_scale(threads: usize, no_compile: bool) -> Scale {
+    let mut s = Scale::quick();
+    s.fleet.victims_per_subarray = 1;
+    s.threads = threads;
+    s.fleet.no_compile = no_compile;
+    s
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("pud-ce-{name}-{}", std::process::id()));
+    p
+}
+
+#[test]
+fn table2_output_and_traces_match_across_paths_and_thread_counts() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    // A global ring sink captures every command-stream event the
+    // experiments' executors emit. The compiled replay path must feed it
+    // the exact event sequence the interpreter produces.
+    let global = Arc::new(Mutex::new(RingBufferSink::new(1 << 20)));
+    pudhammer_suite::observe::set_global_sink(global.clone());
+    let drain = |ring: &Arc<Mutex<RingBufferSink>>| -> Vec<TraceEvent> {
+        let mut ring = ring.lock().unwrap();
+        assert_eq!(ring.dropped(), 0, "ring must hold the full event stream");
+        let events = ring.to_vec();
+        ring.clear();
+        events
+    };
+    let run = |threads, no_compile| {
+        let rendered = table2::table2(&tiny_scale(threads, no_compile)).to_string();
+        (rendered, drain(&global))
+    };
+
+    let (reference, ref_events) = run(1, false);
+    assert!(!ref_events.is_empty(), "table2 must emit trace events");
+    for (threads, no_compile) in [(1, true), (4, false), (4, true)] {
+        let (rendered, events) = run(threads, no_compile);
+        assert_eq!(
+            reference, rendered,
+            "table2 output must not depend on the execution path \
+             (threads={threads}, no_compile={no_compile})"
+        );
+        assert_eq!(
+            ref_events, events,
+            "table2 trace stream must not depend on the execution path \
+             (threads={threads}, no_compile={no_compile})"
+        );
+    }
+    pudhammer_suite::observe::clear_global_sink();
+}
+
+#[test]
+fn fig10_and_fig14_render_identically_on_both_paths() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    for threads in [1, 4] {
+        let compiled = comra::fig10(&tiny_scale(threads, false)).to_string();
+        let interpreted = comra::fig10(&tiny_scale(threads, true)).to_string();
+        assert_eq!(
+            compiled, interpreted,
+            "fig10 must not depend on the execution path (threads={threads})"
+        );
+        let compiled = simra::fig14(&tiny_scale(threads, false)).to_string();
+        let interpreted = simra::fig14(&tiny_scale(threads, true)).to_string();
+        assert_eq!(
+            compiled, interpreted,
+            "fig14 must not depend on the execution path (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_records_match_and_interoperate_across_paths() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let compiled_scale = tiny_scale(1, false);
+    let interp_scale = tiny_scale(1, true);
+    // `no_compile` is deliberately excluded from the fleet fingerprint:
+    // both paths produce the same results, so their checkpoints belong to
+    // the same campaign and must interoperate.
+    assert_eq!(
+        compiled_scale.fleet.fingerprint(),
+        interp_scale.fleet.fingerprint(),
+        "no_compile must not change the campaign fingerprint"
+    );
+    let header = |scale: &Scale| CheckpointHeader {
+        target: "table2".to_string(),
+        scale: "quick".to_string(),
+        fingerprint: scale.fleet.fingerprint(),
+        fault_seed: None,
+    };
+    let path_compiled = temp_path("ckpt-compiled");
+    let path_interp = temp_path("ckpt-interp");
+    let _ = std::fs::remove_file(&path_compiled);
+    let _ = std::fs::remove_file(&path_interp);
+
+    let store = CheckpointStore::open(&path_compiled, header(&compiled_scale)).expect("create");
+    let reference = table2::table2_ckpt(&compiled_scale, Some(&store)).to_string();
+    drop(store);
+    let store = CheckpointStore::open(&path_interp, header(&interp_scale)).expect("create");
+    let interpreted = table2::table2_ckpt(&interp_scale, Some(&store)).to_string();
+    drop(store);
+    assert_eq!(reference, interpreted, "rendered tables must match");
+    let bytes_compiled = std::fs::read(&path_compiled).expect("read compiled checkpoint");
+    let bytes_interp = std::fs::read(&path_interp).expect("read interpreter checkpoint");
+    assert_eq!(
+        bytes_compiled, bytes_interp,
+        "checkpoint records must be byte-identical across execution paths"
+    );
+
+    // Cross-resume: a checkpoint written by the compiled path replays on
+    // the interpreter path (and vice versa, by the byte-equality above)
+    // without re-measuring anything.
+    let store = CheckpointStore::open(&path_compiled, header(&interp_scale)).expect("cross-open");
+    assert_eq!(store.recovered(), 14, "all rows recovered");
+    let resumed = table2::table2_ckpt(&interp_scale, Some(&store)).to_string();
+    assert_eq!(
+        reference, resumed,
+        "cross-path resume must be byte-identical"
+    );
+    let _ = std::fs::remove_file(&path_compiled);
+    let _ = std::fs::remove_file(&path_interp);
+}
+
+#[test]
+fn fault_plan_fires_identically_on_both_paths() {
+    let _guard = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    // Seed 103 is the curated campaign (see examples/fault_seed_scan.rs):
+    // one chip dies, three transient faults are retried. The fault plan
+    // triggers on executed-command counts, so the compiled replay must
+    // advance the same counters the interpreter does.
+    let run = |threads, no_compile| {
+        let mut s = tiny_scale(threads, no_compile);
+        s.fleet.fault = Some(FaultConfig::from_seed(103));
+        table2::table2(&s)
+    };
+    let compiled = run(1, false);
+    let interpreted = run(1, true);
+    assert_eq!(
+        compiled.to_string(),
+        interpreted.to_string(),
+        "fault-seeded table2 must not depend on the execution path"
+    );
+    let quarantined = |t: &table2::Table2| {
+        t.sweep
+            .chips
+            .iter()
+            .filter(|c| c.quarantined.is_some())
+            .map(|c| c.label.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(quarantined(&compiled), quarantined(&interpreted));
+    assert_eq!(quarantined(&compiled), vec!["Micron-E-16Gb#0".to_string()]);
+    assert_eq!(
+        compiled.sweep.retries(),
+        3,
+        "1 + 2 transient faults retried"
+    );
+    assert_eq!(interpreted.sweep.retries(), 3);
+
+    // Four interpreter workers still reproduce the compiled reference.
+    let interpreted4 = run(4, true);
+    assert_eq!(compiled.to_string(), interpreted4.to_string());
+}
