@@ -106,9 +106,9 @@ fn bench_hc_first_search() {
 fn sweep_work(_: usize, chip: &mut ChipUnderTest) {
     let bank = chip.bank();
     let victim = chip.victim_rows()[0];
-    let kernel = rowhammer_ds_for(chip.exec.chip(), victim).expect("victim has neighbours");
+    let kernel = rowhammer_ds_for(chip.exec().chip(), victim).expect("victim has neighbours");
     black_box(find_wcdp(
-        &mut chip.exec,
+        chip.exec(),
         bank,
         &kernel,
         victim,

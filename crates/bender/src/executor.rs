@@ -73,6 +73,13 @@ pub struct FlipRecord {
     pub class: FlipClass,
 }
 
+/// Opaque snapshot of an executor's lifetime fault bookkeeping (plan,
+/// command clock, consumed transients). Lets a paged-out chip carry its
+/// fault history across executor teardown/rebuild — see
+/// [`Executor::fault_carry`] / [`Executor::restore_fault_carry`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultCarry(pub(crate) Option<FaultState>);
+
 /// Result of executing one test program.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -333,9 +340,30 @@ impl Executor {
                     fault: kind.name(),
                     at_cmd,
                 });
+                if kind == crate::fault::FaultKind::WorkerAbort {
+                    // The injected fault models an OOM-kill / stray SIGKILL
+                    // of the hosting worker process: tear the process down
+                    // abruptly, exactly like the real thing. Recovery is
+                    // the shard coordinator's job, not this process's.
+                    eprintln!("worker-abort fault: aborting process at command {at_cmd}");
+                    std::process::abort();
+                }
                 Err(ExecError::Fault { kind, at_cmd })
             }
         }
+    }
+
+    /// Snapshots the executor's lifetime fault bookkeeping so a paged-out
+    /// chip can be rematerialized without resetting its fault clock (a
+    /// reset would replay already-consumed transient faults).
+    pub fn fault_carry(&self) -> FaultCarry {
+        FaultCarry(self.fault.clone())
+    }
+
+    /// Restores fault bookkeeping captured by [`Executor::fault_carry`],
+    /// replacing whatever [`Executor::enable_faults`] installed.
+    pub fn restore_fault_carry(&mut self, carry: FaultCarry) {
+        self.fault = carry.0;
     }
 
     /// Forces any stuck-at cells of `phys` back to their stuck values —
@@ -393,6 +421,11 @@ impl Executor {
     /// Detaches the trace sink, returning it (restores the null fast path).
     pub fn take_trace_sink(&mut self) -> Option<SharedSink> {
         self.trace.take()
+    }
+
+    /// A clone of the attached trace sink, if any, without detaching it.
+    pub fn trace_sink_ref(&self) -> Option<SharedSink> {
+        self.trace.clone()
     }
 
     /// Emits one trace event if a sink is attached. With no sink this is a

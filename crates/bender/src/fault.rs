@@ -49,6 +49,9 @@ pub enum FaultKind {
     ChipDead,
     /// Cells stuck at fixed values (permanent; the chip keeps running).
     StuckCells,
+    /// The *worker process* hosting the chip aborts mid-shard (fatal to
+    /// the process, not to the chip: a respawned worker resumes it).
+    WorkerAbort,
 }
 
 impl FaultKind {
@@ -60,6 +63,7 @@ impl FaultKind {
             FaultKind::ActDrop => "act_drop",
             FaultKind::ChipDead => "chip_dead",
             FaultKind::StuckCells => "stuck_cells",
+            FaultKind::WorkerAbort => "worker_abort",
         }
     }
 
@@ -81,6 +85,12 @@ pub struct FaultConfig {
     pub transient_permille: u32,
     /// Per-mille probability that a chip draws a permanent fault.
     pub permanent_permille: u32,
+    /// Per-mille probability that a chip schedules a *worker-abort*: the
+    /// hosting process aborts at a deterministic lifetime command ordinal.
+    /// Simulates an OOM-kill or stray SIGKILL for crash-recovery tests.
+    /// Never affects measured values (the aborted unit is re-measured by a
+    /// respawned worker), so it is excluded from fleet fingerprints.
+    pub worker_abort_permille: u32,
 }
 
 impl FaultConfig {
@@ -92,7 +102,33 @@ impl FaultConfig {
             seed,
             transient_permille: 200,
             permanent_permille: 70,
+            worker_abort_permille: 0,
         }
+    }
+
+    /// A configuration that injects *only* worker-abort faults: no chip
+    /// draws transient or permanent faults, so measured values are exactly
+    /// those of an unfaulted run — only the hosting process crashes.
+    pub fn worker_abort_only(seed: u64, permille: u32) -> FaultConfig {
+        FaultConfig {
+            seed,
+            transient_permille: 0,
+            permanent_permille: 0,
+            worker_abort_permille: permille,
+        }
+    }
+
+    /// Returns this configuration with the worker-abort probability set.
+    pub fn with_worker_abort(mut self, permille: u32) -> FaultConfig {
+        self.worker_abort_permille = permille;
+        self
+    }
+
+    /// Whether any chip-level (value-affecting) fault class is enabled.
+    /// Worker aborts alone do not count: they kill the process, never the
+    /// measurement.
+    pub fn affects_chips(&self) -> bool {
+        self.transient_permille > 0 || self.permanent_permille > 0
     }
 
     /// Reads [`FAULT_SEED_ENV`] (re-read on every call — never cached) and
@@ -147,6 +183,9 @@ pub struct FaultPlan {
     pub dead_after: Option<u64>,
     /// Permanently stuck cells, forced after every write.
     pub stuck: Vec<StuckCell>,
+    /// The hosting worker process aborts once this many commands have been
+    /// issued to this chip. Drawn independently of the chip fault class.
+    pub abort_after: Option<u64>,
 }
 
 fn key_hash(key: &str) -> u64 {
@@ -198,9 +237,19 @@ impl FaultPlan {
         chip_index: u32,
         geometry: &ChipGeometry,
     ) -> Option<FaultPlan> {
-        let class = FaultPlan::classify(config, family_key, chip_index)?;
         let id = chip_id(config, family_key, chip_index);
         let mut plan = FaultPlan::default();
+        // Worker aborts are drawn independently of the chip fault class so
+        // enabling them never perturbs which chips draw transient/permanent
+        // faults (seeded CI expectations stay stable).
+        if config.worker_abort_permille > 0
+            && unit(&[id[0], id[1], id[2], 6]) < f64::from(config.worker_abort_permille) / 1000.0
+        {
+            plan.abort_after = Some(500 + draw(&id, 7) % 20_000);
+        }
+        let Some(class) = FaultPlan::classify(config, family_key, chip_index) else {
+            return (plan != FaultPlan::default()).then_some(plan);
+        };
         match class {
             FaultClass::Transient(n) => {
                 for k in 0..u64::from(n) {
@@ -275,18 +324,25 @@ impl FaultState {
             .filter(|t| t.at_cmd <= self.cmds)
             .copied();
         let dead = self.plan.dead_after.filter(|&d| self.cmds >= d);
-        match (transient, dead) {
-            (Some(t), Some(d)) if t.at_cmd <= d => {
+        let abort = self.plan.abort_after.filter(|&a| self.cmds >= a);
+        // Earliest ordinal wins; ties break abort > transient > dead (the
+        // transient-over-dead tie preserves the pre-abort behaviour).
+        let candidates = [
+            abort.map(|a| (FaultKind::WorkerAbort, a)),
+            transient.map(|t| (t.kind, t.at_cmd)),
+            dead.map(|d| (FaultKind::ChipDead, d)),
+        ];
+        let fired = candidates
+            .iter()
+            .flatten()
+            .copied()
+            .min_by_key(|&(_, at)| at);
+        if let Some((kind, _)) = fired {
+            if kind.is_transient() {
                 self.next_transient += 1;
-                Some((t.kind, t.at_cmd))
             }
-            (_, Some(d)) => Some((FaultKind::ChipDead, d)),
-            (Some(t), None) => {
-                self.next_transient += 1;
-                Some((t.kind, t.at_cmd))
-            }
-            (None, None) => None,
         }
+        fired
     }
 }
 
@@ -325,8 +381,7 @@ mod tests {
                 kind: FaultKind::CommandTimeout,
                 at_cmd: 5,
             }],
-            dead_after: None,
-            stuck: Vec::new(),
+            ..FaultPlan::default()
         };
         let mut st = FaultState::new(plan);
         assert_eq!(st.advance(4), None);
@@ -337,9 +392,8 @@ mod tests {
     #[test]
     fn dead_chip_fails_every_command_after_threshold() {
         let plan = FaultPlan {
-            transients: Vec::new(),
             dead_after: Some(10),
-            stuck: Vec::new(),
+            ..FaultPlan::default()
         };
         let mut st = FaultState::new(plan);
         assert_eq!(st.advance(9), None);
@@ -355,12 +409,66 @@ mod tests {
                 at_cmd: 1_000,
             }],
             dead_after: Some(2_000),
-            stuck: Vec::new(),
+            ..FaultPlan::default()
         };
         let mut st = FaultState::new(plan);
         // One bulk step jumps over both thresholds: the earlier fault wins.
         assert_eq!(st.advance(5_000), Some((FaultKind::ActDrop, 1_000)));
         assert_eq!(st.advance(1), Some((FaultKind::ChipDead, 2_000)));
+    }
+
+    #[test]
+    fn worker_abort_draws_are_independent_of_chip_faults() {
+        let base = FaultConfig::from_seed(103);
+        let with_abort = base.with_worker_abort(1000);
+        // Enabling aborts must not change which chips draw which class —
+        // the curated seed-103 CI expectations depend on this.
+        for key in ["H0", "H1", "M0", "S0", "N0"] {
+            for idx in 0..4 {
+                assert_eq!(
+                    FaultPlan::classify(&base, key, idx),
+                    FaultPlan::classify(&with_abort, key, idx),
+                    "{key}#{idx}"
+                );
+                let a = FaultPlan::derive(&base, key, idx, &geometry());
+                let b = FaultPlan::derive(&with_abort, key, idx, &geometry());
+                // Strip the abort schedule and the plans must match.
+                let b_stripped = b.clone().map(|mut p| {
+                    p.abort_after = None;
+                    p
+                });
+                let b_stripped = b_stripped.filter(|p| p != &FaultPlan::default());
+                assert_eq!(a, b_stripped, "{key}#{idx}: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_abort_only_config_schedules_every_chip_at_full_probability() {
+        let cfg = FaultConfig::worker_abort_only(7, 1000);
+        assert!(!cfg.affects_chips());
+        let plan =
+            FaultPlan::derive(&cfg, "H0", 0, &geometry()).expect("permille 1000 always fires");
+        assert!(plan.transients.is_empty() && plan.dead_after.is_none() && plan.stuck.is_empty());
+        let at = plan.abort_after.expect("abort scheduled");
+        assert!((500..20_500).contains(&at), "{at}");
+        // Deterministic from the identity alone.
+        assert_eq!(plan, FaultPlan::derive(&cfg, "H0", 0, &geometry()).unwrap());
+    }
+
+    #[test]
+    fn abort_fires_at_its_ordinal_and_wins_ties() {
+        let plan = FaultPlan {
+            transients: vec![TransientFault {
+                kind: FaultKind::BusGlitch,
+                at_cmd: 10,
+            }],
+            abort_after: Some(10),
+            ..FaultPlan::default()
+        };
+        let mut st = FaultState::new(plan);
+        assert_eq!(st.advance(9), None);
+        assert_eq!(st.advance(1), Some((FaultKind::WorkerAbort, 10)));
     }
 
     #[test]

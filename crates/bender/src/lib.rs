@@ -54,7 +54,7 @@ pub use command::{DramCommand, TimedCommand};
 pub use compile::{CompiledProgram, MAX_NEST_DEPTH};
 pub use env::TestEnv;
 pub use error::ExecError;
-pub use executor::{ActivityObserver, Executor, FlipRecord, RunReport};
+pub use executor::{ActivityObserver, Executor, FaultCarry, FlipRecord, RunReport};
 pub use program::{Step, TestProgram};
 
 /// Process-wide cooperative cancellation probe, registered once by a

@@ -16,8 +16,7 @@ fn transient_plan(at_cmd: u64) -> FaultPlan {
             kind: FaultKind::BusGlitch,
             at_cmd,
         }],
-        dead_after: None,
-        stuck: Vec::new(),
+        ..FaultPlan::default()
     }
 }
 
@@ -55,9 +54,8 @@ fn transient_fault_aborts_then_retry_reproduces_the_fault_free_run() {
 fn dead_chip_fails_every_subsequent_run() {
     let mut exec = executor();
     exec.install_fault_plan(FaultPlan {
-        transients: Vec::new(),
         dead_after: Some(100),
-        stuck: Vec::new(),
+        ..FaultPlan::default()
     });
     let prog = ops::single_sided_rowhammer(BankId(0), RowAddr(10), ops::t_ras(), 1_000);
     for _ in 0..3 {
@@ -81,8 +79,6 @@ fn stuck_cells_defeat_host_writes() {
     let logical = exec.chip().to_logical(RowAddr(20));
     let phys = exec.chip().to_physical(logical);
     exec.install_fault_plan(FaultPlan {
-        transients: Vec::new(),
-        dead_after: None,
         stuck: vec![
             StuckCell {
                 bank: 0,
@@ -97,6 +93,7 @@ fn stuck_cells_defeat_host_writes() {
                 value: false,
             },
         ],
+        ..FaultPlan::default()
     });
     exec.write_row(bank, logical, DataPattern::ZEROS);
     let row = exec.read_row(bank, logical).expect("row exists");
@@ -114,14 +111,13 @@ fn program_writes_hit_stuck_cells_too() {
     let logical = exec.chip().to_logical(RowAddr(30));
     let phys = exec.chip().to_physical(logical);
     exec.install_fault_plan(FaultPlan {
-        transients: Vec::new(),
-        dead_after: None,
         stuck: vec![StuckCell {
             bank: 0,
             row: phys.0,
             col: 5,
             value: false,
         }],
+        ..FaultPlan::default()
     });
     let mut prog = pud_bender::TestProgram::new();
     prog.act(bank, logical, Picos::from_ns(36.0))

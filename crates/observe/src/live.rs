@@ -21,6 +21,8 @@ static ITEMS_TOTAL: AtomicU64 = AtomicU64::new(0);
 static RETRIES: AtomicU64 = AtomicU64::new(0);
 static QUARANTINED: AtomicU64 = AtomicU64::new(0);
 static UNITS_DONE: AtomicU64 = AtomicU64::new(0);
+static WORKERS_UP: AtomicU64 = AtomicU64::new(0);
+static WORKERS_TOTAL: AtomicU64 = AtomicU64::new(0);
 
 /// Whether live telemetry is being collected (a single relaxed load — the
 /// cost every hot path pays when telemetry is off).
@@ -48,9 +50,37 @@ pub fn reset() {
         &RETRIES,
         &QUARANTINED,
         &UNITS_DONE,
+        &WORKERS_UP,
+        &WORKERS_TOTAL,
     ] {
         c.store(0, Ordering::Relaxed);
     }
+}
+
+/// Overwrites the six campaign counters with absolute values (the worker
+/// gauges are untouched). The shard coordinator aggregates its workers'
+/// progress frames into one fleet-wide view and publishes it here, so the
+/// same `--progress` reporter renders local and sharded campaigns alike.
+/// No-op unless [`enabled`].
+pub fn overwrite(snap: &LiveSnapshot) {
+    if !enabled() {
+        return;
+    }
+    COMMANDS.store(snap.commands, Ordering::Relaxed);
+    ITEMS_DONE.store(snap.items_done, Ordering::Relaxed);
+    ITEMS_TOTAL.store(snap.items_total, Ordering::Relaxed);
+    RETRIES.store(snap.retries, Ordering::Relaxed);
+    QUARANTINED.store(snap.quarantined, Ordering::Relaxed);
+    UNITS_DONE.store(snap.units_done, Ordering::Relaxed);
+}
+
+/// Publishes the worker-fleet gauge: `up` workers currently alive out of
+/// `total` shards (0/0 = not a sharded campaign). Unlike the campaign
+/// counters this is written even when collection is disabled — the gauge
+/// describes coordinator state, not sweep hot-path events.
+pub fn set_workers(up: u64, total: u64) {
+    WORKERS_UP.store(up, Ordering::Relaxed);
+    WORKERS_TOTAL.store(total, Ordering::Relaxed);
 }
 
 /// Records `n` executed DRAM commands. No-op unless [`enabled`].
@@ -117,6 +147,10 @@ pub struct LiveSnapshot {
     pub quarantined: u64,
     /// Supervisor units completed.
     pub units_done: u64,
+    /// Worker processes currently alive (sharded campaigns; else 0).
+    pub workers_up: u64,
+    /// Total worker shards of the campaign (sharded campaigns; else 0).
+    pub workers_total: u64,
 }
 
 /// Reads every live counter (relaxed; values may be mid-update skewed,
@@ -129,6 +163,8 @@ pub fn live_snapshot() -> LiveSnapshot {
         retries: RETRIES.load(Ordering::Relaxed),
         quarantined: QUARANTINED.load(Ordering::Relaxed),
         units_done: UNITS_DONE.load(Ordering::Relaxed),
+        workers_up: WORKERS_UP.load(Ordering::Relaxed),
+        workers_total: WORKERS_TOTAL.load(Ordering::Relaxed),
     }
 }
 
@@ -164,6 +200,34 @@ mod tests {
         assert_eq!(snap.quarantined, 1);
         assert_eq!(snap.units_done, 1);
         disable();
+        reset();
+    }
+
+    #[test]
+    fn overwrite_sets_absolute_values_and_spares_worker_gauges() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        add_commands(5);
+        set_workers(3, 4);
+        overwrite(&LiveSnapshot {
+            commands: 100,
+            items_done: 7,
+            items_total: 14,
+            retries: 2,
+            quarantined: 1,
+            units_done: 9,
+            ..Default::default()
+        });
+        let snap = live_snapshot();
+        assert_eq!(snap.commands, 100, "absolute, not additive");
+        assert_eq!(snap.items_done, 7);
+        assert_eq!(snap.workers_up, 3, "gauge untouched by overwrite");
+        assert_eq!(snap.workers_total, 4);
+        disable();
+        overwrite(&LiveSnapshot::default());
+        assert_eq!(live_snapshot().commands, 100, "no-op while disabled");
+        set_workers(0, 0);
         reset();
     }
 }

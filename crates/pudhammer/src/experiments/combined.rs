@@ -130,11 +130,11 @@ fn run_combined(scale: &Scale, plan: StagePlan, ctx: Option<&RunCtx<'_>>) -> Com
         let mut baseline_vals = Vec::new();
         let bank = chip.bank();
         for (simra_kernel, victim) in crate::experiments::simra::ds_targets(chip, 4, cap) {
-            let Some(rh_kernel) = rowhammer_ds_for(chip.exec.chip(), victim) else {
+            let Some(rh_kernel) = rowhammer_ds_for(chip.exec().chip(), victim) else {
                 continue;
             };
-            let comra_kernel = comra_ds_for(chip.exec.chip(), victim, false);
-            let Some(h_rh) = measure_with_dp(scale, &mut chip.exec, bank, &rh_kernel, victim, dp)
+            let comra_kernel = comra_ds_for(chip.exec().chip(), victim, false);
+            let Some(h_rh) = measure_with_dp(scale, chip.exec(), bank, &rh_kernel, victim, dp)
             else {
                 continue;
             };
@@ -144,20 +144,20 @@ fn run_combined(scale: &Scale, plan: StagePlan, ctx: Option<&RunCtx<'_>>) -> Com
             let stages_ok = match plan {
                 StagePlan::Comra => comra_kernel
                     .and_then(|k| {
-                        measure_with_dp(scale, &mut chip.exec, bank, &k, victim, dp)
+                        measure_with_dp(scale, chip.exec(), bank, &k, victim, dp)
                             .map(|h| stage_kernels.push((k, h)))
                     })
                     .is_some(),
                 StagePlan::Simra => {
-                    measure_with_dp(scale, &mut chip.exec, bank, &simra_kernel, victim, dp)
+                    measure_with_dp(scale, chip.exec(), bank, &simra_kernel, victim, dp)
                         .map(|h| stage_kernels.push((simra_kernel, h)))
                         .is_some()
                 }
                 StagePlan::ComraThenSimra => {
                     let c = comra_kernel.and_then(|k| {
-                        measure_with_dp(scale, &mut chip.exec, bank, &k, victim, dp).map(|h| (k, h))
+                        measure_with_dp(scale, chip.exec(), bank, &k, victim, dp).map(|h| (k, h))
                     });
-                    let s = measure_with_dp(scale, &mut chip.exec, bank, &simra_kernel, victim, dp)
+                    let s = measure_with_dp(scale, chip.exec(), bank, &simra_kernel, victim, dp)
                         .map(|h| (simra_kernel, h));
                     match (c, s) {
                         (Some(c), Some(s)) => {
@@ -178,7 +178,7 @@ fn run_combined(scale: &Scale, plan: StagePlan, ctx: Option<&RunCtx<'_>>) -> Com
                     .map(|&(k, h)| (k, ((h as f64) * *fr) as u64))
                     .collect();
                 if let Some(rh_phase) =
-                    combined_hc(scale, &mut chip.exec, bank, &stages, &rh_kernel, victim, dp)
+                    combined_hc(scale, chip.exec(), bank, &stages, &rh_kernel, victim, dp)
                 {
                     changes.push(percent_change(rh_phase as f64, h_rh as f64));
                     totals.push(rh_phase as f64);

@@ -220,8 +220,7 @@ pub fn fig6_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig6 {
     let mut cells = Vec::new();
     for temp in Celsius::TESTED {
         for chip in &mut fleet.chips {
-            chip.exec
-                .set_env(TestEnv::characterization().at_temperature(temp));
+            chip.set_env(TestEnv::characterization().at_temperature(temp));
         }
         let recs = collect_hc(
             scale,
@@ -602,12 +601,12 @@ pub fn fig10_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig10 {
         for victim in chip.victim_rows() {
             let pairs: [(Option<_>, Option<_>); 2] = [
                 (
-                    comra_ds_for(chip.exec.chip(), victim, false),
-                    comra_ds_for(chip.exec.chip(), victim, true),
+                    comra_ds_for(chip.exec().chip(), victim, false),
+                    comra_ds_for(chip.exec().chip(), victim, true),
                 ),
                 (
-                    comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, false),
-                    comra_ss_for(chip.exec.chip(), victim, DEFAULT_FAR_OFFSET, true),
+                    comra_ss_for(chip.exec().chip(), victim, DEFAULT_FAR_OFFSET, false),
+                    comra_ss_for(chip.exec().chip(), victim, DEFAULT_FAR_OFFSET, true),
                 ),
             ];
             for (idx, (fwd, rev)) in pairs.into_iter().enumerate() {
@@ -616,9 +615,9 @@ pub fn fig10_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig10 {
                 };
                 let mut warm = crate::hcfirst::WarmStart::new();
                 let hf =
-                    measure_with_dp_warm(scale, &mut chip.exec, bank, &fwd, victim, dp, &mut warm);
+                    measure_with_dp_warm(scale, chip.exec(), bank, &fwd, victim, dp, &mut warm);
                 let hr =
-                    measure_with_dp_warm(scale, &mut chip.exec, bank, &rev, victim, dp, &mut warm);
+                    measure_with_dp_warm(scale, chip.exec(), bank, &rev, victim, dp, &mut warm);
                 if let (Some(a), Some(b)) = (hf, hr) {
                     let change = percent_change(b as f64, a as f64);
                     if idx == 0 {

@@ -280,18 +280,18 @@ pub(crate) fn collect_hc(
         let bank = chip.bank();
         let mut records = Vec::new();
         for victim in chip.victim_rows() {
-            let Some(kernel) = make_kernel(chip.exec.chip(), victim) else {
+            let Some(kernel) = make_kernel(chip.exec().chip(), victim) else {
                 continue;
             };
             let hc = match dp {
-                Some(dp) => measure_with_dp(scale, &mut chip.exec, bank, &kernel, victim, dp),
-                None => measure_with_policy(scale, &mut chip.exec, bank, &kernel, victim),
+                Some(dp) => measure_with_dp(scale, chip.exec(), bank, &kernel, victim, dp),
+                None => measure_with_policy(scale, chip.exec(), bank, &kernel, victim),
             };
             records.push(Record {
                 chip: chip_idx,
                 mfr: chip.profile.chip_vendor,
                 victim,
-                region: chip.exec.chip().geometry().region_of(victim),
+                region: chip.exec().chip().geometry().region_of(victim),
                 hc,
             });
         }
@@ -328,7 +328,7 @@ pub fn measure_with_dp_pub(
 /// Test/debug-only re-export of the SiMRA target enumeration.
 #[doc(hidden)]
 pub fn simra_debug_targets(
-    chip: &crate::fleet::ChipUnderTest,
+    chip: &mut crate::fleet::ChipUnderTest,
     n: u8,
     cap: usize,
 ) -> Vec<(Kernel, pud_dram::RowAddr)> {

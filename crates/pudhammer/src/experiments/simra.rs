@@ -27,15 +27,15 @@ pub const SS_GROUP_SIZES: [u8; 5] = [2, 4, 8, 16, 32];
 /// subarray's blocks (mirroring the paper's "100 random groups per
 /// subarray", §5.2) so every subarray region is represented; the chip's
 /// designated most-vulnerable row is always included.
-pub(crate) fn ds_targets(chip: &ChipUnderTest, n: u8, cap: usize) -> Vec<(Kernel, RowAddr)> {
-    let hero = chip.exec.engine().model().hero_row().map(|(_, r)| r);
+pub(crate) fn ds_targets(chip: &mut ChipUnderTest, n: u8, cap: usize) -> Vec<(Kernel, RowAddr)> {
+    let hero = chip.exec().engine().model().hero_row().map(|(_, r)| r);
     let mut targets = spread_targets(chip, n, cap, true);
     if let Some(hero) = hero {
         if !targets.iter().any(|(_, v)| *v == hero) {
             // Find a sandwiching kernel containing the hero row.
-            if let Some(sa) = chip.exec.chip().geometry().subarray_of(hero) {
-                for kernel in simra_ds_kernels(chip.exec.chip(), sa, n) {
-                    let (sandwiched, _) = simra_victims(chip.exec.chip(), &kernel);
+            if let Some(sa) = chip.exec().chip().geometry().subarray_of(hero) {
+                for kernel in simra_ds_kernels(chip.exec().chip(), sa, n) {
+                    let (sandwiched, _) = simra_victims(chip.exec().chip(), &kernel);
                     if sandwiched.contains(&hero) {
                         targets.push((kernel, hero));
                         break;
@@ -47,12 +47,12 @@ pub(crate) fn ds_targets(chip: &ChipUnderTest, n: u8, cap: usize) -> Vec<(Kernel
     targets
 }
 
-fn ss_targets(chip: &ChipUnderTest, n: u8, cap: usize) -> Vec<(Kernel, RowAddr)> {
+fn ss_targets(chip: &mut ChipUnderTest, n: u8, cap: usize) -> Vec<(Kernel, RowAddr)> {
     spread_targets(chip, n, cap, false)
 }
 
 fn spread_targets(
-    chip: &ChipUnderTest,
+    chip: &mut ChipUnderTest,
     n: u8,
     cap: usize,
     double_sided: bool,
@@ -62,13 +62,13 @@ fn spread_targets(
     let mut targets = Vec::new();
     for sa in subarrays {
         let kernels = if double_sided {
-            simra_ds_kernels(chip.exec.chip(), sa, n)
+            simra_ds_kernels(chip.exec().chip(), sa, n)
         } else {
-            simra_ss_kernels(chip.exec.chip(), sa, n)
+            simra_ss_kernels(chip.exec().chip(), sa, n)
         };
         let mut candidates: Vec<(Kernel, RowAddr)> = Vec::new();
         for kernel in kernels {
-            let (sandwiched, edge) = simra_victims(chip.exec.chip(), &kernel);
+            let (sandwiched, edge) = simra_victims(chip.exec().chip(), &kernel);
             let victims = if double_sided { sandwiched } else { edge };
             for v in victims {
                 if !candidates.iter().any(|(_, cv)| *cv == v) {
@@ -147,18 +147,18 @@ pub fn fig13_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig13 {
             for (kernel, victim) in ds_targets(chip, n, cap) {
                 let hc_si = measure_with_dp(
                     scale,
-                    &mut chip.exec,
+                    chip.exec(),
                     bank,
                     &kernel,
                     victim,
                     DataPattern::ZEROS,
                 );
-                let Some(rh_kernel) = rowhammer_ds_for(chip.exec.chip(), victim) else {
+                let Some(rh_kernel) = rowhammer_ds_for(chip.exec().chip(), victim) else {
                     continue;
                 };
                 let hc_rh = measure_with_dp(
                     scale,
-                    &mut chip.exec,
+                    chip.exec(),
                     bank,
                     &rh_kernel,
                     victim,
@@ -259,7 +259,7 @@ pub fn fig14_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig14 {
                 for (i, dp) in DataPattern::TESTED.into_iter().enumerate() {
                     if let Some(h) = measure_with_dp_warm(
                         scale,
-                        &mut chip.exec,
+                        chip.exec(),
                         bank,
                         &kernel,
                         victim,
@@ -338,8 +338,7 @@ pub fn fig15_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig15 {
         // measures every group size, so the per-chip operation sequence
         // matches the serial path exactly.
         let per_chip = sweep_fleet(scale, &mut fleet, &mut sweep, ctx.as_ref(), |_, chip| {
-            chip.exec
-                .set_env(TestEnv::characterization().at_temperature(temp));
+            chip.set_env(TestEnv::characterization().at_temperature(temp));
             let bank = chip.bank();
             let mut by_n: Vec<Vec<f64>> = Vec::with_capacity(DS_GROUP_SIZES.len());
             for n in DS_GROUP_SIZES {
@@ -347,7 +346,7 @@ pub fn fig15_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig15 {
                 for (kernel, victim) in ds_targets(chip, n, cap) {
                     if let Some(h) = measure_with_dp(
                         scale,
-                        &mut chip.exec,
+                        chip.exec(),
                         bank,
                         &kernel,
                         victim,
@@ -423,7 +422,7 @@ pub fn fig16_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig16 {
             for (kernel, victim) in ss_targets(chip, n, cap) {
                 if let Some(h) = measure_with_dp(
                     scale,
-                    &mut chip.exec,
+                    chip.exec(),
                     bank,
                     &kernel,
                     victim,
@@ -432,10 +431,10 @@ pub fn fig16_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig16 {
                     vals.push(h as f64);
                 }
                 if n == 2 {
-                    if let Some(rk) = rowhammer_ss_for(chip.exec.chip(), victim) {
+                    if let Some(rk) = rowhammer_ss_for(chip.exec().chip(), victim) {
                         if let Some(h) = measure_with_dp(
                             scale,
-                            &mut chip.exec,
+                            chip.exec(),
                             bank,
                             &rk,
                             victim,
@@ -512,13 +511,13 @@ pub fn fig17_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig17 {
             let bank = chip.bank();
             let mut press_vals = Vec::new();
             for victim in chip.victim_rows() {
-                let Some(k) = rowhammer_ds_for(chip.exec.chip(), victim) else {
+                let Some(k) = rowhammer_ds_for(chip.exec().chip(), victim) else {
                     continue;
                 };
                 let k = k.with_t_aggon(t_on);
                 if let Some(h) = measure_with_dp(
                     scale,
-                    &mut chip.exec,
+                    chip.exec(),
                     bank,
                     &k,
                     victim,
@@ -533,7 +532,7 @@ pub fn fig17_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig17 {
                 for (kernel, victim) in ds_targets(chip, n, cap) {
                     let k = kernel.with_t_aggon(t_on);
                     if let Some(h) =
-                        measure_with_dp(scale, &mut chip.exec, bank, &k, victim, DataPattern::ZEROS)
+                        measure_with_dp(scale, chip.exec(), bank, &k, victim, DataPattern::ZEROS)
                     {
                         vals.push(h as f64);
                     }
@@ -631,7 +630,7 @@ pub fn fig18_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig18 {
                         t_aggon,
                     };
                     if let Some(h) =
-                        measure_with_dp(scale, &mut chip.exec, bank, &k, victim, DataPattern::ZEROS)
+                        measure_with_dp(scale, chip.exec(), bank, &k, victim, DataPattern::ZEROS)
                     {
                         vals.push(h as f64);
                     }
@@ -695,10 +694,10 @@ pub fn fig19_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Fig19 {
             let bank = chip.bank();
             let mut by_region: Vec<Vec<f64>> = vec![Vec::new(); 5];
             for (kernel, victim) in ds_targets(chip, n, cap) {
-                let region = chip.exec.chip().geometry().region_of(victim);
+                let region = chip.exec().chip().geometry().region_of(victim);
                 if let Some(h) = measure_with_dp(
                     scale,
-                    &mut chip.exec,
+                    chip.exec(),
                     bank,
                     &kernel,
                     victim,

@@ -102,10 +102,10 @@ pub fn table2_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Table2 {
             let mut rh_vals = Vec::new();
             let mut comra_vals = Vec::new();
             for victim in chip.victim_rows() {
-                if let Some(k) = rowhammer_ds_for(chip.exec.chip(), victim) {
+                if let Some(k) = rowhammer_ds_for(chip.exec().chip(), victim) {
                     if let Some(h) = measure_with_dp(
                         scale,
-                        &mut chip.exec,
+                        chip.exec(),
                         bank,
                         &k,
                         victim,
@@ -114,10 +114,10 @@ pub fn table2_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Table2 {
                         rh_vals.push(h as f64);
                     }
                 }
-                if let Some(k) = comra_ds_for(chip.exec.chip(), victim, false) {
+                if let Some(k) = comra_ds_for(chip.exec().chip(), victim, false) {
                     if let Some(h) = measure_with_dp(
                         scale,
-                        &mut chip.exec,
+                        chip.exec(),
                         bank,
                         &k,
                         victim,
@@ -133,7 +133,7 @@ pub fn table2_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Table2 {
                     for (kernel, victim) in crate::experiments::simra::ds_targets(chip, n, cap) {
                         if let Some(h) = measure_with_dp(
                             scale,
-                            &mut chip.exec,
+                            chip.exec(),
                             bank,
                             &kernel,
                             victim,
@@ -173,10 +173,11 @@ pub fn table2_ckpt(scale: &Scale, ckpt: Option<&CheckpointStore>) -> Table2 {
                     });
                 }
             }
-            // A cancelled family's row is simply absent from the partial
-            // table (the sweep footer says why); it was never recorded, so
-            // a resumed run re-measures it.
-            SweepOutcome::Cancelled(_) => {}
+            // A cancelled or skipped family's row is simply absent from
+            // the partial table (the sweep footer says why for failed
+            // shards; out-of-shard units belong to another worker); it was
+            // never recorded, so a resume or merge re-measures it.
+            SweepOutcome::Cancelled(_) | SweepOutcome::Skipped(_) => {}
         }
     }
     sweep.record_metrics();

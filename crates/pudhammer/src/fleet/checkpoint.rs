@@ -39,6 +39,21 @@ use pud_observe::JsonValue;
 /// Checkpoint file-format version.
 pub const CHECKPOINT_VERSION: u64 = 1;
 
+/// The shard a checkpoint file belongs to, when it is one shard's slice of
+/// a sharded campaign (see [`super::shard`]). Stored in the header so the
+/// coordinator's merge can reject a stray file from a different topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSlot {
+    /// Shard index, `0..count`.
+    pub index: u32,
+    /// Total shard count of the campaign.
+    pub count: u32,
+    /// First chip (fleet order) owned by the shard.
+    pub chip_lo: u32,
+    /// One past the last chip owned by the shard.
+    pub chip_hi: u32,
+}
+
 /// Campaign identity stored in (and verified against) the first line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointHeader {
@@ -51,53 +66,99 @@ pub struct CheckpointHeader {
     /// The fault seed, if fault injection is on (informational — the
     /// fingerprint already covers the full fault configuration).
     pub fault_seed: Option<u64>,
+    /// Set when the file is one shard's slice of a sharded campaign;
+    /// `None` for whole-campaign files (including merged ones). Absent
+    /// from the rendered header when `None`, so pre-sharding files parse
+    /// unchanged.
+    pub shard: Option<ShardSlot>,
+}
+
+/// Why a header line could not be accepted, before campaign comparison.
+enum HeaderIssue {
+    /// The file declares a schema version this build does not speak.
+    Version(u64),
+    /// Not parseable as a checkpoint header at all.
+    Malformed(String),
 }
 
 impl CheckpointHeader {
-    fn render(&self) -> String {
+    /// Renders the header line exactly as [`CheckpointStore::open`] writes
+    /// it for a fresh file (the shard merge rebuilds merged files with it).
+    pub(crate) fn render(&self) -> String {
         let obj = JsonObject::new()
             .str("kind", "pud-checkpoint")
             .u64("version", CHECKPOINT_VERSION)
             .str("target", &self.target)
             .str("scale", &self.scale)
             .u64("fingerprint", self.fingerprint);
-        match self.fault_seed {
+        let obj = match self.fault_seed {
             Some(seed) => obj.u64("fault_seed", seed),
             None => obj.raw("fault_seed", "null"),
+        };
+        match self.shard {
+            None => obj,
+            Some(s) => obj.raw(
+                "shard",
+                &JsonArray::new()
+                    .u64(u64::from(s.index))
+                    .u64(u64::from(s.count))
+                    .u64(u64::from(s.chip_lo))
+                    .u64(u64::from(s.chip_hi))
+                    .finish(),
+            ),
         }
         .finish()
     }
 
-    fn parse(line: &str) -> Result<CheckpointHeader, String> {
-        let v = JsonValue::parse(line).map_err(|e| format!("unparseable header: {e}"))?;
+    fn parse(line: &str) -> Result<CheckpointHeader, HeaderIssue> {
+        let malformed = HeaderIssue::Malformed;
+        let v =
+            JsonValue::parse(line).map_err(|e| malformed(format!("unparseable header: {e}")))?;
         if v.get("kind").and_then(JsonValue::as_str) != Some("pud-checkpoint") {
-            return Err("not a pud-checkpoint file".to_string());
+            return Err(malformed("not a pud-checkpoint file".to_string()));
         }
         let version = v
             .get("version")
             .and_then(JsonValue::as_u64)
-            .ok_or("header missing version")?;
+            .ok_or_else(|| malformed("header missing version".to_string()))?;
         if version != CHECKPOINT_VERSION {
-            return Err(format!(
-                "unsupported checkpoint version {version} (this build writes {CHECKPOINT_VERSION})"
-            ));
+            return Err(HeaderIssue::Version(version));
         }
+        let shard = match v.get("shard") {
+            None => None,
+            Some(s) => {
+                let words: Vec<u64> = s
+                    .as_arr()
+                    .map(|items| items.iter().filter_map(JsonValue::as_u64).collect())
+                    .unwrap_or_default();
+                match words[..] {
+                    [index, count, chip_lo, chip_hi] => Some(ShardSlot {
+                        index: index as u32,
+                        count: count as u32,
+                        chip_lo: chip_lo as u32,
+                        chip_hi: chip_hi as u32,
+                    }),
+                    _ => return Err(malformed("header shard field malformed".to_string())),
+                }
+            }
+        };
         Ok(CheckpointHeader {
             target: v
                 .get("target")
                 .and_then(JsonValue::as_str)
-                .ok_or("header missing target")?
+                .ok_or_else(|| malformed("header missing target".to_string()))?
                 .to_string(),
             scale: v
                 .get("scale")
                 .and_then(JsonValue::as_str)
-                .ok_or("header missing scale")?
+                .ok_or_else(|| malformed("header missing scale".to_string()))?
                 .to_string(),
             fingerprint: v
                 .get("fingerprint")
                 .and_then(JsonValue::as_u64)
-                .ok_or("header missing fingerprint")?,
+                .ok_or_else(|| malformed("header missing fingerprint".to_string()))?,
             fault_seed: v.get("fault_seed").and_then(JsonValue::as_u64),
+            shard,
         })
     }
 }
@@ -116,6 +177,16 @@ pub enum CheckpointError {
         expected: Box<CheckpointHeader>,
         /// Header found in the file.
         found: Box<CheckpointHeader>,
+    },
+    /// The file declares a checkpoint schema version this build does not
+    /// speak — never silently reinterpreted, whatever the rest looks like.
+    Version {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// The version the file declares.
+        found: u64,
+        /// The version this build reads and writes.
+        supported: u64,
     },
     /// A non-trailing line failed to parse (trailing corruption from a
     /// kill is tolerated and truncated away; earlier corruption is not).
@@ -155,6 +226,15 @@ impl fmt::Display for CheckpointError {
                     expected.fault_seed,
                 )
             }
+            CheckpointError::Version {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "checkpoint {} declares schema version {found}; this build speaks only {supported}",
+                path.display()
+            ),
             CheckpointError::Corrupt { path, line, reason } => write!(
                 f,
                 "checkpoint {} is corrupt at line {line}: {reason}",
@@ -232,7 +312,14 @@ impl CheckpointStore {
         for (idx, line) in content.split_inclusive('\n').enumerate() {
             let body = line.trim_end_matches('\n');
             if idx == 0 {
-                let found = CheckpointHeader::parse(body).map_err(|reason| corrupt(1, reason))?;
+                let found = CheckpointHeader::parse(body).map_err(|issue| match issue {
+                    HeaderIssue::Version(found) => CheckpointError::Version {
+                        path: path.to_path_buf(),
+                        found,
+                        supported: CHECKPOINT_VERSION,
+                    },
+                    HeaderIssue::Malformed(reason) => corrupt(1, reason),
+                })?;
                 if found != header {
                     return Err(CheckpointError::HeaderMismatch {
                         path: path.to_path_buf(),
@@ -281,6 +368,20 @@ impl CheckpointStore {
     /// an earlier run.
     pub fn lookup(&self, stage: &str, chip: &str) -> Option<&JsonValue> {
         self.completed.get(&(stage.to_string(), chip.to_string()))
+    }
+
+    /// All rows recovered at open, sorted by `(stage, chip)` — the
+    /// deterministic order the shard coordinator merges in. Rows appended
+    /// by [`Self::record`] since open are on disk but not in this view;
+    /// the merge always works from freshly opened stores.
+    pub fn sorted_rows(&self) -> Vec<(&str, &str, &JsonValue)> {
+        let mut rows: Vec<(&str, &str, &JsonValue)> = self
+            .completed
+            .iter()
+            .map(|((stage, chip), data)| (stage.as_str(), chip.as_str(), data))
+            .collect();
+        rows.sort_unstable_by_key(|&(stage, chip, _)| (stage, chip));
+        rows
     }
 
     /// Appends a completed chip's result row and flushes it. `data` must be
@@ -496,6 +597,7 @@ mod tests {
             scale: "quick".to_string(),
             fingerprint: 0xABCD_EF01_2345_6789,
             fault_seed: Some(7),
+            shard: None,
         }
     }
 
@@ -541,6 +643,93 @@ mod tests {
         let mut other = header();
         other.target = "fig4".to_string();
         assert!(CheckpointStore::open(&path, other).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_slots_round_trip_and_gate_reopen() {
+        let path = temp_path("shard-slot");
+        let _ = std::fs::remove_file(&path);
+        let mut sharded = header();
+        sharded.shard = Some(ShardSlot {
+            index: 1,
+            count: 4,
+            chip_lo: 4,
+            chip_hi: 8,
+        });
+        CheckpointStore::open(&path, sharded.clone()).expect("create");
+        // Same slot reopens; a different slot (or no slot) is rejected.
+        let store = CheckpointStore::open(&path, sharded.clone()).expect("reopen");
+        assert_eq!(store.header().shard.unwrap().chip_hi, 8);
+        let mut other = sharded.clone();
+        other.shard.as_mut().unwrap().index = 2;
+        assert!(matches!(
+            CheckpointStore::open(&path, other),
+            Err(CheckpointError::HeaderMismatch { .. })
+        ));
+        assert!(matches!(
+            CheckpointStore::open(&path, header()),
+            Err(CheckpointError::HeaderMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unshared_headers_render_without_a_shard_field() {
+        // Pre-sharding files carried no shard key; whole-campaign files
+        // must keep rendering byte-identically to them.
+        assert!(!header().render().contains("shard"));
+    }
+
+    #[test]
+    fn foreign_schema_version_is_a_typed_error() {
+        let path = temp_path("version");
+        let _ = std::fs::remove_file(&path);
+        let line = header()
+            .render()
+            .replace("\"version\":1", "\"version\":999");
+        assert_ne!(line, header().render(), "replacement must hit");
+        std::fs::write(&path, format!("{line}\n")).expect("write");
+        let err = CheckpointStore::open(&path, header()).expect_err("must reject");
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Version {
+                    found: 999,
+                    supported: CHECKPOINT_VERSION,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sorted_rows_are_deterministic() {
+        let path = temp_path("sorted");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = CheckpointStore::open(&path, header()).expect("create");
+            store.record("s1", "B#0", "2");
+            store.record("s0", "B#0", "1");
+            store.record("s0", "A#0", "0");
+        }
+        // `sorted_rows` serves the merge, which always reopens the file.
+        let store = CheckpointStore::open(&path, header()).expect("reopen");
+        let rows: Vec<(String, String)> = store
+            .sorted_rows()
+            .into_iter()
+            .map(|(s, c, _)| (s.to_string(), c.to_string()))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("s0".to_string(), "A#0".to_string()),
+                ("s0".to_string(), "B#0".to_string()),
+                ("s1".to_string(), "B#0".to_string()),
+            ]
+        );
         let _ = std::fs::remove_file(&path);
     }
 

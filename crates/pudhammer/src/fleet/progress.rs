@@ -59,6 +59,12 @@ pub fn format_tick(
         "[progress] chips {}/{} units {} | {:.0} cmds/s ({} total)",
         snap.items_done, snap.items_total, snap.units_done, rate, snap.commands
     );
+    if snap.workers_total > 0 {
+        line.push_str(&format!(
+            " | workers {}/{}",
+            snap.workers_up, snap.workers_total
+        ));
+    }
     if snap.retries > 0 || snap.quarantined > 0 {
         line.push_str(&format!(
             " | retries {} quarantined {}",
@@ -161,9 +167,8 @@ mod tests {
             commands,
             items_done: done,
             items_total: total,
-            retries: 0,
-            quarantined: 0,
             units_done: done,
+            ..Default::default()
         }
     }
 
@@ -181,6 +186,17 @@ mod tests {
         s.quarantined = 1;
         let line = format_tick(s, 0, Duration::from_secs(1), None);
         assert!(line.contains("retries 2 quarantined 1"), "{line}");
+    }
+
+    #[test]
+    fn tick_shows_worker_fleet_only_when_sharded() {
+        let line = format_tick(snap(3, 14, 0), 0, Duration::from_secs(1), None);
+        assert!(!line.contains("workers"), "{line}");
+        let mut s = snap(3, 14, 0);
+        s.workers_up = 3;
+        s.workers_total = 4;
+        let line = format_tick(s, 0, Duration::from_secs(1), None);
+        assert!(line.contains("| workers 3/4"), "{line}");
     }
 
     #[test]

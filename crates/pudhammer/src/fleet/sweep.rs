@@ -229,9 +229,9 @@ where
     let rings: Vec<Option<Arc<Mutex<RingBufferSink>>>> = chips
         .iter_mut()
         .map(|chip| {
-            chip.exec.take_trace_sink().map(|orig| {
+            chip.take_trace_sink().map(|orig| {
                 let ring = Arc::new(Mutex::new(RingBufferSink::new(TRACE_RING_CAPACITY)));
-                chip.exec.set_trace_sink(ring.clone());
+                chip.set_trace_sink(ring.clone());
                 if dest.is_none() {
                     dest = Some(orig);
                 }
@@ -242,8 +242,9 @@ where
 
     let results = sweep_items(threads, chips.iter_mut().collect(), |i, chip| {
         // Point the executor's cached metric handles at this worker's
-        // shard (a no-op rebind to the global registry when serial).
-        chip.exec.rebind_metrics();
+        // shard (a no-op rebind to the global registry when serial, or
+        // while the chip is paged out — materialization binds fresh).
+        chip.rebind_metrics();
         let _span = pud_observe::span("sweep.chip_ns");
         f(i, chip)
     });
@@ -256,7 +257,7 @@ where
         for (chip, ring) in chips.iter_mut().zip(&rings) {
             match ring {
                 Some(ring) => {
-                    chip.exec.set_trace_sink(sink.clone());
+                    chip.set_trace_sink(sink.clone());
                     let ring = ring.lock().expect("sweep trace ring poisoned");
                     dropped += ring.dropped();
                     per_chip.push(ring.to_vec());
@@ -274,7 +275,7 @@ where
         }
     });
     for chip in chips.iter_mut() {
-        chip.exec.rebind_metrics();
+        chip.rebind_metrics();
     }
     (results, traces)
 }
@@ -317,6 +318,25 @@ impl std::fmt::Display for SweepError {
     }
 }
 
+/// Why a unit was skipped without running (sharded campaigns only — see
+/// [`super::shard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The unit belongs to a different shard of a sharded campaign; its
+    /// owning worker process measures it. Silent in reports — every unit
+    /// of a sharded sweep is out-of-shard for all workers but one.
+    OutOfShard {
+        /// The shard that owns the unit.
+        shard: u32,
+    },
+    /// The unit's shard worker exhausted its respawn budget: the unit was
+    /// never measured and the merged campaign renders without it.
+    FailedShard {
+        /// The shard that lost the unit.
+        shard: u32,
+    },
+}
+
 /// Per-chip result of an isolating sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SweepOutcome<R> {
@@ -328,6 +348,9 @@ pub enum SweepOutcome<R> {
     /// ran; no result is available and nothing was recorded — a resumed
     /// run re-measures it.
     Cancelled(CancelReason),
+    /// The unit was never attempted because of the process's shard role;
+    /// no result is available and no supervisor bookkeeping happened.
+    Skipped(SkipReason),
 }
 
 impl<R> SweepOutcome<R> {
@@ -335,7 +358,7 @@ impl<R> SweepOutcome<R> {
     pub fn ok(self) -> Option<R> {
         match self {
             SweepOutcome::Done(r) => Some(r),
-            SweepOutcome::Quarantined(_) | SweepOutcome::Cancelled(_) => None,
+            _ => None,
         }
     }
 
@@ -343,7 +366,7 @@ impl<R> SweepOutcome<R> {
     pub fn as_ok(&self) -> Option<&R> {
         match self {
             SweepOutcome::Done(r) => Some(r),
-            SweepOutcome::Quarantined(_) | SweepOutcome::Cancelled(_) => None,
+            _ => None,
         }
     }
 
@@ -351,7 +374,7 @@ impl<R> SweepOutcome<R> {
     pub fn quarantine(&self) -> Option<&SweepError> {
         match self {
             SweepOutcome::Quarantined(e) => Some(e),
-            SweepOutcome::Done(_) | SweepOutcome::Cancelled(_) => None,
+            _ => None,
         }
     }
 
@@ -359,7 +382,15 @@ impl<R> SweepOutcome<R> {
     pub fn cancelled(&self) -> Option<CancelReason> {
         match self {
             SweepOutcome::Cancelled(reason) => Some(*reason),
-            SweepOutcome::Done(_) | SweepOutcome::Quarantined(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The skip reason, if the unit was out of this process's shard scope.
+    pub fn skipped(&self) -> Option<SkipReason> {
+        match self {
+            SweepOutcome::Skipped(reason) => Some(*reason),
+            _ => None,
         }
     }
 }
@@ -377,6 +408,9 @@ pub struct ChipStatus {
     pub quarantined: Option<String>,
     /// Cancellation reason, or `None` when the unit ran to a verdict.
     pub cancelled: Option<CancelReason>,
+    /// Skip reason, or `None` when the unit was within this process's
+    /// shard scope (always `None` outside sharded campaigns).
+    pub skipped: Option<SkipReason>,
 }
 
 /// What happened to each chip across one (or several merged) isolating
@@ -407,10 +441,23 @@ impl SweepReport {
         self.chips.iter().filter(|c| c.cancelled.is_some()).count()
     }
 
+    /// Number of units lost to shards whose worker exhausted its respawn
+    /// budget (out-of-shard skips are not losses — another worker owns
+    /// them).
+    pub fn shard_lost(&self) -> usize {
+        self.chips
+            .iter()
+            .filter(|c| matches!(c.skipped, Some(SkipReason::FailedShard { .. })))
+            .count()
+    }
+
     /// Whether the sweep saw no faults at all (no retries, no quarantine,
-    /// no cancellation).
+    /// no cancellation, no units lost to a failed shard).
     pub fn is_clean(&self) -> bool {
-        self.retries() == 0 && self.quarantined() == 0 && self.cancelled() == 0
+        self.retries() == 0
+            && self.quarantined() == 0
+            && self.cancelled() == 0
+            && self.shard_lost() == 0
     }
 
     /// Merges another report (typically from a later sweep over the same
@@ -427,6 +474,9 @@ impl SweepReport {
                     }
                     if ours.cancelled.is_none() {
                         ours.cancelled = theirs.cancelled;
+                    }
+                    if ours.skipped.is_none() {
+                        ours.skipped = theirs.skipped;
                     }
                 }
                 None => self.chips.push(theirs.clone()),
@@ -448,6 +498,14 @@ impl SweepReport {
         for c in &self.chips {
             if let Some(reason) = c.cancelled {
                 lines.push(format!("CANCELLED {}: {reason}", c.label));
+            }
+        }
+        for c in &self.chips {
+            if let Some(SkipReason::FailedShard { shard }) = c.skipped {
+                lines.push(format!(
+                    "FAILED SHARD {shard}: {} not measured (worker lost, respawns exhausted)",
+                    c.label
+                ));
             }
         }
         let retries = self.retries();
@@ -492,6 +550,10 @@ impl SweepReport {
         let cancelled = self.cancelled();
         if cancelled > 0 {
             pud_observe::counter("sweep.cancelled").add(cancelled as u64);
+        }
+        let lost = self.shard_lost();
+        if lost > 0 {
+            pud_observe::counter("sweep.shard_lost").add(lost as u64);
         }
     }
 }
@@ -620,8 +682,22 @@ where
     F: Fn(usize, &mut ChipUnderTest) -> R + Sync,
 {
     let labels: Vec<String> = chips.iter().map(ChipUnderTest::label).collect();
+    let n = chips.len();
     let raw = sweep(threads, chips, |i, chip| {
-        run_supervised(policy, || f(i, &mut *chip))
+        match super::shard::skip_for(i, n) {
+            Some(reason) => (SweepOutcome::Skipped(reason), 0, 0),
+            None => {
+                let out = run_supervised(policy, || f(i, &mut *chip));
+                // Unit boundary: with paging on, drop the materialized
+                // executor now that the unit's result (and checkpoint row)
+                // is out — peak RSS then tracks concurrent units, not the
+                // fleet size.
+                if chip.pages() {
+                    chip.page_out();
+                }
+                out
+            }
+        }
     });
     collate_outcomes(labels, raw)
 }
@@ -641,6 +717,7 @@ fn collate_outcomes<R>(
             backoff_ns,
             quarantined: outcome.quarantine().map(|e| e.to_string()),
             cancelled: outcome.cancelled(),
+            skipped: outcome.skipped(),
         });
         outcomes.push(outcome);
     }
@@ -664,8 +741,12 @@ where
     F: Fn(usize, &mut T) -> R + Sync,
 {
     assert_eq!(labels.len(), items.len(), "one label per item");
+    let n = items.len();
     let raw = sweep_items(threads, items, |i, item| {
-        run_supervised(policy, || f(i, &mut *item))
+        match super::shard::skip_for(i, n) {
+            Some(reason) => (SweepOutcome::Skipped(reason), 0, 0),
+            None => run_supervised(policy, || f(i, &mut *item)),
+        }
     });
     collate_outcomes(labels, raw)
 }
@@ -716,11 +797,12 @@ mod tests {
         let ring = Arc::new(Mutex::new(RingBufferSink::new(1 << 16)));
         let sink: SharedSink = ring.clone();
         for chip in &mut fleet.chips {
-            chip.exec.set_trace_sink(sink.clone());
+            chip.set_trace_sink(sink.clone());
         }
         let (_, traces) = sweep_traced(2, &mut fleet.chips, |_, chip| {
             // A tiny program per chip so each ring sees something.
-            chip.exec.run(&tiny_program(chip));
+            let program = tiny_program(chip);
+            chip.exec().run(&program);
         });
         let traces = traces.expect("sinks were attached");
         assert_eq!(traces.dropped, 0);
@@ -739,11 +821,11 @@ mod tests {
         // Sinks restored: post-sweep events land in the destination again.
         let chip = &mut fleet.chips[0];
         let program = tiny_program(chip);
-        chip.exec.run(&program);
+        chip.exec().run(&program);
         assert!(ring.lock().unwrap().len() > merged.len());
     }
 
-    fn tiny_program(chip: &ChipUnderTest) -> pud_bender::TestProgram {
+    fn tiny_program(chip: &mut ChipUnderTest) -> pud_bender::TestProgram {
         let aggressor = pud_dram::RowAddr(chip.victim_rows()[0].0.saturating_sub(1));
         pud_bender::ops::single_sided_rowhammer(chip.bank(), aggressor, pud_bender::ops::t_ras(), 3)
     }
@@ -893,6 +975,7 @@ mod tests {
                 backoff_ns: BACKOFF_BASE_NS,
                 quarantined: None,
                 cancelled: None,
+                skipped: None,
             }],
         };
         total.absorb(&SweepReport {
@@ -903,6 +986,7 @@ mod tests {
                     backoff_ns: 3 * BACKOFF_BASE_NS,
                     quarantined: Some("injected fault: chip_dead".to_string()),
                     cancelled: None,
+                    skipped: None,
                 },
                 ChipStatus {
                     label: "b".to_string(),
@@ -910,6 +994,7 @@ mod tests {
                     backoff_ns: 0,
                     quarantined: None,
                     cancelled: Some(CancelReason::Interrupted),
+                    skipped: None,
                 },
             ],
         });
@@ -966,5 +1051,50 @@ mod tests {
                 .any(|l| l.contains("1 unit(s) cancelled before completion")),
             "{footer:?}"
         );
+    }
+
+    #[test]
+    fn skipped_units_yield_no_result_and_only_failed_shards_foul_the_report() {
+        let raw: Vec<(SweepOutcome<u32>, u32, u64)> = vec![
+            (SweepOutcome::Done(7), 0, 0),
+            (
+                SweepOutcome::Skipped(SkipReason::OutOfShard { shard: 1 }),
+                0,
+                0,
+            ),
+            (
+                SweepOutcome::Skipped(SkipReason::FailedShard { shard: 2 }),
+                0,
+                0,
+            ),
+        ];
+        let labels = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let (outcomes, report) = collate_outcomes(labels, raw);
+        assert_eq!(outcomes[0].as_ok(), Some(&7));
+        assert_eq!(outcomes[1].as_ok(), None);
+        assert_eq!(
+            outcomes[1].skipped(),
+            Some(SkipReason::OutOfShard { shard: 1 })
+        );
+        assert!(outcomes[2].quarantine().is_none());
+        assert_eq!(report.shard_lost(), 1, "out-of-shard is not a loss");
+        assert!(!report.is_clean(), "a failed shard is never clean");
+        let footer = report.footer_lines();
+        assert_eq!(footer.len(), 1, "{footer:?}");
+        assert_eq!(
+            footer[0],
+            "FAILED SHARD 2: c not measured (worker lost, respawns exhausted)"
+        );
+        // Out-of-shard skips are silent: a clean worker's footer is empty.
+        let (_, worker_only) = collate_outcomes::<u32>(
+            vec!["a".to_string()],
+            vec![(
+                SweepOutcome::Skipped(SkipReason::OutOfShard { shard: 0 }),
+                0,
+                0,
+            )],
+        );
+        assert!(worker_only.footer_lines().is_empty());
+        assert!(worker_only.is_clean());
     }
 }

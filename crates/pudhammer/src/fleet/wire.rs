@@ -1,0 +1,418 @@
+//! Length-prefixed frame protocol between the shard coordinator and its
+//! worker processes.
+//!
+//! A shard worker (the `repro` binary re-exec'd with `--shard-worker`)
+//! speaks this protocol on its **stdout**: experiment output never goes
+//! there (workers run quiet; rendering is the coordinator's job), so the
+//! stream carries only frames. Each frame is
+//!
+//! ```text
+//! [u32 LE payload length][u8 frame type][payload: UTF-8 JSON]
+//! ```
+//!
+//! The JSON payload keeps frames debuggable (`xxd` shows readable field
+//! names) and versionable without a binary schema. Three frame types
+//! exist:
+//!
+//! - [`Frame::Hello`] — sent once at startup: shard identity, fleet
+//!   fingerprint, target, and respawn attempt. The coordinator validates
+//!   it against the campaign before trusting anything else.
+//! - [`Frame::Progress`] — periodic live-counter samples, forwarded into
+//!   the coordinator's aggregated progress display.
+//! - [`Frame::Done`] — sent once on orderly completion. A worker that
+//!   crashes (abort, OOM-kill, SIGKILL) never sends it: the coordinator
+//!   detects the EOF-without-`Done` and schedules a respawn.
+//!
+//! A truncated frame (EOF mid-length, mid-type, or mid-payload) is
+//! reported as [`WireError::Truncated`] — the signature of a worker dying
+//! mid-write. A clean EOF between frames decodes as `Ok(None)`.
+
+use std::io::{Read, Write};
+
+use pud_observe::json::JsonObject;
+use pud_observe::JsonValue;
+
+/// Maximum accepted payload size. Frames are small (a few hundred bytes);
+/// anything larger means a corrupt length word, not a real frame.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Frame type tags on the wire.
+const TAG_HELLO: u8 = 1;
+const TAG_PROGRESS: u8 = 2;
+const TAG_DONE: u8 = 3;
+
+/// One coordinator↔worker protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker startup announcement.
+    Hello {
+        /// This worker's shard index, `0..count`.
+        shard: u32,
+        /// Total shard count of the campaign.
+        count: u32,
+        /// The worker's [`crate::fleet::FleetConfig::fingerprint`] — must
+        /// match the coordinator's.
+        fingerprint: u64,
+        /// The experiment target the worker is running.
+        target: String,
+        /// Respawn attempt number (0 = first spawn).
+        attempt: u32,
+    },
+    /// Periodic live-counter sample.
+    Progress {
+        /// Commands executed so far.
+        commands: u64,
+        /// Sweep items completed.
+        items_done: u64,
+        /// Sweep items announced.
+        items_total: u64,
+        /// Transient-fault retries.
+        retries: u64,
+        /// Quarantined chips.
+        quarantined: u64,
+        /// Supervisor units completed.
+        units_done: u64,
+    },
+    /// Orderly completion report.
+    Done {
+        /// Supervisor units completed over the worker's lifetime.
+        units_done: u64,
+        /// Transient-fault retries.
+        retries: u64,
+        /// Quarantined chips.
+        quarantined: u64,
+        /// Whether the worker was cancelled (deadline/interrupt) rather
+        /// than running to completion.
+        cancelled: bool,
+        /// The worker's peak resident set size, in KiB (0 if unknown).
+        peak_rss_kb: u64,
+        /// Whether the worker latched a checkpoint write error (its shard
+        /// checkpoint may be incomplete).
+        write_error: bool,
+    },
+}
+
+/// Decode-side failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended inside a frame — a worker died mid-write.
+    Truncated,
+    /// An I/O error while reading or writing.
+    Io(String),
+    /// An unknown frame tag or undecodable payload.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "stream truncated mid-frame"),
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Malformed(e) => write!(f, "malformed frame: {e}"),
+        }
+    }
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TAG_HELLO,
+            Frame::Progress { .. } => TAG_PROGRESS,
+            Frame::Done { .. } => TAG_DONE,
+        }
+    }
+
+    fn payload(&self) -> String {
+        match self {
+            Frame::Hello {
+                shard,
+                count,
+                fingerprint,
+                target,
+                attempt,
+            } => JsonObject::new()
+                .u64("shard", u64::from(*shard))
+                .u64("count", u64::from(*count))
+                .u64("fingerprint", *fingerprint)
+                .str("target", target)
+                .u64("attempt", u64::from(*attempt))
+                .finish(),
+            Frame::Progress {
+                commands,
+                items_done,
+                items_total,
+                retries,
+                quarantined,
+                units_done,
+            } => JsonObject::new()
+                .u64("commands", *commands)
+                .u64("items_done", *items_done)
+                .u64("items_total", *items_total)
+                .u64("retries", *retries)
+                .u64("quarantined", *quarantined)
+                .u64("units_done", *units_done)
+                .finish(),
+            Frame::Done {
+                units_done,
+                retries,
+                quarantined,
+                cancelled,
+                peak_rss_kb,
+                write_error,
+            } => JsonObject::new()
+                .u64("units_done", *units_done)
+                .u64("retries", *retries)
+                .u64("quarantined", *quarantined)
+                .bool("cancelled", *cancelled)
+                .u64("peak_rss_kb", *peak_rss_kb)
+                .bool("write_error", *write_error)
+                .finish(),
+        }
+    }
+
+    /// Writes this frame (length word, tag, payload) and flushes, so a
+    /// frame is either fully visible to the coordinator or not at all —
+    /// the coordinator's truncation detection depends on workers never
+    /// sitting on a half-buffered frame.
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), WireError> {
+        let payload = self.payload();
+        let bytes = payload.as_bytes();
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| WireError::Malformed("frame too large".into()))?;
+        let io = |e: std::io::Error| WireError::Io(e.to_string());
+        w.write_all(&len.to_le_bytes()).map_err(io)?;
+        w.write_all(&[self.tag()]).map_err(io)?;
+        w.write_all(bytes).map_err(io)?;
+        w.flush().map_err(io)
+    }
+
+    /// Reads the next frame. `Ok(None)` on clean EOF (stream ended exactly
+    /// between frames); [`WireError::Truncated`] if it ended inside one.
+    pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+        let mut len_buf = [0u8; 4];
+        match read_exact_or_eof(r, &mut len_buf)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial => return Err(WireError::Truncated),
+            ReadOutcome::Full => {}
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Malformed(format!(
+                "payload length {len} exceeds cap"
+            )));
+        }
+        let mut tag = [0u8; 1];
+        match read_exact_or_eof(r, &mut tag)? {
+            ReadOutcome::Full => {}
+            _ => return Err(WireError::Truncated),
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_or_eof(r, &mut payload)? {
+            ReadOutcome::Full => {}
+            _ => return Err(WireError::Truncated),
+        }
+        let text = String::from_utf8(payload)
+            .map_err(|_| WireError::Malformed("payload is not UTF-8".into()))?;
+        let v = JsonValue::parse(&text).map_err(WireError::Malformed)?;
+        Frame::decode(tag[0], &v).map(Some)
+    }
+
+    fn decode(tag: u8, v: &JsonValue) -> Result<Frame, WireError> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| WireError::Malformed(format!("missing field {key}")))
+        };
+        let flag = |key: &str| match v.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            _ => Err(WireError::Malformed(format!("missing field {key}"))),
+        };
+        match tag {
+            TAG_HELLO => Ok(Frame::Hello {
+                shard: field("shard")? as u32,
+                count: field("count")? as u32,
+                fingerprint: field("fingerprint")?,
+                target: v
+                    .get("target")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| WireError::Malformed("missing field target".into()))?
+                    .to_string(),
+                attempt: field("attempt")? as u32,
+            }),
+            TAG_PROGRESS => Ok(Frame::Progress {
+                commands: field("commands")?,
+                items_done: field("items_done")?,
+                items_total: field("items_total")?,
+                retries: field("retries")?,
+                quarantined: field("quarantined")?,
+                units_done: field("units_done")?,
+            }),
+            TAG_DONE => Ok(Frame::Done {
+                units_done: field("units_done")?,
+                retries: field("retries")?,
+                quarantined: field("quarantined")?,
+                cancelled: flag("cancelled")?,
+                peak_rss_kb: field("peak_rss_kb")?,
+                write_error: flag("write_error")?,
+            }),
+            other => Err(WireError::Malformed(format!("unknown frame tag {other}"))),
+        }
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// `read_exact` that distinguishes "EOF before any byte" from "EOF inside
+/// the buffer" — the difference between a finished worker and a dead one.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).expect("write");
+        let mut cursor = &buf[..];
+        let got = Frame::read_from(&mut cursor).expect("read").expect("frame");
+        assert_eq!(got, frame);
+        assert_eq!(Frame::read_from(&mut cursor), Ok(None), "clean EOF after");
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        roundtrip(Frame::Hello {
+            shard: 2,
+            count: 4,
+            fingerprint: 0xDEAD_BEEF_1234_5678,
+            target: "table2".into(),
+            attempt: 1,
+        });
+        roundtrip(Frame::Progress {
+            commands: 1_000_000,
+            items_done: 3,
+            items_total: 14,
+            retries: 1,
+            quarantined: 0,
+            units_done: 3,
+        });
+        roundtrip(Frame::Done {
+            units_done: 14,
+            retries: 2,
+            quarantined: 1,
+            cancelled: false,
+            peak_rss_kb: 123_456,
+            write_error: false,
+        });
+    }
+
+    #[test]
+    fn several_frames_stream_back_to_back() {
+        let frames = vec![
+            Frame::Hello {
+                shard: 0,
+                count: 1,
+                fingerprint: 7,
+                target: "fig10".into(),
+                attempt: 0,
+            },
+            Frame::Progress {
+                commands: 10,
+                items_done: 0,
+                items_total: 4,
+                retries: 0,
+                quarantined: 0,
+                units_done: 0,
+            },
+            Frame::Done {
+                units_done: 4,
+                retries: 0,
+                quarantined: 0,
+                cancelled: true,
+                peak_rss_kb: 0,
+                write_error: true,
+            },
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.write_to(&mut buf).unwrap();
+        }
+        let mut cursor = &buf[..];
+        let mut got = Vec::new();
+        while let Some(f) = Frame::read_from(&mut cursor).unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn truncation_is_detected_not_silently_eof() {
+        let frame = Frame::Done {
+            units_done: 1,
+            retries: 0,
+            quarantined: 0,
+            cancelled: false,
+            peak_rss_kb: 42,
+            write_error: false,
+        };
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        // Cut the stream at every possible offset inside the frame: all of
+        // them must read as Truncated, never as a clean EOF or a frame.
+        for cut in 1..buf.len() {
+            let mut cursor = &buf[..cut];
+            assert_eq!(
+                Frame::read_from(&mut cursor),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_word_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.push(TAG_DONE);
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            Frame::read_from(&mut cursor),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_malformed() {
+        let payload = b"{}";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.push(99);
+        buf.extend_from_slice(payload);
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            Frame::read_from(&mut cursor),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -34,12 +34,12 @@
 //! let bank = chip.bank();
 //! let victim = chip.victim_rows()[0];
 //! let search = HcSearch::default();
-//! let rh = rowhammer_ds_for(chip.exec.chip(), victim).unwrap();
-//! let comra = comra_ds_for(chip.exec.chip(), victim, false).unwrap();
+//! let rh = rowhammer_ds_for(chip.exec().chip(), victim).unwrap();
+//! let comra = comra_ds_for(chip.exec().chip(), victim, false).unwrap();
 //! let dp = DataPattern::CHECKER_55;
-//! let hc_rh = measure_hc_first(&mut chip.exec, bank, &rh, victim, dp, dp.negated(), &search);
+//! let hc_rh = measure_hc_first(chip.exec(), bank, &rh, victim, dp, dp.negated(), &search);
 //! let hc_comra =
-//!     measure_hc_first(&mut chip.exec, bank, &comra, victim, dp, dp.negated(), &search);
+//!     measure_hc_first(chip.exec(), bank, &comra, victim, dp, dp.negated(), &search);
 //! assert!(hc_comra.unwrap() < hc_rh.unwrap(), "Observation 1");
 //! ```
 

@@ -70,6 +70,32 @@
 //! `repro all` additionally prints one JSON run-metadata line summarizing
 //! the run (targets, elapsed time, key counters; fault-injection counters
 //! when faults are enabled).
+//!
+//! Sharded campaigns (see `pudhammer::fleet::shard` and the EXPERIMENTS.md
+//! "Sharded campaigns" section):
+//!
+//! - `--shards <n>` splits the campaign by chip range across `n` worker
+//!   *processes* (this binary re-exec'd with the hidden `--shard-worker`
+//!   flag). Each worker owns one shard checkpoint (`{path}.shard{i}of{n}`);
+//!   a crashed/killed worker is respawned from it with exponential backoff
+//!   up to `--max-respawns <k>` times (default 2). When a shard's budget is
+//!   exhausted it is quarantined: its chips appear as `FAILED SHARD`
+//!   footers and `--strict` exits 25. The coordinator merges the shard
+//!   checkpoints and replays the drivers in-process from the merged file,
+//!   so stdout is byte-identical to a single-process run at any shard
+//!   count. Requires `--checkpoint`; `fig25` and `--trace-out` are
+//!   rejected;
+//! - `--fleet <per-family|paper|synth:n>` selects the chip roster:
+//!   the default per-family sample, the paper's full 316-chip Table 1/2
+//!   fleet, or a synthetic n-chip fleet for scale testing;
+//! - `--page-chips` drops each chip's materialized state (cell arrays,
+//!   disturbance engine) after its sweep unit, bounding peak RSS by the
+//!   number of concurrently active chips instead of the fleet size.
+//!   Workers always page; results are byte-identical either way;
+//! - `--fault-worker-abort <permille>` seeds the worker-abort fault class:
+//!   affected chips deterministically abort the hosting process (measured
+//!   values are never affected — the crash-isolation test knob);
+//! - `--mem-stats` prints `mem: peak_rss_kb=<n>` to stderr after the run.
 
 use std::env;
 use std::fs::File;
@@ -80,9 +106,11 @@ use std::time::{Duration, Instant};
 
 use pud_bender::fault::FaultConfig;
 use pudhammer::experiments::{self, Scale};
-use pudhammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore};
+use pudhammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore, ShardSlot};
 use pudhammer::fleet::progress::{self, ProgressReporter};
 use pudhammer::fleet::supervisor::{self, CancelReason, CancelToken};
+use pudhammer::fleet::wire::Frame;
+use pudhammer::fleet::{shard, Roster};
 use pudhammer::report;
 
 const TARGETS: [&str; 21] = [
@@ -142,6 +170,18 @@ struct Options {
     checkpoint: Option<String>,
     deadline: Option<f64>,
     deadline_units: Option<u64>,
+    fleet: Option<String>,
+    page_chips: bool,
+    mem_stats: bool,
+    fault_worker_abort: Option<u32>,
+    shards: Option<u32>,
+    max_respawns: u32,
+    /// Hidden: set when this process is one shard's worker (`index/count`).
+    shard_worker: Option<(u32, u32)>,
+    /// Hidden: the coordinator's respawn counter for this worker. Respawns
+    /// (attempt > 0) run with worker aborts disabled so a respawned worker
+    /// cannot re-draw the abort that killed its predecessor.
+    worker_attempt: u32,
     target: Option<String>,
 }
 
@@ -151,7 +191,9 @@ fn usage() {
          [--trace-out <path>] [--profile-out <path>] [--progress] [--quiet] \
          [--fault-seed <u64>] [--no-compile] [--max-retries <n>] \
          [--checkpoint <path>] [--deadline <secs>] [--deadline-units <n>] \
-         [--strict]"
+         [--strict] [--fleet <per-family|paper|synth:n>] [--page-chips] \
+         [--mem-stats] [--fault-worker-abort <permille>] \
+         [--shards <n>] [--max-respawns <n>]"
     );
     eprintln!("targets: {}", TARGETS.join(", "));
 }
@@ -172,6 +214,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         checkpoint: None,
         deadline: None,
         deadline_units: None,
+        fleet: None,
+        page_chips: false,
+        mem_stats: false,
+        fault_worker_abort: None,
+        shards: None,
+        max_respawns: 2,
+        shard_worker: None,
+        worker_attempt: 0,
         target: None,
     };
     let mut it = args.iter();
@@ -243,6 +293,58 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
                 opts.deadline_units = Some(units);
             }
+            "--fleet" => {
+                let spec = it.next().filter(|s| Roster::parse(s).is_some());
+                let Some(spec) = spec else {
+                    return Err("--fleet requires per-family, paper, or synth:<n>".to_string());
+                };
+                opts.fleet = Some(spec.clone());
+            }
+            "--page-chips" => opts.page_chips = true,
+            "--mem-stats" => opts.mem_stats = true,
+            "--fault-worker-abort" => {
+                let p = it
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&p| p <= 1000);
+                let Some(p) = p else {
+                    return Err("--fault-worker-abort requires a permille in 0..=1000".to_string());
+                };
+                opts.fault_worker_abort = Some(p);
+            }
+            "--shards" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&n| n > 0);
+                let Some(n) = n else {
+                    return Err("--shards requires a positive integer".to_string());
+                };
+                opts.shards = Some(n);
+            }
+            "--max-respawns" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    return Err("--max-respawns requires an unsigned integer".to_string());
+                };
+                opts.max_respawns = n;
+            }
+            "--shard-worker" => {
+                let slot = it.next().and_then(|v| {
+                    let (w, s) = v.split_once('/')?;
+                    let (w, s) = (w.parse::<u32>().ok()?, s.parse::<u32>().ok()?);
+                    (s > 0 && w < s).then_some((w, s))
+                });
+                let Some(slot) = slot else {
+                    return Err("--shard-worker requires <index>/<count>".to_string());
+                };
+                opts.shard_worker = Some(slot);
+            }
+            "--worker-attempt" => {
+                let Some(k) = it.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    return Err("--worker-attempt requires an unsigned integer".to_string());
+                };
+                opts.worker_attempt = k;
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag: {flag}"));
             }
@@ -271,6 +373,66 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
+    if let Some((index, count)) = opts.shard_worker {
+        return worker_main(&opts, &target, index, count);
+    }
+    if opts.shards.is_some() {
+        return coordinator_main(&opts, &target);
+    }
+    campaign_main(&opts, &target, None)
+}
+
+/// The coordinator's in-process replay of a sharded campaign: which shards
+/// existed and which were quarantined after exhausting their respawns.
+struct ReplayMode {
+    count: u32,
+    failed: Vec<u32>,
+}
+
+/// Builds the effective [`Scale`] from the CLI options. `zero_abort`
+/// disables the worker-abort fault class while keeping the configuration
+/// shape (and thus the checkpoint header) intact — used by respawned
+/// workers and the coordinator's replay, neither of which may abort.
+fn build_scale(opts: &Options, zero_abort: bool) -> Scale {
+    let mut scale = if opts.full {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    scale.threads = opts.threads;
+    scale.fleet.fault = opts
+        .fault_seed
+        .map(FaultConfig::from_seed)
+        .or_else(FaultConfig::from_env);
+    if let Some(permille) = opts.fault_worker_abort {
+        let eff = if zero_abort || opts.worker_attempt > 0 {
+            0
+        } else {
+            permille
+        };
+        scale.fleet.fault = Some(match scale.fleet.fault {
+            Some(f) => f.with_worker_abort(eff),
+            None => FaultConfig::worker_abort_only(0, eff),
+        });
+    }
+    // `--no-compile` (or PUD_NO_COMPILE=1) pins every executor to the step
+    // interpreter — the escape hatch for bisecting a suspected compiled-
+    // replay divergence. Results are bit-identical either way.
+    scale.fleet.no_compile =
+        opts.no_compile || env::var("PUD_NO_COMPILE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if let Some(n) = opts.max_retries {
+        scale.max_retries = n;
+    }
+    if let Some(spec) = &opts.fleet {
+        scale.fleet.roster = Roster::parse(spec).expect("validated at parse");
+    }
+    // Workers always page: their peak RSS is what bounds the campaign's
+    // memory, and paging is results-neutral.
+    scale.fleet.page_chips = opts.page_chips || opts.shard_worker.is_some();
+    scale
+}
+
+fn campaign_main(opts: &Options, target: &str, replay: Option<ReplayMode>) -> ExitCode {
     // Install the trace sink before any experiment constructs an executor:
     // executors attach the global sink at construction time.
     if let Some(path) = &opts.trace_out {
@@ -286,25 +448,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    let mut scale = if opts.full {
-        Scale::full()
-    } else {
-        Scale::quick()
-    };
-    scale.threads = opts.threads;
-    scale.fleet.fault = opts
-        .fault_seed
-        .map(FaultConfig::from_seed)
-        .or_else(FaultConfig::from_env);
-    // `--no-compile` (or PUD_NO_COMPILE=1) pins every executor to the step
-    // interpreter — the escape hatch for bisecting a suspected compiled-
-    // replay divergence. Results are bit-identical either way.
-    scale.fleet.no_compile =
-        opts.no_compile || env::var("PUD_NO_COMPILE").is_ok_and(|v| !v.is_empty() && v != "0");
-    if let Some(n) = opts.max_retries {
-        scale.max_retries = n;
-    }
-    let ckpt = match open_checkpoint(&opts, &target, &scale) {
+    let scale = build_scale(opts, replay.is_some());
+    // In replay mode, units owned by a quarantined shard are skipped and
+    // surface as FAILED SHARD report footers instead of being re-measured.
+    let _shard_guard = replay
+        .as_ref()
+        .map(|r| shard::install_replay(r.count, r.failed.clone()));
+    let ckpt = match open_checkpoint(opts, target, &scale, None) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
@@ -338,13 +488,13 @@ fn main() -> ExitCode {
     let mut phases: Vec<(&str, u64)> = Vec::new();
     let mut timed_run = |t, scale: &Scale, ckpt: Option<&CheckpointStore>| {
         let phase_start = Instant::now();
-        run_target(t, scale, &opts, ckpt);
+        run_target(t, scale, opts, ckpt);
         phases.push((
             t,
             phase_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         ));
     };
-    match target.as_str() {
+    match target {
         "list" => {
             for t in TARGETS {
                 println!("{t}");
@@ -392,6 +542,11 @@ fn main() -> ExitCode {
     if opts.metrics {
         eprint!("{}", report::metrics_table(&snap));
     }
+    if opts.mem_stats {
+        if let Some(kb) = peak_rss_kb() {
+            eprintln!("mem: peak_rss_kb={kb}");
+        }
+    }
     // A checkpoint that could not be written means a "resumable" run that
     // silently would not resume — a hard failure even without --strict.
     if let Some(store) = &ckpt {
@@ -400,7 +555,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    exit_code(&opts, &snap, &token)
+    exit_code(opts, &snap, &token)
 }
 
 /// The campaign completeness footer (stderr, so result tables on stdout
@@ -427,8 +582,8 @@ fn campaign_footer(snap: &pud_observe::Snapshot, token: &CancelToken) {
 }
 
 /// Maps the campaign outcome to the documented `--strict` exit codes
-/// (interrupted=30 > deadline=20 > quarantined=10 > clean=0). Without
-/// `--strict` every completed campaign exits 0.
+/// (interrupted=30 > failed shard=25 > deadline=20 > quarantined=10 >
+/// clean=0). Without `--strict` every completed campaign exits 0.
 fn exit_code(opts: &Options, snap: &pud_observe::Snapshot, token: &CancelToken) -> ExitCode {
     if !opts.strict {
         return ExitCode::SUCCESS;
@@ -436,6 +591,9 @@ fn exit_code(opts: &Options, snap: &pud_observe::Snapshot, token: &CancelToken) 
     let latched = token.latched();
     if INTERRUPTED.load(Ordering::SeqCst) || latched == Some(CancelReason::Interrupted) {
         return ExitCode::from(30);
+    }
+    if snap.counter("sweep.shard_lost").unwrap_or(0) > 0 {
+        return ExitCode::from(25);
     }
     if latched == Some(CancelReason::DeadlineExpired) {
         return ExitCode::from(20);
@@ -550,12 +708,30 @@ fn run_target(target: &str, scale: &Scale, opts: &Options, ckpt: Option<&Checkpo
     }
 }
 
+/// The campaign identity header for a run: target, scale, fleet
+/// fingerprint, fault seed, and (for worker processes) the shard slot.
+fn checkpoint_header(
+    opts: &Options,
+    target: &str,
+    scale: &Scale,
+    slot: Option<ShardSlot>,
+) -> CheckpointHeader {
+    CheckpointHeader {
+        target: target.to_string(),
+        scale: if opts.full { "full" } else { "quick" }.to_string(),
+        fingerprint: scale.fleet.fingerprint(),
+        fault_seed: scale.fleet.fault.map(|f| f.seed),
+        shard: slot,
+    }
+}
+
 /// Opens the `--checkpoint` store. Every experiment target (and `all`)
 /// supports one; `fig25` and `list` are hard usage errors.
 fn open_checkpoint(
     opts: &Options,
     target: &str,
     scale: &Scale,
+    slot: Option<ShardSlot>,
 ) -> Result<Option<CheckpointStore>, String> {
     let Some(path) = &opts.checkpoint else {
         return Ok(None);
@@ -567,12 +743,7 @@ fn open_checkpoint(
              (supported: all and every experiment target except fig25)"
         ));
     }
-    let header = CheckpointHeader {
-        target: target.to_string(),
-        scale: if opts.full { "full" } else { "quick" }.to_string(),
-        fingerprint: scale.fleet.fingerprint(),
-        fault_seed: scale.fleet.fault.map(|f| f.seed),
-    };
+    let header = checkpoint_header(opts, target, scale, slot);
     let store =
         CheckpointStore::open(std::path::Path::new(path), header).map_err(|e| e.to_string())?;
     if store.recovered() > 0 {
@@ -582,6 +753,250 @@ fn open_checkpoint(
         );
     }
     Ok(Some(store))
+}
+
+/// Writes one wire frame to stdout, atomically with respect to the other
+/// frame emitters in this process (the whole frame is buffered first, and
+/// `StdoutLock` serializes the single `write_all`).
+fn emit_frame(frame: &Frame) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut buf = Vec::new();
+    frame
+        .write_to(&mut buf)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    lock.write_all(&buf)?;
+    lock.flush()
+}
+
+/// Hidden `--shard-worker` mode: this process measures one shard's chip
+/// range into its own shard checkpoint, speaking the wire protocol on
+/// stdout (stdout carries frames ONLY — result rendering is suppressed;
+/// human-facing notes go to stderr, which the coordinator passes through).
+fn worker_main(opts: &Options, target: &str, index: u32, count: u32) -> ExitCode {
+    if opts.checkpoint.is_none() {
+        eprintln!("error: --shard-worker requires --checkpoint");
+        return ExitCode::FAILURE;
+    }
+    if !(target == "all" || (TARGETS.contains(&target) && target != "fig25")) {
+        eprintln!("error: --shard-worker does not support target {target}");
+        return ExitCode::FAILURE;
+    }
+    let scale = build_scale(opts, false);
+    let fingerprint = scale.fleet.fingerprint();
+    let slot = shard::slot(index, count, scale.fleet.fleet_size());
+    let ckpt = match open_checkpoint(opts, target, &scale, Some(slot)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _mode = shard::install_worker(index, count);
+    signals::install();
+    let mut token = CancelToken::new().with_interrupt_flag(&INTERRUPTED);
+    if let Some(secs) = opts.deadline {
+        token = token.with_deadline(Duration::from_secs_f64(secs));
+    }
+    let supervisor_guard = supervisor::install(token.clone());
+    pud_observe::live::reset();
+    pud_observe::live::enable();
+    if emit_frame(&Frame::Hello {
+        shard: index,
+        count,
+        fingerprint,
+        target: target.to_string(),
+        attempt: opts.worker_attempt,
+    })
+    .is_err()
+    {
+        // A dead stdout means a dead coordinator; nothing to work for.
+        return ExitCode::FAILURE;
+    }
+    // Progress sampler: a frame every 200 ms from the live counters. The
+    // channel disconnect on drop doubles as the stop signal.
+    let (stop, stopped) = std::sync::mpsc::channel::<()>();
+    let sampler = std::thread::spawn(move || {
+        while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) =
+            stopped.recv_timeout(Duration::from_millis(200))
+        {
+            let s = pud_observe::live::live_snapshot();
+            let frame = Frame::Progress {
+                commands: s.commands,
+                items_done: s.items_done,
+                items_total: s.items_total,
+                retries: s.retries,
+                quarantined: s.quarantined,
+                units_done: s.units_done,
+            };
+            if emit_frame(&frame).is_err() {
+                break;
+            }
+        }
+    });
+    match target {
+        "all" => {
+            for t in TARGETS {
+                // fig25 has no per-chip units to shard; the coordinator's
+                // replay runs it once, in-process.
+                if t == "fig25" {
+                    continue;
+                }
+                if supervisor::is_cancelled().is_some() {
+                    break;
+                }
+                let _ = render_target(t, &scale, opts.full, ckpt.as_ref());
+            }
+        }
+        t => {
+            let _ = render_target(t, &scale, opts.full, ckpt.as_ref());
+        }
+    }
+    drop(stop);
+    let _ = sampler.join();
+    drop(supervisor_guard);
+    let write_error = ckpt.as_ref().and_then(|store| store.take_write_error());
+    if let Some(e) = &write_error {
+        eprintln!("error: shard {index} checkpoint write failed: {e}");
+    }
+    let s = pud_observe::live::live_snapshot();
+    let done = Frame::Done {
+        units_done: s.units_done,
+        retries: s.retries,
+        quarantined: s.quarantined,
+        cancelled: token.latched().is_some(),
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
+        write_error: write_error.is_some(),
+    };
+    if emit_frame(&done).is_err() || write_error.is_some() {
+        return ExitCode::FAILURE;
+    }
+    if opts.mem_stats {
+        if let Some(kb) = peak_rss_kb() {
+            eprintln!("mem: shard {index} peak_rss_kb={kb}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--shards <n>` coordinator: spawns one worker process per shard,
+/// supervises them (respawning crashed workers from their shard
+/// checkpoints), merges the shard checkpoints, and replays the campaign
+/// in-process from the merged file — producing stdout byte-identical to a
+/// single-process run.
+fn coordinator_main(opts: &Options, target: &str) -> ExitCode {
+    let count = opts.shards.expect("dispatched on Some");
+    if !(target == "all" || (TARGETS.contains(&target) && target != "fig25")) {
+        eprintln!("error: --shards does not support target {target} (no per-chip units to shard)");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let Some(base) = opts.checkpoint.clone() else {
+        eprintln!("error: --shards requires --checkpoint (shard results travel through it)");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    if opts.trace_out.is_some() {
+        eprintln!("error: --trace-out is not supported with --shards (traces happen in workers)");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let exe = match env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot locate own executable for worker re-exec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = build_scale(opts, false);
+    let fingerprint = scale.fleet.fingerprint();
+    let fleet_len = scale.fleet.fleet_size();
+    let base_path = std::path::PathBuf::from(&base);
+    // The coordinator's own supervisor token: SIGINT latched here stops
+    // respawns, and the replay below inherits the interrupt flag.
+    signals::install();
+    let supervision_token = CancelToken::new().with_interrupt_flag(&INTERRUPTED);
+    let supervision_guard = supervisor::install(supervision_token);
+    let reporter = (opts.progress || progress::env_enabled()).then(ProgressReporter::start);
+    let spawn = |index: u32, attempt: u32| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg(target)
+            .arg("--shard-worker")
+            .arg(format!("{index}/{count}"))
+            .arg("--worker-attempt")
+            .arg(attempt.to_string())
+            .arg("--checkpoint")
+            .arg(shard::shard_path(&base_path, index, count));
+        if opts.full {
+            cmd.arg("--full");
+        }
+        if opts.threads > 0 {
+            cmd.arg("--threads").arg(opts.threads.to_string());
+        }
+        if let Some(seed) = opts.fault_seed {
+            cmd.arg("--fault-seed").arg(seed.to_string());
+        }
+        if opts.no_compile {
+            cmd.arg("--no-compile");
+        }
+        if let Some(n) = opts.max_retries {
+            cmd.arg("--max-retries").arg(n.to_string());
+        }
+        if let Some(spec) = &opts.fleet {
+            cmd.arg("--fleet").arg(spec);
+        }
+        if let Some(p) = opts.fault_worker_abort {
+            cmd.arg("--fault-worker-abort").arg(p.to_string());
+        }
+        if let Some(secs) = opts.deadline {
+            cmd.arg("--deadline").arg(secs.to_string());
+        }
+        if opts.mem_stats {
+            cmd.arg("--mem-stats");
+        }
+        cmd.stdout(std::process::Stdio::piped());
+        cmd.spawn()
+    };
+    let runs = shard::run_workers(
+        count,
+        opts.max_respawns,
+        fingerprint,
+        spawn,
+        |index, msg| {
+            eprintln!("shard {index}: {msg}");
+        },
+    );
+    drop(reporter);
+    drop(supervision_guard);
+    let failed: Vec<u32> = runs.iter().filter(|r| r.failed).map(|r| r.index).collect();
+    let succeeded: Vec<u32> = runs.iter().filter(|r| !r.failed).map(|r| r.index).collect();
+    if opts.mem_stats {
+        let worker_peak = runs
+            .iter()
+            .filter_map(|r| r.done.as_ref())
+            .map(|d| d.peak_rss_kb)
+            .max()
+            .unwrap_or(0);
+        eprintln!("mem: worker_peak_rss_kb_max={worker_peak}");
+    }
+    let header = checkpoint_header(opts, target, &scale, None);
+    match shard::merge_shards(&base_path, &header, &succeeded, count, fleet_len) {
+        Ok(rows) => {
+            eprintln!(
+                "shards: merged {rows} row(s) from {}/{count} shard(s) into {base}",
+                succeeded.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // In-process replay from the merged checkpoint: rendered output is
+    // byte-identical to a single-process run; chips of failed shards skip
+    // as FAILED SHARD footers.
+    campaign_main(opts, target, Some(ReplayMode { count, failed }))
 }
 
 fn render_target(

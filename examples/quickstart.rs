@@ -32,33 +32,25 @@ fn main() {
     // Find a victim that a SiMRA-4 group sandwiches, so all three
     // techniques can target the same row.
     let sa = chip.tested_subarrays()[1];
-    let simra_kernel = simra_ds_kernels(chip.exec.chip(), sa, 4)[0];
-    let (sandwiched, _) = simra_victims(chip.exec.chip(), &simra_kernel);
+    let simra_kernel = simra_ds_kernels(chip.exec().chip(), sa, 4)[0];
+    let (sandwiched, _) = simra_victims(chip.exec().chip(), &simra_kernel);
     let victim = sandwiched[0];
     println!("victim: physical row {victim}");
 
     // Double-sided RowHammer baseline.
-    let rh = rowhammer_ds_for(chip.exec.chip(), victim).expect("victim has neighbours");
-    let hc_rh = measure_hc_first(&mut chip.exec, bank, &rh, victim, dp, dp.negated(), &search)
+    let rh = rowhammer_ds_for(chip.exec().chip(), victim).expect("victim has neighbours");
+    let hc_rh = measure_hc_first(chip.exec(), bank, &rh, victim, dp, dp.negated(), &search)
         .expect("RowHammer flips within the window");
 
     // CoMRA: repeated in-DRAM copy with the pair sandwiching the victim.
-    let comra = comra_ds_for(chip.exec.chip(), victim, false).expect("victim has neighbours");
-    let hc_comra = measure_hc_first(
-        &mut chip.exec,
-        bank,
-        &comra,
-        victim,
-        dp,
-        dp.negated(),
-        &search,
-    )
-    .expect("CoMRA flips within the window");
+    let comra = comra_ds_for(chip.exec().chip(), victim, false).expect("victim has neighbours");
+    let hc_comra = measure_hc_first(chip.exec(), bank, &comra, victim, dp, dp.negated(), &search)
+        .expect("CoMRA flips within the window");
 
     // SiMRA: simultaneous 4-row activation (worst-case 0x00 aggressors).
     let zeros = DataPattern::ZEROS;
     let hc_simra = measure_hc_first(
-        &mut chip.exec,
+        chip.exec(),
         bank,
         &simra_kernel,
         victim,

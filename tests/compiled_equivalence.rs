@@ -105,6 +105,7 @@ fn checkpoint_records_match_and_interoperate_across_paths() {
         scale: "quick".to_string(),
         fingerprint: scale.fleet.fingerprint(),
         fault_seed: None,
+        shard: None,
     };
     let path_compiled = temp_path("ckpt-compiled");
     let path_interp = temp_path("ckpt-interp");

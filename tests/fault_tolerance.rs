@@ -103,6 +103,7 @@ fn checkpoint_resume_is_byte_identical_after_a_mid_fleet_kill() {
         scale: "quick".to_string(),
         fingerprint: scale.fleet.fingerprint(),
         fault_seed: None,
+        shard: None,
     };
     let path = temp_path("resume");
     let _ = std::fs::remove_file(&path);
@@ -154,6 +155,7 @@ fn kill_and_resume_case(
         scale: "quick".to_string(),
         fingerprint: scale.fleet.fingerprint(),
         fault_seed: None,
+        shard: None,
     };
     let path = temp_path(name);
     let _ = std::fs::remove_file(&path);
@@ -234,6 +236,7 @@ fn deadline_expiry_renders_a_partial_report_and_resumes_to_completion() {
         scale: "quick".to_string(),
         fingerprint: scale.fleet.fingerprint(),
         fault_seed: None,
+        shard: None,
     };
     let path = temp_path("deadline");
     let _ = std::fs::remove_file(&path);
@@ -274,6 +277,7 @@ fn mismatched_checkpoint_is_rejected_as_a_different_campaign() {
         scale: "quick".to_string(),
         fingerprint: scale.fleet.fingerprint(),
         fault_seed: None,
+        shard: None,
     };
     CheckpointStore::open(&path, header.clone()).expect("create");
     let mut other = header;

@@ -27,20 +27,12 @@ fn takeaway_1_comra_exacerbates_read_disturbance_in_all_manufacturers() {
             .expect("fleet covers all manufacturers");
         let bank = chip.bank();
         let victim = chip.victim_rows()[1];
-        let rh = rowhammer_ds_for(chip.exec.chip(), victim).unwrap();
-        let comra = comra_ds_for(chip.exec.chip(), victim, false).unwrap();
+        let rh = rowhammer_ds_for(chip.exec().chip(), victim).unwrap();
+        let comra = comra_ds_for(chip.exec().chip(), victim, false).unwrap();
         let hc_rh =
-            measure_hc_first(&mut chip.exec, bank, &rh, victim, dp, dp.negated(), &search).unwrap();
-        let hc_comra = measure_hc_first(
-            &mut chip.exec,
-            bank,
-            &comra,
-            victim,
-            dp,
-            dp.negated(),
-            &search,
-        )
-        .unwrap();
+            measure_hc_first(chip.exec(), bank, &rh, victim, dp, dp.negated(), &search).unwrap();
+        let hc_comra =
+            measure_hc_first(chip.exec(), bank, &comra, victim, dp, dp.negated(), &search).unwrap();
         assert!(hc_comra < hc_rh, "{mfr}: comra {hc_comra} vs rh {hc_rh}");
     }
 }

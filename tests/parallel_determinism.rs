@@ -30,13 +30,13 @@ fn traced_sweep(threads: usize) -> (Vec<Vec<TraceEvent>>, Vec<TraceEvent>) {
     let ring = Arc::new(Mutex::new(RingBufferSink::new(1 << 18)));
     let sink: SharedSink = ring.clone();
     for chip in &mut fleet.chips {
-        chip.exec.set_trace_sink(sink.clone());
+        chip.exec().set_trace_sink(sink.clone());
     }
     let (_, traces) = sweep::sweep_traced(threads, &mut fleet.chips, |_, chip| {
         let victim = chip.victim_rows()[0];
         let aggressor = RowAddr(victim.0.saturating_sub(1));
         let program = ops::single_sided_rowhammer(chip.bank(), aggressor, ops::t_ras(), 64);
-        chip.exec.run(&program);
+        chip.exec().run(&program);
     });
     let traces = traces.expect("every chip had a sink attached");
     assert_eq!(traces.dropped, 0, "rings must not overflow in this test");
