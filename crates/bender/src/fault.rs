@@ -36,6 +36,11 @@ pub const FAULT_SEED_ENV: &str = "PUD_FAULT_SEED";
 /// disturbance model's draws from the same seed.
 const FAULT_SALT: u64 = 0xFA17_5EED_0000_0001;
 
+/// Separate salt for storage-fault draws (see [`StorageFaultPlan`]): the
+/// checkpoint layer's faults must never correlate with chip faults drawn
+/// from the same campaign seed.
+const STORAGE_FAULT_SALT: u64 = 0x5704_A6EF_AA17_0002;
+
 /// The kinds of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -52,6 +57,10 @@ pub enum FaultKind {
     /// The *worker process* hosting the chip aborts mid-shard (fatal to
     /// the process, not to the chip: a respawned worker resumes it).
     WorkerAbort,
+    /// The *worker process* hosting the chip wedges mid-shard: the
+    /// executor stops making progress without exiting. Only the shard
+    /// coordinator's heartbeat watchdog can clear it (SIGKILL + respawn).
+    WorkerHang,
 }
 
 impl FaultKind {
@@ -64,6 +73,7 @@ impl FaultKind {
             FaultKind::ChipDead => "chip_dead",
             FaultKind::StuckCells => "stuck_cells",
             FaultKind::WorkerAbort => "worker_abort",
+            FaultKind::WorkerHang => "worker_hang",
         }
     }
 
@@ -91,6 +101,12 @@ pub struct FaultConfig {
     /// Never affects measured values (the aborted unit is re-measured by a
     /// respawned worker), so it is excluded from fleet fingerprints.
     pub worker_abort_permille: u32,
+    /// Per-mille probability that a chip schedules a *worker-hang*: the
+    /// hosting process stops making progress at a deterministic lifetime
+    /// command ordinal without exiting. Drills the coordinator's heartbeat
+    /// watchdog. Like aborts, hangs never touch measured values and are
+    /// excluded from fleet fingerprints.
+    pub worker_hang_permille: u32,
 }
 
 impl FaultConfig {
@@ -103,6 +119,7 @@ impl FaultConfig {
             transient_permille: 200,
             permanent_permille: 70,
             worker_abort_permille: 0,
+            worker_hang_permille: 0,
         }
     }
 
@@ -115,12 +132,19 @@ impl FaultConfig {
             transient_permille: 0,
             permanent_permille: 0,
             worker_abort_permille: permille,
+            worker_hang_permille: 0,
         }
     }
 
     /// Returns this configuration with the worker-abort probability set.
     pub fn with_worker_abort(mut self, permille: u32) -> FaultConfig {
         self.worker_abort_permille = permille;
+        self
+    }
+
+    /// Returns this configuration with the worker-hang probability set.
+    pub fn with_worker_hang(mut self, permille: u32) -> FaultConfig {
+        self.worker_hang_permille = permille;
         self
     }
 
@@ -186,6 +210,10 @@ pub struct FaultPlan {
     /// The hosting worker process aborts once this many commands have been
     /// issued to this chip. Drawn independently of the chip fault class.
     pub abort_after: Option<u64>,
+    /// The hosting worker process wedges (stops making progress without
+    /// exiting) once this many commands have been issued to this chip.
+    /// Drawn independently of the chip fault class and of aborts.
+    pub hang_after: Option<u64>,
 }
 
 fn key_hash(key: &str) -> u64 {
@@ -246,6 +274,13 @@ impl FaultPlan {
             && unit(&[id[0], id[1], id[2], 6]) < f64::from(config.worker_abort_permille) / 1000.0
         {
             plan.abort_after = Some(500 + draw(&id, 7) % 20_000);
+        }
+        // Worker hangs use their own draw tags (8, 9) so enabling them
+        // perturbs neither chip faults nor abort schedules.
+        if config.worker_hang_permille > 0
+            && unit(&[id[0], id[1], id[2], 8]) < f64::from(config.worker_hang_permille) / 1000.0
+        {
+            plan.hang_after = Some(500 + draw(&id, 9) % 20_000);
         }
         let Some(class) = FaultPlan::classify(config, family_key, chip_index) else {
             return (plan != FaultPlan::default()).then_some(plan);
@@ -325,10 +360,12 @@ impl FaultState {
             .copied();
         let dead = self.plan.dead_after.filter(|&d| self.cmds >= d);
         let abort = self.plan.abort_after.filter(|&a| self.cmds >= a);
-        // Earliest ordinal wins; ties break abort > transient > dead (the
-        // transient-over-dead tie preserves the pre-abort behaviour).
+        let hang = self.plan.hang_after.filter(|&h| self.cmds >= h);
+        // Earliest ordinal wins; ties break abort > hang > transient > dead
+        // (the transient-over-dead tie preserves the pre-abort behaviour).
         let candidates = [
             abort.map(|a| (FaultKind::WorkerAbort, a)),
+            hang.map(|h| (FaultKind::WorkerHang, h)),
             transient.map(|t| (t.kind, t.at_cmd)),
             dead.map(|d| (FaultKind::ChipDead, d)),
         ];
@@ -343,6 +380,97 @@ impl FaultState {
             }
         }
         fired
+    }
+}
+
+/// The kinds of injected *storage* fault (see [`StorageFaultPlan`]).
+///
+/// These target the checkpoint layer, not chips: they corrupt or refuse
+/// the durable record stream so the recovery paths (CRC salvage, typed
+/// write-error latch, fsck repair) are exercised deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// The write tears mid-record: only a prefix of the line reaches the
+    /// file (simulates a kill or power cut between `write` and completion).
+    ShortWrite,
+    /// The write fails outright with `ENOSPC` — nothing reaches the file.
+    NoSpace,
+    /// The record is written in full but with one bit flipped (simulates
+    /// media corruption; only the CRC frame can catch it later).
+    BitCorrupt,
+}
+
+impl StorageFaultKind {
+    /// Stable lowercase name (used in metrics and error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageFaultKind::ShortWrite => "short_write",
+            StorageFaultKind::NoSpace => "no_space",
+            StorageFaultKind::BitCorrupt => "bit_corrupt",
+        }
+    }
+}
+
+/// One scheduled storage fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFault {
+    /// 0-based ordinal of the *appended* record the fault fires on
+    /// (records replayed from a resumed file do not count).
+    pub at_record: u64,
+    /// What happens to that record's write.
+    pub kind: StorageFaultKind,
+    /// Raw draw used to pick the flipped bit for [`StorageFaultKind::BitCorrupt`].
+    pub bit_draw: u64,
+}
+
+/// Seeded storage-fault schedule for one checkpoint file.
+///
+/// At most one fault is scheduled per file — enough to drill every
+/// recovery path (a torn tail salvages, `ENOSPC` latches a typed error,
+/// a flipped bit trips the CRC at the next reopen or `fsck`) while
+/// keeping campaigns convergent: respawned worker attempts run with
+/// storage faults disabled, exactly like worker aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageFaultPlan {
+    fault: Option<StorageFault>,
+}
+
+impl StorageFaultPlan {
+    /// Derives the schedule for the checkpoint file identified by `scope`
+    /// (its file name) under `seed`. `permille` is the probability the
+    /// file draws a fault at all; the record ordinal, kind, and corrupted
+    /// bit all derive from `(seed, scope)` deterministically.
+    pub fn derive(seed: u64, permille: u32, scope: &str) -> StorageFaultPlan {
+        let mut plan = StorageFaultPlan::default();
+        if permille == 0 {
+            return plan;
+        }
+        let id = [seed ^ STORAGE_FAULT_SALT, key_hash(scope), 0];
+        if unit(&[id[0], id[1], id[2], 1]) < f64::from(permille) / 1000.0 {
+            let kind = match draw(&id, 2) % 3 {
+                0 => StorageFaultKind::ShortWrite,
+                1 => StorageFaultKind::NoSpace,
+                _ => StorageFaultKind::BitCorrupt,
+            };
+            plan.fault = Some(StorageFault {
+                // Early ordinals so quick-fleet shards (a handful of
+                // records each) still reach the fault.
+                at_record: draw(&id, 3) % 4,
+                kind,
+                bit_draw: draw(&id, 4),
+            });
+        }
+        plan
+    }
+
+    /// The fault firing on appended record `ordinal`, if any.
+    pub fn fault_at(&self, ordinal: u64) -> Option<StorageFault> {
+        self.fault.filter(|f| f.at_record == ordinal)
+    }
+
+    /// Whether any fault is scheduled at all.
+    pub fn is_armed(&self) -> bool {
+        self.fault.is_some()
     }
 }
 
@@ -469,6 +597,86 @@ mod tests {
         let mut st = FaultState::new(plan);
         assert_eq!(st.advance(9), None);
         assert_eq!(st.advance(1), Some((FaultKind::WorkerAbort, 10)));
+    }
+
+    #[test]
+    fn worker_hang_draws_are_independent_of_chip_faults_and_aborts() {
+        let base = FaultConfig::from_seed(103).with_worker_abort(300);
+        let with_hang = base.with_worker_hang(1000);
+        for key in ["H0", "H1", "M0", "S0", "N0"] {
+            for idx in 0..4 {
+                assert_eq!(
+                    FaultPlan::classify(&base, key, idx),
+                    FaultPlan::classify(&with_hang, key, idx),
+                    "{key}#{idx}"
+                );
+                let a = FaultPlan::derive(&base, key, idx, &geometry());
+                let b = FaultPlan::derive(&with_hang, key, idx, &geometry());
+                // Strip the hang schedule and the plans must match.
+                let b_stripped = b.clone().map(|mut p| {
+                    p.hang_after = None;
+                    p
+                });
+                let b_stripped = b_stripped.filter(|p| p != &FaultPlan::default());
+                assert_eq!(a, b_stripped, "{key}#{idx}: {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn worker_hang_only_config_schedules_every_chip_at_full_probability() {
+        let cfg = FaultConfig::worker_abort_only(7, 0).with_worker_hang(1000);
+        assert!(!cfg.affects_chips());
+        let plan =
+            FaultPlan::derive(&cfg, "H0", 0, &geometry()).expect("permille 1000 always fires");
+        assert!(plan.transients.is_empty() && plan.dead_after.is_none() && plan.stuck.is_empty());
+        assert_eq!(plan.abort_after, None);
+        let at = plan.hang_after.expect("hang scheduled");
+        assert!((500..20_500).contains(&at), "{at}");
+        assert_eq!(plan, FaultPlan::derive(&cfg, "H0", 0, &geometry()).unwrap());
+    }
+
+    #[test]
+    fn hang_fires_at_its_ordinal_and_loses_ties_only_to_abort() {
+        let plan = FaultPlan {
+            transients: vec![TransientFault {
+                kind: FaultKind::BusGlitch,
+                at_cmd: 10,
+            }],
+            hang_after: Some(10),
+            ..FaultPlan::default()
+        };
+        let mut st = FaultState::new(plan);
+        assert_eq!(st.advance(9), None);
+        assert_eq!(st.advance(1), Some((FaultKind::WorkerHang, 10)));
+        let tied = FaultPlan {
+            abort_after: Some(10),
+            hang_after: Some(10),
+            ..FaultPlan::default()
+        };
+        let mut st = FaultState::new(tied);
+        assert_eq!(st.advance(10), Some((FaultKind::WorkerAbort, 10)));
+    }
+
+    #[test]
+    fn storage_plans_are_deterministic_and_scoped_per_file() {
+        let a = StorageFaultPlan::derive(7, 1000, "run.jsonl.shard0of2");
+        let b = StorageFaultPlan::derive(7, 1000, "run.jsonl.shard0of2");
+        assert_eq!(a, b, "same (seed, scope) must draw the same schedule");
+        assert!(a.is_armed(), "permille 1000 always fires");
+        let fault = (0..4).find_map(|n| a.fault_at(n)).expect("early ordinal");
+        assert_eq!(a.fault_at(fault.at_record), Some(fault));
+        assert_eq!(a.fault_at(fault.at_record + 1), None, "one fault per file");
+        // Different scopes decorrelate (kind or ordinal differs for at
+        // least one of a handful of sibling shard names).
+        let siblings: Vec<StorageFaultPlan> = (0..6)
+            .map(|i| StorageFaultPlan::derive(7, 1000, &format!("run.jsonl.shard{i}of6")))
+            .collect();
+        assert!(
+            siblings.iter().any(|s| s != &a),
+            "six sibling files should not all share one schedule: {siblings:?}"
+        );
+        assert!(!StorageFaultPlan::derive(7, 0, "run.jsonl").is_armed());
     }
 
     #[test]

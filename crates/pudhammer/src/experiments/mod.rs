@@ -251,6 +251,11 @@ pub(crate) fn sweep_fleet<R: Send + Codec>(
         },
     );
     sweep.absorb(&report);
+    // Sweep barrier: everything recorded above is now made durable against
+    // power loss, not just process death (temp file + rename + dir fsync).
+    if let Some((store, _)) = &ckpt {
+        store.commit();
+    }
     outcomes
         .into_iter()
         .filter_map(crate::fleet::sweep::SweepOutcome::ok)

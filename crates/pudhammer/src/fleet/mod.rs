@@ -20,6 +20,7 @@ use pud_dram::{
 use pud_observe::SharedSink;
 
 pub mod checkpoint;
+pub mod fsck;
 pub mod progress;
 pub mod shard;
 pub mod supervisor;

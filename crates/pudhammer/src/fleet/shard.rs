@@ -35,10 +35,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Mutex;
 
-use super::checkpoint::{CheckpointError, CheckpointHeader, CheckpointStore, ShardSlot};
+use super::checkpoint::{
+    frame_record, sync_parent_dir, CheckpointError, CheckpointHeader, CheckpointStore,
+    SalvageReport, ShardSlot,
+};
 use super::supervisor;
 use super::sweep::SkipReason;
-use super::wire::{Frame, WireError};
+use super::wire::{Frame, FrameStream, Heartbeat, WireError};
 
 /// The shard role of this process, installed via [`install_worker`] /
 /// [`install_replay`].
@@ -286,12 +289,21 @@ impl ProgressTable {
 /// fingerprint other than `fingerprint` is a *fatal* mismatch — respawning
 /// a misconfigured worker cannot fix it.
 ///
+/// `heartbeat` is the liveness watchdog window: a worker that shows no
+/// *evidence of progress* for that long is presumed hung, SIGKILLed, and
+/// respawned through the same budget as a crashed one. Evidence means a
+/// `Hello`, a `Done`, or a `Progress` frame whose counters *changed* —
+/// workers sample their live counters on an independent thread, so a
+/// wedged executor still emits frames; only moving counters prove the
+/// worker is alive. Pass a very large duration to disable the watchdog.
+///
 /// `log(index, message)` receives one line per noteworthy supervision
-/// event (worker lost, respawning, quarantined).
+/// event (worker lost, hung, respawning, quarantined).
 pub fn run_workers(
     count: u32,
     max_respawns: u32,
     fingerprint: u64,
+    heartbeat: std::time::Duration,
     spawn: impl Fn(u32, u32) -> std::io::Result<std::process::Child> + Sync,
     log: impl Fn(u32, &str) + Sync,
 ) -> Vec<ShardRun> {
@@ -307,6 +319,7 @@ pub fn run_workers(
                     index as u32,
                     max_respawns,
                     fingerprint,
+                    heartbeat,
                     spawn,
                     log,
                     progress,
@@ -334,19 +347,35 @@ enum AttemptEnd {
 fn watch_attempt(
     index: u32,
     fingerprint: u64,
+    heartbeat: std::time::Duration,
     child: &mut std::process::Child,
     progress: &ProgressTable,
 ) -> AttemptEnd {
-    let Some(mut stdout) = child.stdout.take() else {
+    let Some(stdout) = child.stdout.take() else {
         let _ = child.kill();
         let _ = child.wait();
         return AttemptEnd::Fatal("worker spawned without a piped stdout".to_string());
     };
+    let stream = FrameStream::spawn(stdout);
     let mut done: Option<WorkerStats> = None;
     let mut hello_seen = false;
+    // The watchdog resets only on *evidence of progress*: Hello, Done, or
+    // a Progress frame whose counters moved. A wedged worker's sampler
+    // thread keeps emitting identical Progress frames every 200 ms — mere
+    // frame arrival proves the sampler is alive, not the executor.
+    let mut last_counters: Option<(u64, u64, u64, u64, u64, u64)> = None;
+    let mut last_evidence = std::time::Instant::now();
     let stream_failure: Option<AttemptEnd> = loop {
-        match Frame::read_from(&mut stdout) {
-            Ok(Some(Frame::Hello {
+        let Some(window) = heartbeat.checked_sub(last_evidence.elapsed()) else {
+            let _ = child.kill();
+            break Some(AttemptEnd::Lost(format!(
+                "no heartbeat for {:.1}s: worker presumed hung, killed",
+                heartbeat.as_secs_f64()
+            )));
+        };
+        match stream.next_within(window) {
+            None => continue, // silence so far; the checked_sub decides
+            Some(Heartbeat::Frame(Frame::Hello {
                 shard,
                 count: _,
                 fingerprint: fp,
@@ -364,27 +393,42 @@ fn watch_attempt(
                     )));
                 }
                 hello_seen = true;
+                last_evidence = std::time::Instant::now();
             }
-            Ok(Some(Frame::Progress {
+            Some(Heartbeat::Frame(Frame::Progress {
                 commands,
                 items_done,
                 items_total,
                 retries,
                 quarantined,
                 units_done,
-            })) => progress.update(
-                index,
-                pud_observe::live::LiveSnapshot {
+            })) => {
+                let counters = (
                     commands,
                     items_done,
                     items_total,
                     retries,
                     quarantined,
                     units_done,
-                    ..Default::default()
-                },
-            ),
-            Ok(Some(Frame::Done {
+                );
+                if last_counters != Some(counters) {
+                    last_counters = Some(counters);
+                    last_evidence = std::time::Instant::now();
+                }
+                progress.update(
+                    index,
+                    pud_observe::live::LiveSnapshot {
+                        commands,
+                        items_done,
+                        items_total,
+                        retries,
+                        quarantined,
+                        units_done,
+                        ..Default::default()
+                    },
+                );
+            }
+            Some(Heartbeat::Frame(Frame::Done {
                 units_done,
                 retries,
                 quarantined,
@@ -400,12 +444,13 @@ fn watch_attempt(
                     peak_rss_kb,
                     write_error,
                 });
+                last_evidence = std::time::Instant::now();
             }
-            Ok(None) => break None,
-            Err(WireError::Truncated) => {
+            Some(Heartbeat::Eof) => break None,
+            Some(Heartbeat::Err(WireError::Truncated)) => {
                 break Some(AttemptEnd::Lost("stream truncated mid-frame".to_string()))
             }
-            Err(e) => break Some(AttemptEnd::Lost(e.to_string())),
+            Some(Heartbeat::Err(e)) => break Some(AttemptEnd::Lost(e.to_string())),
         }
     };
     let status = child.wait();
@@ -429,6 +474,7 @@ fn supervise_shard(
     index: u32,
     max_respawns: u32,
     fingerprint: u64,
+    heartbeat: std::time::Duration,
     spawn: &(impl Fn(u32, u32) -> std::io::Result<std::process::Child> + Sync),
     log: &(impl Fn(u32, &str) + Sync),
     progress: &ProgressTable,
@@ -460,7 +506,7 @@ fn supervise_shard(
             }
         };
         progress.worker_started();
-        let end = watch_attempt(index, fingerprint, &mut child, progress);
+        let end = watch_attempt(index, fingerprint, heartbeat, &mut child, progress);
         progress.worker_stopped();
         match end {
             AttemptEnd::Done(stats) => {
@@ -547,30 +593,48 @@ impl From<std::io::Error> for MergeError {
     }
 }
 
+/// What a successful shard merge produced.
+#[derive(Debug, Default)]
+pub struct MergeReport {
+    /// Distinct `(stage, chip)` rows in the merged file.
+    pub rows: usize,
+    /// Salvage performed while opening damaged input files (torn tails,
+    /// CRC failures): every intact prefix was merged, the reports say what
+    /// was dropped. Dropped units simply re-measure in the replay.
+    pub salvaged: Vec<SalvageReport>,
+}
+
 /// Merges the shard checkpoint slices of `shards` (their indices) into the
 /// whole-campaign checkpoint at `base`, deterministically.
 ///
 /// Every shard file's header is verified against `header` extended with
 /// that shard's [`ShardSlot`] (campaign fingerprint *and* chip range must
 /// match; a foreign schema version is a typed error) before any row is
-/// trusted. Rows already present in `base` (an earlier merge, or a
-/// single-process prefix of the campaign) are kept; a row appearing twice
-/// with identical data collapses; differing data for the same key is a
-/// [`MergeError::Conflict`]. The merged file is rewritten from scratch in
-/// sorted `(stage, chip)` order via a temp-file rename, so its bytes are a
-/// pure function of the row set — independent of shard count, completion
-/// order, and respawn history.
+/// trusted; damaged record streams salvage their intact prefix (reported
+/// in the [`MergeReport`]). Rows already present in `base` (an earlier
+/// merge, or a single-process prefix of the campaign) are kept; a row
+/// appearing twice with identical data collapses; differing data for the
+/// same key is a [`MergeError::Conflict`]. The merged file is rewritten
+/// from scratch in sorted `(stage, chip)` order via a temp-file write +
+/// `fsync` + rename + directory `fsync`, so its bytes are a pure function
+/// of the row set — independent of shard count, completion order, and
+/// respawn history — and a kill or power cut mid-merge leaves either the
+/// old file or the new one, never a torn hybrid.
 pub fn merge_shards(
     base: &Path,
     header: &CheckpointHeader,
     shards: &[u32],
     count: u32,
     fleet_len: usize,
-) -> Result<usize, MergeError> {
+) -> Result<MergeReport, MergeError> {
     assert!(header.shard.is_none(), "base header must be unsharded");
     let mut rows: std::collections::BTreeMap<(String, String), String> =
         std::collections::BTreeMap::new();
+    let mut salvaged: Vec<SalvageReport> = Vec::new();
     let mut fold = |store: &CheckpointStore| -> Result<(), MergeError> {
+        if let Some(report) = store.salvage() {
+            salvaged.push(report.clone());
+        }
         for (stage, chip, data) in store.sorted_rows() {
             let rendered = data.render();
             match rows.entry((stage.to_string(), chip.to_string())) {
@@ -598,17 +662,15 @@ pub fn merge_shards(
         let path = shard_path(base, index, count);
         fold(&CheckpointStore::open(&path, shard_header)?)?;
     }
-    // Rewrite the base atomically: a kill mid-merge leaves either the old
-    // file or the new one, never a torn hybrid.
     let mut content = format!("{}\n", header.render());
     for ((stage, chip), data) in &rows {
-        content.push_str(
+        content.push_str(&frame_record(
             &pud_observe::json::JsonObject::new()
                 .str("stage", stage)
                 .str("chip", chip)
                 .raw("data", data)
                 .finish(),
-        );
+        ));
         content.push('\n');
     }
     let tmp = {
@@ -616,9 +678,18 @@ pub fn merge_shards(
         name.push(".merge-tmp");
         PathBuf::from(name)
     };
-    std::fs::write(&tmp, content)?;
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(content.as_bytes())?;
+        file.sync_all()?;
+    }
     std::fs::rename(&tmp, base)?;
-    Ok(rows.len())
+    sync_parent_dir(base)?;
+    Ok(MergeReport {
+        rows: rows.len(),
+        salvaged,
+    })
 }
 
 #[cfg(test)]
@@ -752,13 +823,14 @@ mod tests {
         clean(&base, 2);
         write_shard(&base, 0, 2, 14, &[("s0", "A#0", "1"), ("s0", "B#0", "2")]);
         write_shard(&base, 1, 2, 14, &[("s0", "C#0", "3"), ("s1", "A#0", "4")]);
-        let n = merge_shards(&base, &header(7), &[0, 1], 2, 14).expect("merge");
-        assert_eq!(n, 4);
+        let report = merge_shards(&base, &header(7), &[0, 1], 2, 14).expect("merge");
+        assert_eq!(report.rows, 4);
+        assert!(report.salvaged.is_empty());
         let bytes_ab = std::fs::read(&base).expect("merged");
         // Re-merging with the shard order reversed (and the merged base
         // already populated) is byte-identical.
-        let n = merge_shards(&base, &header(7), &[1, 0], 2, 14).expect("re-merge");
-        assert_eq!(n, 4);
+        let report = merge_shards(&base, &header(7), &[1, 0], 2, 14).expect("re-merge");
+        assert_eq!(report.rows, 4);
         assert_eq!(std::fs::read(&base).expect("merged"), bytes_ab);
         // The merged file reopens as a plain whole-campaign checkpoint.
         let store = CheckpointStore::open(&base, header(7)).expect("reopen");
@@ -818,7 +890,7 @@ mod tests {
         CheckpointStore::open(&path, h).expect("create");
         let content = std::fs::read_to_string(&path)
             .expect("read")
-            .replace("\"version\":1", "\"version\":999");
+            .replace("\"version\":2", "\"version\":999");
         std::fs::write(&path, content).expect("rewrite");
         let err = merge_shards(&base, &header(7), &[0], 1, 14).expect_err("must reject");
         assert!(
@@ -848,8 +920,43 @@ mod tests {
         clean(&base, 2);
         write_shard(&base, 0, 2, 14, &[("s0", "A#0", "1")]);
         write_shard(&base, 1, 2, 14, &[("s0", "A#0", "1"), ("s0", "B#0", "2")]);
-        let n = merge_shards(&base, &header(7), &[0, 1], 2, 14).expect("merge");
-        assert_eq!(n, 2);
+        let report = merge_shards(&base, &header(7), &[0, 1], 2, 14).expect("merge");
+        assert_eq!(report.rows, 2);
+        clean(&base, 2);
+    }
+
+    #[test]
+    fn merge_io_failure_is_a_typed_error() {
+        // Point the base *inside* a regular file: creating the merge temp
+        // file fails with ENOTDIR before any shard is read.
+        let blocker = temp_base("merge-io-blocker");
+        std::fs::write(&blocker, "not a directory").expect("blocker");
+        let base = blocker.join("ckpt.jsonl");
+        let err = merge_shards(&base, &header(7), &[], 1, 14).expect_err("must fail");
+        assert!(matches!(err, MergeError::Io(_)), "{err}");
+        assert!(err.to_string().contains("i/o"), "{err}");
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn merge_salvages_a_damaged_shard_and_reports_it() {
+        let base = temp_base("merge-salvage");
+        clean(&base, 2);
+        write_shard(&base, 0, 2, 14, &[("s0", "A#0", "1"), ("s0", "B#0", "2")]);
+        write_shard(&base, 1, 2, 14, &[("s0", "C#0", "3")]);
+        // Tear shard 0's last record in half, as a kill -9 mid-write would.
+        let path = shard_path(&base, 0, 2);
+        let content = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &content[..content.len() - 9]).expect("tear");
+        let report = merge_shards(&base, &header(7), &[0, 1], 2, 14).expect("salvage, not fail");
+        assert_eq!(report.rows, 2, "intact rows from both shards");
+        assert_eq!(report.salvaged.len(), 1, "the torn shard is reported");
+        assert_eq!(report.salvaged[0].path, path);
+        // The merged base holds exactly the surviving rows.
+        let store = CheckpointStore::open(&base, header(7)).expect("reopen merged");
+        assert!(store.lookup("s0", "A#0").is_some());
+        assert!(store.lookup("s0", "B#0").is_none(), "torn row not merged");
+        assert!(store.lookup("s0", "C#0").is_some());
         clean(&base, 2);
     }
 
@@ -865,6 +972,7 @@ mod tests {
                 1,
                 2,
                 0xF00D,
+                std::time::Duration::from_secs(60),
                 |_, _| {
                     std::process::Command::new("false")
                         .stdout(std::process::Stdio::piped())
@@ -930,6 +1038,7 @@ mod tests {
             1,
             0,
             0xF00D,
+            std::time::Duration::from_secs(60),
             |_, _| {
                 std::process::Command::new("cat")
                     .arg(&frames)
@@ -944,6 +1053,57 @@ mod tests {
         assert_eq!(stats.units_done, 2);
         assert_eq!(stats.retries, 1);
         assert_eq!(stats.peak_rss_kb, 4096);
+        let _ = std::fs::remove_file(&frames);
+    }
+
+    #[test]
+    fn a_hung_worker_is_killed_by_the_watchdog_and_quarantined() {
+        // The worker says Hello, then wedges: no further frames, no exit.
+        // With a short heartbeat the watchdog must SIGKILL it instead of
+        // waiting out the full sleep, and the shard is quarantined once
+        // the (zero) respawn budget is spent.
+        let frames = temp_base("hang-hello");
+        let mut buf = Vec::new();
+        Frame::Hello {
+            shard: 0,
+            count: 1,
+            fingerprint: 0xF00D,
+            target: "table2".into(),
+            attempt: 0,
+        }
+        .write_to(&mut buf)
+        .unwrap();
+        std::fs::write(&frames, &buf).expect("record hello");
+        let mut logged = Vec::new();
+        let started = std::time::Instant::now();
+        {
+            let log = Mutex::new(&mut logged);
+            let runs = run_workers(
+                1,
+                0,
+                0xF00D,
+                std::time::Duration::from_millis(300),
+                |_, _| {
+                    std::process::Command::new("sh")
+                        .arg("-c")
+                        .arg(format!("cat {}; exec sleep 600", frames.display()))
+                        .stdout(std::process::Stdio::piped())
+                        .spawn()
+                },
+                |shard, msg| log.lock().unwrap().push(format!("[{shard}] {msg}")),
+            );
+            assert_eq!(runs.len(), 1);
+            assert!(runs[0].failed, "hung shard must be quarantined");
+            assert!(runs[0].done.is_none());
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "watchdog must not wait out the worker's sleep"
+        );
+        assert!(
+            logged.iter().any(|l| l.contains("presumed hung")),
+            "{logged:?}"
+        );
         let _ = std::fs::remove_file(&frames);
     }
 
@@ -965,6 +1125,7 @@ mod tests {
             1,
             5,
             0xF00D,
+            std::time::Duration::from_secs(60),
             |_, _| {
                 std::process::Command::new("cat")
                     .arg(&frames)

@@ -260,6 +260,65 @@ impl Frame {
     }
 }
 
+/// One event from a [`FrameStream`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Heartbeat {
+    /// A frame arrived.
+    Frame(Frame),
+    /// The stream ended cleanly between frames.
+    Eof,
+    /// The stream failed (truncation, I/O, malformed frame).
+    Err(WireError),
+}
+
+/// A frame reader with a *timeout*: [`Frame::read_from`] blocks forever on
+/// a stream that stays open but silent — exactly the failure mode of a
+/// hung worker — so the coordinator's watchdog reads through this instead.
+/// A background thread pumps the blocking reads into a channel; the owner
+/// polls with [`FrameStream::next_within`].
+///
+/// The reader thread is detached: once the stream's far end dies (the
+/// watchdog SIGKILLs the worker), the pending blocking read returns
+/// (EOF/error) and the thread exits on its own.
+pub struct FrameStream {
+    rx: std::sync::mpsc::Receiver<Heartbeat>,
+}
+
+impl FrameStream {
+    /// Spawns the reader thread over `r`.
+    pub fn spawn(mut r: impl Read + Send + 'static) -> FrameStream {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || loop {
+            let beat = match Frame::read_from(&mut r) {
+                Ok(Some(frame)) => Heartbeat::Frame(frame),
+                Ok(None) => Heartbeat::Eof,
+                Err(e) => Heartbeat::Err(e),
+            };
+            let terminal = !matches!(beat, Heartbeat::Frame(_));
+            if tx.send(beat).is_err() || terminal {
+                return;
+            }
+        });
+        FrameStream { rx }
+    }
+
+    /// Waits up to `timeout` for the next stream event. `None` means the
+    /// stream is *silent* — open, but nothing arrived in the window. After
+    /// an [`Heartbeat::Eof`] or [`Heartbeat::Err`] the stream yields
+    /// nothing further (the reader thread has exited).
+    pub fn next_within(&self, timeout: std::time::Duration) -> Option<Heartbeat> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(beat) => Some(beat),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+            // A disconnected channel after a terminal event was already
+            // consumed: report it as EOF forever rather than None, so a
+            // caller that keeps polling cannot misread a finished stream
+            // as a hung one.
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Some(Heartbeat::Eof),
+        }
+    }
+}
+
 enum ReadOutcome {
     Full,
     Partial,
@@ -400,6 +459,68 @@ mod tests {
             Frame::read_from(&mut cursor),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn frame_streams_deliver_frames_then_eof_and_time_out_on_silence() {
+        use std::time::Duration;
+        let frame = Frame::Progress {
+            commands: 1,
+            items_done: 0,
+            items_total: 1,
+            retries: 0,
+            quarantined: 0,
+            units_done: 0,
+        };
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        // A finite buffer: one frame, then clean EOF, then EOF forever.
+        let stream = FrameStream::spawn(std::io::Cursor::new(buf));
+        assert_eq!(
+            stream.next_within(Duration::from_secs(5)),
+            Some(Heartbeat::Frame(frame))
+        );
+        assert_eq!(
+            stream.next_within(Duration::from_secs(5)),
+            Some(Heartbeat::Eof)
+        );
+        assert_eq!(
+            stream.next_within(Duration::from_millis(10)),
+            Some(Heartbeat::Eof),
+            "a finished stream keeps reading as finished, never as hung"
+        );
+        // A pipe nobody writes to: silence, reported as None within the
+        // timeout window. The write end leaks into a zombie reader thread,
+        // which is exactly the detached-thread design.
+        let (reader, writer) = std::io::pipe().expect("pipe");
+        let stream = FrameStream::spawn(reader);
+        assert_eq!(stream.next_within(Duration::from_millis(50)), None);
+        drop(writer);
+        assert_eq!(
+            stream.next_within(Duration::from_secs(5)),
+            Some(Heartbeat::Eof)
+        );
+    }
+
+    #[test]
+    fn truncated_streams_surface_the_error_through_the_stream() {
+        use std::time::Duration;
+        let frame = Frame::Done {
+            units_done: 1,
+            retries: 0,
+            quarantined: 0,
+            cancelled: false,
+            peak_rss_kb: 0,
+            write_error: false,
+        };
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let stream = FrameStream::spawn(std::io::Cursor::new(buf));
+        assert_eq!(
+            stream.next_within(Duration::from_secs(5)),
+            Some(Heartbeat::Err(WireError::Truncated))
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!                [--checkpoint <path>] [--deadline <secs>] [--deadline-units <n>]
 //!                [--strict]
 //! repro all [...same flags...]
+//! repro fsck <checkpoint> [--repair]
 //! repro list
 //! ```
 //!
@@ -52,6 +53,19 @@
 //!   file, replays units already recorded instead of re-measuring them.
 //!   Supported for every experiment target and `all`; `fig25` (the
 //!   memory-system simulation, which has no per-chip units) rejects it.
+//!   Records are CRC32-framed and the file is re-committed atomically
+//!   (temp file + rename + directory fsync) at every sweep barrier, so a
+//!   checkpoint survives both `kill -9` mid-append and power loss. Resume
+//!   *salvages* a damaged tail — the longest intact record prefix is
+//!   kept, the discarded tail is reported on stderr, and the dropped
+//!   units are simply re-measured;
+//! - `repro fsck <checkpoint> [--repair]` verifies a checkpoint (and any
+//!   sibling shard files) offline: every record frame is CRC-checked.
+//!   With `--repair`, tail damage is truncated away (fsynced) and stale
+//!   `.commit-tmp` staging files are removed; header damage is never
+//!   repairable (the file's campaign identity is lost). Exits `0` when
+//!   every file is clean (or was repaired), `40` when damage remains,
+//!   `1` on usage or I/O errors.
 //!
 //! Campaign supervision (see `pudhammer::fleet::supervisor`):
 //!
@@ -95,6 +109,20 @@
 //! - `--fault-worker-abort <permille>` seeds the worker-abort fault class:
 //!   affected chips deterministically abort the hosting process (measured
 //!   values are never affected — the crash-isolation test knob);
+//! - `--heartbeat-timeout <secs>` (default 30) arms the coordinator's
+//!   watchdog: a worker that produces no *evidence of progress* (a Hello,
+//!   a Done, or a Progress frame whose counters changed) for that long is
+//!   presumed hung, SIGKILLed, and respawned from its shard checkpoint
+//!   through the ordinary backoff machinery;
+//! - `--fault-worker-hang <permille>` seeds the worker-hang fault class:
+//!   affected chips deterministically wedge the hosting process mid-sweep
+//!   (the watchdog drill knob — measured values are never affected);
+//! - `--fault-storage <permille>` seeds the storage fault class: at most
+//!   one appended checkpoint record per file is hit by a short write, a
+//!   simulated full disk, or a flipped bit. Short writes are salvaged at
+//!   the next resume, full disks surface as typed write failures, bit
+//!   flips are caught by the CRC frames — in every case the campaign
+//!   converges to byte-identical output or fails loudly;
 //! - `--mem-stats` prints `mem: peak_rss_kb=<n>` to stderr after the run.
 
 use std::env;
@@ -104,13 +132,13 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use pud_bender::fault::FaultConfig;
+use pud_bender::fault::{FaultConfig, StorageFaultPlan};
 use pudhammer::experiments::{self, Scale};
 use pudhammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore, ShardSlot};
 use pudhammer::fleet::progress::{self, ProgressReporter};
 use pudhammer::fleet::supervisor::{self, CancelReason, CancelToken};
 use pudhammer::fleet::wire::Frame;
-use pudhammer::fleet::{shard, Roster};
+use pudhammer::fleet::{fsck, shard, Roster};
 use pudhammer::report;
 
 const TARGETS: [&str; 21] = [
@@ -174,8 +202,13 @@ struct Options {
     page_chips: bool,
     mem_stats: bool,
     fault_worker_abort: Option<u32>,
+    fault_worker_hang: Option<u32>,
+    fault_storage: Option<u32>,
     shards: Option<u32>,
     max_respawns: u32,
+    /// Watchdog window: a worker silent (no progress evidence) this long
+    /// is presumed hung and killed.
+    heartbeat_timeout: f64,
     /// Hidden: set when this process is one shard's worker (`index/count`).
     shard_worker: Option<(u32, u32)>,
     /// Hidden: the coordinator's respawn counter for this worker. Respawns
@@ -193,8 +226,10 @@ fn usage() {
          [--checkpoint <path>] [--deadline <secs>] [--deadline-units <n>] \
          [--strict] [--fleet <per-family|paper|synth:n>] [--page-chips] \
          [--mem-stats] [--fault-worker-abort <permille>] \
-         [--shards <n>] [--max-respawns <n>]"
+         [--fault-worker-hang <permille>] [--fault-storage <permille>] \
+         [--shards <n>] [--max-respawns <n>] [--heartbeat-timeout <secs>]"
     );
+    eprintln!("       repro fsck <checkpoint> [--repair]");
     eprintln!("targets: {}", TARGETS.join(", "));
 }
 
@@ -218,8 +253,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         page_chips: false,
         mem_stats: false,
         fault_worker_abort: None,
+        fault_worker_hang: None,
+        fault_storage: None,
         shards: None,
         max_respawns: 2,
+        heartbeat_timeout: 30.0,
         shard_worker: None,
         worker_attempt: 0,
         target: None,
@@ -312,6 +350,38 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
                 opts.fault_worker_abort = Some(p);
             }
+            "--fault-worker-hang" => {
+                let p = it
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&p| p <= 1000);
+                let Some(p) = p else {
+                    return Err("--fault-worker-hang requires a permille in 0..=1000".to_string());
+                };
+                opts.fault_worker_hang = Some(p);
+            }
+            "--fault-storage" => {
+                let p = it
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&p| p <= 1000);
+                let Some(p) = p else {
+                    return Err("--fault-storage requires a permille in 0..=1000".to_string());
+                };
+                opts.fault_storage = Some(p);
+            }
+            "--heartbeat-timeout" => {
+                let secs = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|s| s.is_finite() && *s > 0.0);
+                let Some(secs) = secs else {
+                    return Err(
+                        "--heartbeat-timeout requires a positive number of seconds".to_string()
+                    );
+                };
+                opts.heartbeat_timeout = secs;
+            }
             "--shards" => {
                 let n = it
                     .next()
@@ -361,6 +431,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    // `fsck` has its own tiny grammar (a path positional the campaign
+    // parser would reject), so it is dispatched before parse_args.
+    if args.first().map(String::as_str) == Some("fsck") {
+        return fsck_main(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -382,6 +457,64 @@ fn main() -> ExitCode {
     campaign_main(&opts, &target, None)
 }
 
+/// `repro fsck <checkpoint> [--repair]`: offline checkpoint verification
+/// and repair (see [`fsck`]). Exit `0` when every discovered file is
+/// usable as it stands (clean, or damage repaired), `40` when damage
+/// remains on disk, `1` on usage or filesystem errors.
+fn fsck_main(args: &[String]) -> ExitCode {
+    let mut path: Option<&String> = None;
+    let mut repair = false;
+    for a in args {
+        match a.as_str() {
+            "--repair" => repair = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown fsck flag: {flag}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            p => {
+                if path.is_some() {
+                    eprintln!("error: unexpected extra argument: {p}");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+                path = Some(a);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("error: fsck requires a checkpoint path");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let report = match fsck::fsck(std::path::Path::new(path), repair) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: fsck {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.files.is_empty() {
+        eprintln!("error: no checkpoint found at {path}");
+        return ExitCode::FAILURE;
+    }
+    for f in &report.files {
+        println!("fsck: {}: {}", f.path.display(), f.status);
+    }
+    for tmp in &report.stale_tmp {
+        println!(
+            "fsck: {}: stale commit staging file{}",
+            tmp.display(),
+            if repair { " (removed)" } else { "" }
+        );
+    }
+    if report.healthy() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(40)
+    }
+}
+
 /// The coordinator's in-process replay of a sharded campaign: which shards
 /// existed and which were quarantined after exhausting their respawns.
 struct ReplayMode {
@@ -389,11 +522,12 @@ struct ReplayMode {
     failed: Vec<u32>,
 }
 
-/// Builds the effective [`Scale`] from the CLI options. `zero_abort`
-/// disables the worker-abort fault class while keeping the configuration
-/// shape (and thus the checkpoint header) intact — used by respawned
-/// workers and the coordinator's replay, neither of which may abort.
-fn build_scale(opts: &Options, zero_abort: bool) -> Scale {
+/// Builds the effective [`Scale`] from the CLI options.
+/// `zero_process_faults` disables the worker-abort and worker-hang fault
+/// classes while keeping the configuration shape (and thus the checkpoint
+/// header) intact — used by respawned workers and the coordinator's
+/// replay, none of which may crash or wedge.
+fn build_scale(opts: &Options, zero_process_faults: bool) -> Scale {
     let mut scale = if opts.full {
         Scale::full()
     } else {
@@ -404,15 +538,25 @@ fn build_scale(opts: &Options, zero_abort: bool) -> Scale {
         .fault_seed
         .map(FaultConfig::from_seed)
         .or_else(FaultConfig::from_env);
-    if let Some(permille) = opts.fault_worker_abort {
-        let eff = if zero_abort || opts.worker_attempt > 0 {
+    let process_fault = |permille: u32| {
+        if zero_process_faults || opts.worker_attempt > 0 {
             0
         } else {
             permille
-        };
+        }
+    };
+    if let Some(permille) = opts.fault_worker_abort {
+        let eff = process_fault(permille);
         scale.fleet.fault = Some(match scale.fleet.fault {
             Some(f) => f.with_worker_abort(eff),
             None => FaultConfig::worker_abort_only(0, eff),
+        });
+    }
+    if let Some(permille) = opts.fault_worker_hang {
+        let eff = process_fault(permille);
+        scale.fleet.fault = Some(match scale.fleet.fault {
+            Some(f) => f.with_worker_hang(eff),
+            None => FaultConfig::worker_abort_only(0, 0).with_worker_hang(eff),
         });
     }
     // `--no-compile` (or PUD_NO_COMPILE=1) pins every executor to the step
@@ -462,6 +606,14 @@ fn campaign_main(opts: &Options, target: &str, replay: Option<ReplayMode>) -> Ex
             return ExitCode::FAILURE;
         }
     };
+    // Storage faults drill the single-process durability path too; the
+    // coordinator's replay must stay clean (its merged file is the one
+    // source of truth).
+    if replay.is_none() {
+        if let Some(store) = &ckpt {
+            arm_storage_faults(opts, &scale, store);
+        }
+    }
     // The supervisor is always on: SIGINT/SIGTERM cancel cooperatively
     // even without a deadline, and the `supervisor.*` counters feed the
     // campaign footer. The kept clone answers "was this run cut short?"
@@ -549,7 +701,10 @@ fn campaign_main(opts: &Options, target: &str, replay: Option<ReplayMode>) -> Ex
     }
     // A checkpoint that could not be written means a "resumable" run that
     // silently would not resume — a hard failure even without --strict.
+    // The final commit makes the campaign's full record set durable
+    // against power loss before the verdict is read.
     if let Some(store) = &ckpt {
+        store.commit();
         if let Some(e) = store.take_write_error() {
             eprintln!("error: checkpoint write failed: {e}");
             return ExitCode::FAILURE;
@@ -746,6 +901,11 @@ fn open_checkpoint(
     let header = checkpoint_header(opts, target, scale, slot);
     let store =
         CheckpointStore::open(std::path::Path::new(path), header).map_err(|e| e.to_string())?;
+    // A damaged tail was salvaged, not fatal: say what was dropped (those
+    // units simply re-measure) so a shrunken resume is never a mystery.
+    if let Some(salvage) = store.salvage() {
+        eprintln!("{salvage}");
+    }
     if store.recovered() > 0 {
         eprintln!(
             "checkpoint: resuming {} completed unit(s) from {path}",
@@ -753,6 +913,29 @@ fn open_checkpoint(
         );
     }
     Ok(Some(store))
+}
+
+/// Arms the seeded storage-fault schedule on an open checkpoint, keyed on
+/// the checkpoint's own file name so every shard (and the merged base)
+/// draws independently. Respawned workers (`--worker-attempt > 0`) run
+/// with storage faults at zero, exactly like the process fault classes,
+/// so faulted campaigns converge.
+fn arm_storage_faults(opts: &Options, scale: &Scale, store: &CheckpointStore) {
+    let Some(permille) = opts.fault_storage else {
+        return;
+    };
+    let eff = if opts.worker_attempt > 0 { 0 } else { permille };
+    let seed = scale
+        .fleet
+        .fault
+        .map(|f| f.seed)
+        .or(opts.fault_seed)
+        .unwrap_or(0);
+    let scope = store.path().file_name().map_or_else(
+        || store.path().to_string_lossy().into_owned(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    store.arm_storage_faults(StorageFaultPlan::derive(seed, eff, &scope));
 }
 
 /// Writes one wire frame to stdout, atomically with respect to the other
@@ -793,6 +976,9 @@ fn worker_main(opts: &Options, target: &str, index: u32, count: u32) -> ExitCode
             return ExitCode::FAILURE;
         }
     };
+    if let Some(store) = &ckpt {
+        arm_storage_faults(opts, &scale, store);
+    }
     let _mode = shard::install_worker(index, count);
     signals::install();
     let mut token = CancelToken::new().with_interrupt_flag(&INTERRUPTED);
@@ -856,6 +1042,11 @@ fn worker_main(opts: &Options, target: &str, index: u32, count: u32) -> ExitCode
     drop(stop);
     let _ = sampler.join();
     drop(supervisor_guard);
+    // Shard barrier: commit before Done, so everything the coordinator is
+    // about to merge is durable (commit failures latch the write error).
+    if let Some(store) = &ckpt {
+        store.commit();
+    }
     let write_error = ckpt.as_ref().and_then(|store| store.take_write_error());
     if let Some(e) = &write_error {
         eprintln!("error: shard {index} checkpoint write failed: {e}");
@@ -949,6 +1140,12 @@ fn coordinator_main(opts: &Options, target: &str) -> ExitCode {
         if let Some(p) = opts.fault_worker_abort {
             cmd.arg("--fault-worker-abort").arg(p.to_string());
         }
+        if let Some(p) = opts.fault_worker_hang {
+            cmd.arg("--fault-worker-hang").arg(p.to_string());
+        }
+        if let Some(p) = opts.fault_storage {
+            cmd.arg("--fault-storage").arg(p.to_string());
+        }
         if let Some(secs) = opts.deadline {
             cmd.arg("--deadline").arg(secs.to_string());
         }
@@ -962,6 +1159,7 @@ fn coordinator_main(opts: &Options, target: &str) -> ExitCode {
         count,
         opts.max_respawns,
         fingerprint,
+        Duration::from_secs_f64(opts.heartbeat_timeout),
         spawn,
         |index, msg| {
             eprintln!("shard {index}: {msg}");
@@ -982,9 +1180,16 @@ fn coordinator_main(opts: &Options, target: &str) -> ExitCode {
     }
     let header = checkpoint_header(opts, target, &scale, None);
     match shard::merge_shards(&base_path, &header, &succeeded, count, fleet_len) {
-        Ok(rows) => {
+        Ok(report) => {
+            // A salvaged shard file is survivable — its dropped rows were
+            // never merged, so the replay re-measures them — but it must
+            // never be silent.
+            for salvage in &report.salvaged {
+                eprintln!("shards: {salvage}");
+            }
             eprintln!(
-                "shards: merged {rows} row(s) from {}/{count} shard(s) into {base}",
+                "shards: merged {} row(s) from {}/{count} shard(s) into {base}",
+                report.rows,
                 succeeded.len()
             );
         }

@@ -3,7 +3,11 @@
 //! count, survive worker crashes (both the seeded `worker-abort` fault and
 //! a real `kill -9`) by respawning from shard checkpoints, and degrade to
 //! quarantined `FAILED SHARD` footers with exit code 25 when the respawn
-//! budget runs out.
+//! budget runs out. The durability layer rides the same harness: hung
+//! workers (seeded `worker-hang` fault) must be killed by the heartbeat
+//! watchdog and respawned, storage-faulted campaigns must converge
+//! byte-identical or fail with a typed error, and `repro fsck` must
+//! verify/repair whatever a `kill -9` leaves on disk.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -192,6 +196,161 @@ fn a_worker_killed_with_sigkill_is_respawned_byte_identically() {
         "killed {} worker(s); resumed output must match the baseline",
         pids.len().min(1)
     );
+    cleanup(&base);
+}
+
+#[test]
+fn hung_workers_are_killed_by_the_watchdog_and_finish_byte_identical() {
+    let reference = baseline("table2");
+    let base = temp_base("hang");
+    // Permille 1000: every worker's first attempt wedges mid-shard (the
+    // executor spins forever while the progress sampler keeps emitting
+    // unchanged counters). The watchdog must detect the stalled evidence
+    // within --heartbeat-timeout, SIGKILL the worker, and respawn it
+    // fault-free from its shard checkpoint.
+    let out = repro()
+        .args(["table2", "--shards", "2", "--fault-worker-hang", "1000"])
+        .args(["--heartbeat-timeout", "2"])
+        .arg("--checkpoint")
+        .arg(&base)
+        .output()
+        .expect("spawn coordinator");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert_eq!(stdout_of(&out), reference, "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("presumed hung"),
+        "the watchdog kill must be visible in the supervision log:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("respawning"),
+        "the hung worker must be respawned:\n{stderr}"
+    );
+    cleanup(&base);
+}
+
+#[test]
+fn storage_faulted_campaigns_converge_byte_identical_or_fail_loudly() {
+    let reference = baseline("table2");
+    // Permille 1000: every checkpoint file draws exactly one storage
+    // fault — a short write (salvaged on respawn/resume), a simulated
+    // full disk (typed failure), or a flipped bit (caught by the CRC at
+    // merge/reopen). Give the budget headroom: a fault can burn an
+    // attempt the way a crash does.
+    let base = temp_base("storage");
+    let out = repro()
+        .args(["table2", "--shards", "2", "--fault-storage", "1000"])
+        .args(["--max-respawns", "3"])
+        .arg("--checkpoint")
+        .arg(&base)
+        .output()
+        .expect("spawn coordinator");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    if out.status.success() {
+        assert_eq!(
+            String::from_utf8(out.stdout.clone()).expect("utf-8"),
+            reference,
+            "a convergent storage-faulted campaign must match the baseline; stderr:\n{stderr}"
+        );
+    } else {
+        // The only acceptable failure is a *typed, attributed* one.
+        assert!(
+            stderr.contains("checkpoint"),
+            "storage faults must fail loudly with the offending path:\n{stderr}"
+        );
+    }
+    cleanup(&base);
+}
+
+#[test]
+fn fsck_verifies_a_kill9_checkpoint_and_resume_is_byte_identical() {
+    let reference = baseline("table2");
+    let base = temp_base("fsck");
+    // Run unsharded with a deadline small enough to stop mid-campaign,
+    // then SIGKILL... simpler and fully deterministic: kill -9 the run
+    // itself after a short head start.
+    let mut campaign = repro()
+        .args(["table2", "--threads", "1"])
+        .arg("--checkpoint")
+        .arg(&base)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn campaign");
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let _ = Command::new("kill")
+        .args(["-9", &campaign.id().to_string()])
+        .status();
+    let _ = campaign.wait();
+    // Offline verification: whatever state the kill left (a torn tail is
+    // legal, silent damage is not), `fsck --repair` must bring the file
+    // to a state it then verifies clean.
+    let repairing = repro()
+        .args(["fsck"])
+        .arg(&base)
+        .arg("--repair")
+        .output()
+        .expect("spawn fsck --repair");
+    assert!(
+        repairing.status.success(),
+        "fsck --repair must succeed on a kill -9 checkpoint: {}\n{}",
+        repairing.status,
+        String::from_utf8_lossy(&repairing.stderr)
+    );
+    let verify = repro().args(["fsck"]).arg(&base).output().expect("fsck");
+    assert!(
+        verify.status.success(),
+        "post-repair verification must be clean: {}\n{}",
+        verify.status,
+        String::from_utf8_lossy(&verify.stdout)
+    );
+    // And the resumed campaign completes byte-identical to the baseline.
+    let out = repro()
+        .args(["table2", "--threads", "1"])
+        .arg("--checkpoint")
+        .arg(&base)
+        .output()
+        .expect("spawn resume");
+    assert_eq!(stdout_of(&out), reference);
+    cleanup(&base);
+}
+
+#[test]
+fn fsck_reports_tail_damage_with_exit_40_and_repairs_it() {
+    let reference = baseline("table2");
+    let base = temp_base("fsck40");
+    let out = repro()
+        .args(["table2", "--checkpoint"])
+        .arg(&base)
+        .output()
+        .expect("spawn campaign");
+    let _ = stdout_of(&out);
+    // Tear the last record in half, as a crash mid-append would.
+    let content = std::fs::read(&base).expect("checkpoint bytes");
+    std::fs::write(&base, &content[..content.len() - 9]).expect("tear");
+    let verify = repro().args(["fsck"]).arg(&base).output().expect("fsck");
+    assert_eq!(
+        verify.status.code(),
+        Some(40),
+        "verify-only fsck must flag the damage:\n{}",
+        String::from_utf8_lossy(&verify.stdout)
+    );
+    let repairing = repro()
+        .args(["fsck"])
+        .arg(&base)
+        .arg("--repair")
+        .output()
+        .expect("fsck --repair");
+    assert!(
+        repairing.status.success(),
+        "tail damage is repairable:\n{}",
+        String::from_utf8_lossy(&repairing.stdout)
+    );
+    // The repaired file resumes: dropped rows re-measure, output matches.
+    let out = repro()
+        .args(["table2", "--checkpoint"])
+        .arg(&base)
+        .output()
+        .expect("spawn resume");
+    assert_eq!(stdout_of(&out), reference);
     cleanup(&base);
 }
 
