@@ -474,6 +474,84 @@ impl StorageFaultPlan {
     }
 }
 
+/// Salt mixing client-chaos draws away from chip and storage faults, so
+/// the same campaign seed injects uncorrelated fault populations at each
+/// layer.
+const CLIENT_FAULT_SALT: u64 = 0xC11E_27FA_A17C_0003;
+
+/// The kinds of injected *client* fault (see [`ClientFaultPlan`]).
+///
+/// These target the serving layer from the outside: misbehaving network
+/// clients that a robust server must shed, time out, or reject — never
+/// crash on, leak a handler thread to, or stall behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFaultKind {
+    /// The client trickles its request one byte at a time with long
+    /// pauses, holding a connection (and handler) hostage.
+    SlowLoris,
+    /// The client disconnects mid-frame: the length prefix promises more
+    /// bytes than ever arrive.
+    MidFrameCut,
+    /// The client sends a malformed frame: a garbage length word or junk
+    /// payload that must be rejected as a typed protocol error.
+    MalformedFrame,
+}
+
+impl ClientFaultKind {
+    /// Stable lowercase name (used in metrics and chaos-run transcripts).
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientFaultKind::SlowLoris => "slow_loris",
+            ClientFaultKind::MidFrameCut => "mid_frame_cut",
+            ClientFaultKind::MalformedFrame => "malformed_frame",
+        }
+    }
+}
+
+/// Seeded client-chaos schedule for a `repro query --fault-client` run.
+///
+/// Each connection ordinal deterministically either behaves (the query
+/// goes through normally, proving the server still answers under chaos)
+/// or misbehaves with one [`ClientFaultKind`]. Same seed, same schedule —
+/// a failing chaos smoke replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientFaultPlan {
+    seed: u64,
+    permille: u32,
+}
+
+impl ClientFaultPlan {
+    /// A plan under `seed` where each connection misbehaves with
+    /// probability `permille`/1000.
+    pub fn new(seed: u64, permille: u32) -> ClientFaultPlan {
+        ClientFaultPlan { seed, permille }
+    }
+
+    /// How connection `conn` (0-based ordinal) behaves: `None` is a
+    /// well-formed query, `Some(kind)` misbehaves.
+    pub fn classify(&self, conn: u64) -> Option<ClientFaultKind> {
+        if self.permille == 0 {
+            return None;
+        }
+        let id = [self.seed ^ CLIENT_FAULT_SALT, conn, 0];
+        if unit(&[id[0], id[1], id[2], 1]) >= f64::from(self.permille) / 1000.0 {
+            return None;
+        }
+        Some(match draw(&id, 2) % 3 {
+            0 => ClientFaultKind::SlowLoris,
+            1 => ClientFaultKind::MidFrameCut,
+            _ => ClientFaultKind::MalformedFrame,
+        })
+    }
+
+    /// Raw draw `tag` for connection `conn` — the chaos client uses these
+    /// to vary pause lengths, cut points, and garbage bytes without any
+    /// other randomness source.
+    pub fn draw(&self, conn: u64, tag: u64) -> u64 {
+        draw(&[self.seed ^ CLIENT_FAULT_SALT, conn, 0], 0x100 + tag)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +755,37 @@ mod tests {
             "six sibling files should not all share one schedule: {siblings:?}"
         );
         assert!(!StorageFaultPlan::derive(7, 0, "run.jsonl").is_armed());
+    }
+
+    #[test]
+    fn client_plans_are_deterministic_and_cover_every_kind() {
+        let plan = ClientFaultPlan::new(103, 1000);
+        for conn in 0..16 {
+            assert_eq!(plan.classify(conn), plan.classify(conn));
+            assert_eq!(plan.draw(conn, 1), plan.draw(conn, 1));
+            assert!(
+                plan.classify(conn).is_some(),
+                "permille 1000 always misbehaves"
+            );
+        }
+        // All three behaviors appear within a small ordinal range, so a
+        // short chaos smoke exercises every misbehavior.
+        let kinds: Vec<&str> = (0..16)
+            .filter_map(|c| plan.classify(c))
+            .map(ClientFaultKind::name)
+            .collect();
+        for want in ["slow_loris", "mid_frame_cut", "malformed_frame"] {
+            assert!(kinds.contains(&want), "missing {want} in {kinds:?}");
+        }
+        // Permille scales: 0 never fires; a mid permille fires sometimes.
+        assert!((0..64).all(|c| ClientFaultPlan::new(103, 0).classify(c).is_none()));
+        let mid = ClientFaultPlan::new(103, 500);
+        let fired = (0..64).filter(|&c| mid.classify(c).is_some()).count();
+        assert!((8..56).contains(&fired), "permille 500 fired {fired}/64");
+        // Client draws are decorrelated from chip/storage fault draws by
+        // the salt: same seed, different population.
+        let storage = StorageFaultPlan::derive(103, 1000, "x");
+        assert!(storage.is_armed(), "sanity: storage still fires at 1000");
     }
 
     #[test]

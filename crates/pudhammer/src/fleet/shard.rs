@@ -446,6 +446,17 @@ fn watch_attempt(
                 });
                 last_evidence = std::time::Instant::now();
             }
+            // Serve-protocol frames have no business on a worker stream: a
+            // peer that sends them has lost the plot, treat it as lost.
+            Some(Heartbeat::Frame(f @ (Frame::Query { .. } | Frame::Response { .. }))) => {
+                break Some(AttemptEnd::Lost(format!(
+                    "unexpected {} frame on worker stream",
+                    match f {
+                        Frame::Query { .. } => "query",
+                        _ => "response",
+                    }
+                )));
+            }
             Some(Heartbeat::Eof) => break None,
             Some(Heartbeat::Err(WireError::Truncated)) => {
                 break Some(AttemptEnd::Lost("stream truncated mid-frame".to_string()))

@@ -208,6 +208,15 @@ impl Default for CancelToken {
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 static CURRENT: Mutex<Option<CancelToken>> = Mutex::new(None);
 
+thread_local! {
+    // Per-thread token override for concurrent request handling (`repro
+    // serve` workers each carry their own request deadline). Consulted
+    // before the process-global token so one worker's expiring request
+    // never cancels another's — and never stomps a campaign supervisor
+    // installed for the whole process.
+    static LOCAL: std::cell::RefCell<Vec<CancelToken>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Restores the previously installed token (if any) on drop, so nested
 /// and test installations compose.
 #[derive(Debug)]
@@ -236,13 +245,48 @@ pub fn install(token: CancelToken) -> SupervisorGuard {
     SupervisorGuard { previous }
 }
 
-/// Whether a supervisor token is currently installed.
+/// Pops the thread-local token on drop. Unlike [`SupervisorGuard`] this is
+/// intentionally `!Send`: the token must be uninstalled on the thread that
+/// installed it.
+#[derive(Debug)]
+pub struct LocalSupervisorGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for LocalSupervisorGuard {
+    fn drop(&mut self) {
+        LOCAL.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Installs `token` for *this thread only*: [`poll_cancel`] and friends on
+/// this thread consult it in preference to the process-global token, other
+/// threads are unaffected. Nested installs stack; each guard pops its own
+/// token on drop. This is how `repro serve` workers carry per-request
+/// deadlines while the process-global slot (used by campaign `--deadline`)
+/// stays free for whole-process supervision.
+pub fn install_local(token: CancelToken) -> LocalSupervisorGuard {
+    static BENDER_HOOK: Once = Once::new();
+    BENDER_HOOK.call_once(|| pud_bender::set_cancel_check(poll_cancel));
+    LOCAL.with(|stack| stack.borrow_mut().push(token));
+    LocalSupervisorGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Whether a supervisor token is currently installed (on this thread or
+/// process-wide).
 pub fn active() -> bool {
-    ACTIVE.load(Ordering::SeqCst)
+    ACTIVE.load(Ordering::SeqCst) || LOCAL.with(|stack| !stack.borrow().is_empty())
 }
 
 fn current() -> Option<CancelToken> {
-    if !active() {
+    if let Some(local) = LOCAL.with(|stack| stack.borrow().last().cloned()) {
+        return Some(local);
+    }
+    if !ACTIVE.load(Ordering::SeqCst) {
         return None;
     }
     CURRENT.lock().unwrap_or_else(|e| e.into_inner()).clone()
@@ -370,5 +414,55 @@ mod tests {
         let restored = current().expect("outer restored");
         assert!(Arc::ptr_eq(&restored.inner, &outer.inner));
         drop(guard);
+    }
+
+    #[test]
+    fn local_install_shadows_the_global_token_on_this_thread_only() {
+        let global = CancelToken::new();
+        let _guard = install(global.clone());
+        let local = CancelToken::new();
+        {
+            let _local_guard = install_local(local.clone());
+            let seen = current().expect("local token installed");
+            assert!(Arc::ptr_eq(&seen.inner, &local.inner));
+            // Another thread still sees the global token.
+            let global2 = global.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let seen = current().expect("global visible cross-thread");
+                    assert!(Arc::ptr_eq(&seen.inner, &global2.inner));
+                });
+            });
+            // Nested local installs stack.
+            let inner = CancelToken::new();
+            {
+                let _inner_guard = install_local(inner.clone());
+                let seen = current().expect("nested local");
+                assert!(Arc::ptr_eq(&seen.inner, &inner.inner));
+            }
+            let seen = current().expect("outer local restored");
+            assert!(Arc::ptr_eq(&seen.inner, &local.inner));
+        }
+        // Local guard dropped: back to the global token.
+        let seen = current().expect("global restored");
+        assert!(Arc::ptr_eq(&seen.inner, &global.inner));
+    }
+
+    #[test]
+    fn local_install_activates_polling_without_a_global_token() {
+        // No global install here: a bare local token must make the polls
+        // live on this thread...
+        let token = CancelToken::new();
+        let guard = install_local(token.clone());
+        assert!(active());
+        assert_eq!(is_cancelled(), None);
+        token.cancel(CancelReason::DeadlineExpired);
+        assert_eq!(is_cancelled(), Some(CancelReason::DeadlineExpired));
+        drop(guard);
+        // ...and only this thread: after the pop, polls are inert again
+        // (unless some other test's global token is installed, in which
+        // case is_cancelled() consults that — so only assert the local
+        // token is gone).
+        assert!(LOCAL.with(|stack| stack.borrow().is_empty()));
     }
 }

@@ -566,7 +566,7 @@ thread_local! {
     static SUPPRESS_PANIC_REPORT: Cell<bool> = const { Cell::new(false) };
 }
 
-fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn std::any::Any + Send>> {
+pub(crate) fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn std::any::Any + Send>> {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let previous = std::panic::take_hook();
@@ -587,7 +587,7 @@ fn catch_quiet<R>(f: impl FnOnce() -> R) -> Result<R, Box<dyn std::any::Any + Se
 /// transience; anything else — a plain `assert!`, an index out of bounds —
 /// is permanent: retrying deterministic code on unchanged state would fail
 /// identically.
-fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> (bool, String) {
+pub(crate) fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> (bool, String) {
     match payload.downcast::<ExecError>() {
         Ok(err) => (err.is_transient(), err.to_string()),
         Err(payload) => {

@@ -1,20 +1,20 @@
-//! Length-prefixed frame protocol between the shard coordinator and its
-//! worker processes.
+//! Length-prefixed frame protocol shared by the shard coordinator and the
+//! `repro serve` query server.
 //!
 //! A shard worker (the `repro` binary re-exec'd with `--shard-worker`)
 //! speaks this protocol on its **stdout**: experiment output never goes
 //! there (workers run quiet; rendering is the coordinator's job), so the
-//! stream carries only frames. Each frame is
+//! stream carries only frames. The query server speaks the same framing
+//! over TCP, with its own frame types. Each frame is
 //!
 //! ```text
 //! [u32 LE payload length][u8 frame type][payload: UTF-8 JSON]
 //! ```
 //!
 //! The JSON payload keeps frames debuggable (`xxd` shows readable field
-//! names) and versionable without a binary schema. Three frame types
-//! exist:
+//! names) and versionable without a binary schema. Frame types:
 //!
-//! - [`Frame::Hello`] — sent once at startup: shard identity, fleet
+//! - [`Frame::Hello`] — sent once at worker startup: shard identity, fleet
 //!   fingerprint, target, and respawn attempt. The coordinator validates
 //!   it against the campaign before trusting anything else.
 //! - [`Frame::Progress`] — periodic live-counter samples, forwarded into
@@ -22,26 +22,94 @@
 //! - [`Frame::Done`] — sent once on orderly completion. A worker that
 //!   crashes (abort, OOM-kill, SIGKILL) never sends it: the coordinator
 //!   detects the EOF-without-`Done` and schedules a respawn.
+//! - [`Frame::Query`] — a `repro serve` client asking for one profile key
+//!   under an optional deadline budget.
+//! - [`Frame::Response`] — the server's typed verdict for one query: a
+//!   value, or an explicit degradation status ([`QueryStatus`]) — never a
+//!   silent drop.
 //!
 //! A truncated frame (EOF mid-length, mid-type, or mid-payload) is
-//! reported as [`WireError::Truncated`] — the signature of a worker dying
-//! mid-write. A clean EOF between frames decodes as `Ok(None)`.
+//! reported as [`WireError::Truncated`] — the signature of a peer dying
+//! mid-write. A clean EOF between frames decodes as `Ok(None)`. A
+//! zero-length or over-[`MAX_PAYLOAD`] length word is a *protocol* error
+//! reported with the byte offset of the offending length prefix (see
+//! [`FrameReader`]) — it is never trusted as an allocation size and never
+//! panics: the cap is shared by the coordinator and server paths, so no
+//! peer on either side can make the other allocate unboundedly.
 
 use std::io::{Read, Write};
 
 use pud_observe::json::JsonObject;
 use pud_observe::JsonValue;
 
-/// Maximum accepted payload size. Frames are small (a few hundred bytes);
-/// anything larger means a corrupt length word, not a real frame.
+/// Maximum accepted payload size, shared by every decoder (coordinator
+/// worker streams and the `repro serve` TCP path). Frames are small (a few
+/// hundred bytes); anything larger means a corrupt length word or a
+/// hostile client, not a real frame — and is rejected *before* any
+/// allocation is sized from it.
 pub const MAX_PAYLOAD: u32 = 1 << 20;
 
 /// Frame type tags on the wire.
 const TAG_HELLO: u8 = 1;
 const TAG_PROGRESS: u8 = 2;
 const TAG_DONE: u8 = 3;
+const TAG_QUERY: u8 = 4;
+const TAG_RESPONSE: u8 = 5;
 
-/// One coordinator↔worker protocol frame.
+/// The typed verdict of a [`Frame::Response`]: every query gets exactly
+/// one of these — the degradation ladder is explicit on the wire, never a
+/// silent drop or a stalled connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The profile value is in the response.
+    Ok,
+    /// The admission queue was full; the request was shed. Retry later.
+    Overloaded,
+    /// The server is degraded (simulation budget exhausted or worker pool
+    /// lost): cache hits still answer, but this miss cannot be computed.
+    Degraded,
+    /// The backing simulation failed (injected chip fault that survived
+    /// the retry budget, or an internal error).
+    Unavailable,
+    /// The request's deadline expired before (or while) computing.
+    Expired,
+    /// The query itself was malformed (unparseable key, unknown family).
+    BadRequest,
+}
+
+impl QueryStatus {
+    /// Wire name (also the `repro query` stderr vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryStatus::Ok => "ok",
+            QueryStatus::Overloaded => "overloaded",
+            QueryStatus::Degraded => "degraded",
+            QueryStatus::Unavailable => "unavailable",
+            QueryStatus::Expired => "expired",
+            QueryStatus::BadRequest => "bad-request",
+        }
+    }
+
+    fn parse(s: &str) -> Option<QueryStatus> {
+        Some(match s {
+            "ok" => QueryStatus::Ok,
+            "overloaded" => QueryStatus::Overloaded,
+            "degraded" => QueryStatus::Degraded,
+            "unavailable" => QueryStatus::Unavailable,
+            "expired" => QueryStatus::Expired,
+            "bad-request" => QueryStatus::BadRequest,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for QueryStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One protocol frame (coordinator↔worker or serve client↔server).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
     /// Worker startup announcement.
@@ -90,6 +158,32 @@ pub enum Frame {
         /// checkpoint may be incomplete).
         write_error: bool,
     },
+    /// A `repro serve` client's point query.
+    Query {
+        /// Client-chosen request id, echoed in the response so one
+        /// connection can pipeline queries.
+        id: u64,
+        /// Canonical profile key text (see `pudhammer::serve::ProfileKey`).
+        key: String,
+        /// Request deadline budget in milliseconds (0 = no deadline). The
+        /// server propagates it into the simulation's cancellation token.
+        deadline_ms: u64,
+    },
+    /// The server's verdict for one [`Frame::Query`].
+    Response {
+        /// Echo of the query id.
+        id: u64,
+        /// The typed outcome.
+        status: QueryStatus,
+        /// Whether the value was served from the profile store (`true`) or
+        /// computed on demand (`false`). Meaningful only for `Ok`.
+        cached: bool,
+        /// The rendered profile value (empty unless `Ok`). Byte-identical
+        /// whether served from cache or computed on demand.
+        value: String,
+        /// Human-readable detail for non-`Ok` statuses.
+        detail: String,
+    },
 }
 
 /// Decode-side failures.
@@ -119,6 +213,8 @@ impl Frame {
             Frame::Hello { .. } => TAG_HELLO,
             Frame::Progress { .. } => TAG_PROGRESS,
             Frame::Done { .. } => TAG_DONE,
+            Frame::Query { .. } => TAG_QUERY,
+            Frame::Response { .. } => TAG_RESPONSE,
         }
     }
 
@@ -167,6 +263,28 @@ impl Frame {
                 .u64("peak_rss_kb", *peak_rss_kb)
                 .bool("write_error", *write_error)
                 .finish(),
+            Frame::Query {
+                id,
+                key,
+                deadline_ms,
+            } => JsonObject::new()
+                .u64("id", *id)
+                .str("key", key)
+                .u64("deadline_ms", *deadline_ms)
+                .finish(),
+            Frame::Response {
+                id,
+                status,
+                cached,
+                value,
+                detail,
+            } => JsonObject::new()
+                .u64("id", *id)
+                .str("status", status.name())
+                .bool("cached", *cached)
+                .str("value", value)
+                .str("detail", detail)
+                .finish(),
         }
     }
 
@@ -188,33 +306,11 @@ impl Frame {
 
     /// Reads the next frame. `Ok(None)` on clean EOF (stream ended exactly
     /// between frames); [`WireError::Truncated`] if it ended inside one.
+    /// Byte offsets in protocol errors are relative to where `r` currently
+    /// points; use a persistent [`FrameReader`] to get stream-absolute
+    /// offsets across many frames.
     pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
-        let mut len_buf = [0u8; 4];
-        match read_exact_or_eof(r, &mut len_buf)? {
-            ReadOutcome::Eof => return Ok(None),
-            ReadOutcome::Partial => return Err(WireError::Truncated),
-            ReadOutcome::Full => {}
-        }
-        let len = u32::from_le_bytes(len_buf);
-        if len > MAX_PAYLOAD {
-            return Err(WireError::Malformed(format!(
-                "payload length {len} exceeds cap"
-            )));
-        }
-        let mut tag = [0u8; 1];
-        match read_exact_or_eof(r, &mut tag)? {
-            ReadOutcome::Full => {}
-            _ => return Err(WireError::Truncated),
-        }
-        let mut payload = vec![0u8; len as usize];
-        match read_exact_or_eof(r, &mut payload)? {
-            ReadOutcome::Full => {}
-            _ => return Err(WireError::Truncated),
-        }
-        let text = String::from_utf8(payload)
-            .map_err(|_| WireError::Malformed("payload is not UTF-8".into()))?;
-        let v = JsonValue::parse(&text).map_err(WireError::Malformed)?;
-        Frame::decode(tag[0], &v).map(Some)
+        FrameReader::new(r).next_frame()
     }
 
     fn decode(tag: u8, v: &JsonValue) -> Result<Frame, WireError> {
@@ -227,16 +323,18 @@ impl Frame {
             Some(JsonValue::Bool(b)) => Ok(*b),
             _ => Err(WireError::Malformed(format!("missing field {key}"))),
         };
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| WireError::Malformed(format!("missing field {key}")))
+        };
         match tag {
             TAG_HELLO => Ok(Frame::Hello {
                 shard: field("shard")? as u32,
                 count: field("count")? as u32,
                 fingerprint: field("fingerprint")?,
-                target: v
-                    .get("target")
-                    .and_then(JsonValue::as_str)
-                    .ok_or_else(|| WireError::Malformed("missing field target".into()))?
-                    .to_string(),
+                target: text("target")?,
                 attempt: field("attempt")? as u32,
             }),
             TAG_PROGRESS => Ok(Frame::Progress {
@@ -255,8 +353,102 @@ impl Frame {
                 peak_rss_kb: field("peak_rss_kb")?,
                 write_error: flag("write_error")?,
             }),
+            TAG_QUERY => Ok(Frame::Query {
+                id: field("id")?,
+                key: text("key")?,
+                deadline_ms: field("deadline_ms")?,
+            }),
+            TAG_RESPONSE => Ok(Frame::Response {
+                id: field("id")?,
+                status: {
+                    let s = text("status")?;
+                    QueryStatus::parse(&s).ok_or_else(|| {
+                        WireError::Malformed(format!("unknown query status {s:?}"))
+                    })?
+                },
+                cached: flag("cached")?,
+                value: text("value")?,
+                detail: text("detail")?,
+            }),
             other => Err(WireError::Malformed(format!("unknown frame tag {other}"))),
         }
+    }
+}
+
+/// A stateful frame decoder that tracks its absolute position in the
+/// stream, so a bad length word is reported *with the byte offset of the
+/// offending prefix* — the difference between "somewhere in a 40-minute
+/// campaign the worker stream went bad" and an `xxd`-able location.
+///
+/// Two length words are protocol errors (never allocation sizes, never
+/// panics):
+///
+/// - **zero** — no frame has an empty payload (every payload is a JSON
+///   object), so a zero length word means the peer lost framing;
+/// - **over [`MAX_PAYLOAD`]** — a corrupt word or a hostile client trying
+///   to size an allocation.
+pub struct FrameReader<R> {
+    r: R,
+    offset: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `r`, treating its current position as byte offset 0.
+    pub fn new(r: R) -> FrameReader<R> {
+        FrameReader { r, offset: 0 }
+    }
+
+    /// Total bytes consumed from the underlying stream so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads the next frame. `Ok(None)` on clean EOF between frames;
+    /// [`WireError::Truncated`] on EOF inside a frame; typed
+    /// [`WireError::Malformed`] — naming the byte offset of the length
+    /// prefix — on a zero or over-cap length word.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let frame_start = self.offset;
+        let mut len_buf = [0u8; 4];
+        match self.fill(&mut len_buf)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial => return Err(WireError::Truncated),
+            ReadOutcome::Full => {}
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len == 0 {
+            return Err(WireError::Malformed(format!(
+                "zero-length frame at byte offset {frame_start}"
+            )));
+        }
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Malformed(format!(
+                "payload length {len} exceeds cap {MAX_PAYLOAD} at byte offset {frame_start}"
+            )));
+        }
+        let mut tag = [0u8; 1];
+        match self.fill(&mut tag)? {
+            ReadOutcome::Full => {}
+            _ => return Err(WireError::Truncated),
+        }
+        let mut payload = vec![0u8; len as usize];
+        match self.fill(&mut payload)? {
+            ReadOutcome::Full => {}
+            _ => return Err(WireError::Truncated),
+        }
+        let text = String::from_utf8(payload).map_err(|_| {
+            WireError::Malformed(format!(
+                "payload is not UTF-8 in frame at byte offset {frame_start}"
+            ))
+        })?;
+        let v = JsonValue::parse(&text).map_err(WireError::Malformed)?;
+        Frame::decode(tag[0], &v).map(Some)
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+        let (outcome, n) = read_exact_or_eof(&mut self.r, buf)?;
+        self.offset += n as u64;
+        Ok(outcome)
     }
 }
 
@@ -285,11 +477,14 @@ pub struct FrameStream {
 }
 
 impl FrameStream {
-    /// Spawns the reader thread over `r`.
-    pub fn spawn(mut r: impl Read + Send + 'static) -> FrameStream {
+    /// Spawns the reader thread over `r`. Decoding goes through a
+    /// persistent [`FrameReader`], so protocol errors carry byte offsets
+    /// absolute in the worker's whole stream, not relative to one frame.
+    pub fn spawn(r: impl Read + Send + 'static) -> FrameStream {
         let (tx, rx) = std::sync::mpsc::channel();
+        let mut reader = FrameReader::new(r);
         std::thread::spawn(move || loop {
-            let beat = match Frame::read_from(&mut r) {
+            let beat = match reader.next_frame() {
                 Ok(Some(frame)) => Heartbeat::Frame(frame),
                 Ok(None) => Heartbeat::Eof,
                 Err(e) => Heartbeat::Err(e),
@@ -327,23 +522,26 @@ enum ReadOutcome {
 
 /// `read_exact` that distinguishes "EOF before any byte" from "EOF inside
 /// the buffer" — the difference between a finished worker and a dead one.
-fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+/// Also returns how many bytes were consumed, so [`FrameReader`] can keep
+/// its stream offset exact even across partial reads.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<(ReadOutcome, usize), WireError> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
-                return Ok(if filled == 0 {
+                let outcome = if filled == 0 {
                     ReadOutcome::Eof
                 } else {
                     ReadOutcome::Partial
-                })
+                };
+                return Ok((outcome, filled));
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(WireError::Io(e.to_string())),
         }
     }
-    Ok(ReadOutcome::Full)
+    Ok((ReadOutcome::Full, filled))
 }
 
 #[cfg(test)]
@@ -384,6 +582,49 @@ mod tests {
             peak_rss_kb: 123_456,
             write_error: false,
         });
+        roundtrip(Frame::Query {
+            id: 7,
+            key: "family=SK Hynix-A-4Gb;chip=0;pattern=rh-ds;dp=0x55;temp_cc=8000;aggon_ps=36000"
+                .into(),
+            deadline_ms: 1500,
+        });
+        roundtrip(Frame::Response {
+            id: 7,
+            status: QueryStatus::Ok,
+            cached: true,
+            value: "hc_first=12345".into(),
+            detail: String::new(),
+        });
+        for status in [
+            QueryStatus::Overloaded,
+            QueryStatus::Degraded,
+            QueryStatus::Unavailable,
+            QueryStatus::Expired,
+            QueryStatus::BadRequest,
+        ] {
+            roundtrip(Frame::Response {
+                id: 1,
+                status,
+                cached: false,
+                value: String::new(),
+                detail: format!("why: {status}"),
+            });
+        }
+    }
+
+    #[test]
+    fn query_status_names_round_trip() {
+        for status in [
+            QueryStatus::Ok,
+            QueryStatus::Overloaded,
+            QueryStatus::Degraded,
+            QueryStatus::Unavailable,
+            QueryStatus::Expired,
+            QueryStatus::BadRequest,
+        ] {
+            assert_eq!(QueryStatus::parse(status.name()), Some(status));
+        }
+        assert_eq!(QueryStatus::parse("nope"), None);
     }
 
     #[test]
@@ -459,6 +700,78 @@ mod tests {
             Frame::read_from(&mut cursor),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn bad_length_words_name_the_byte_offset_of_the_prefix() {
+        // One good frame, then a zero length word: the error must name the
+        // offset where the *second* frame's prefix starts, not offset 0.
+        let good = Frame::Progress {
+            commands: 9,
+            items_done: 1,
+            items_total: 2,
+            retries: 0,
+            quarantined: 0,
+            units_done: 1,
+        };
+        let mut buf = Vec::new();
+        good.write_to(&mut buf).unwrap();
+        let second_start = buf.len() as u64;
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut reader = FrameReader::new(&buf[..]);
+        assert_eq!(reader.next_frame(), Ok(Some(good)));
+        assert_eq!(reader.offset(), second_start);
+        match reader.next_frame() {
+            Err(WireError::Malformed(msg)) => {
+                assert!(
+                    msg.contains("zero-length") && msg.contains(&second_start.to_string()),
+                    "message must name the offending offset: {msg}"
+                );
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+
+        // An over-cap length word, same positioning requirement.
+        let mut buf2 = buf[..second_start as usize].to_vec();
+        buf2.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut reader = FrameReader::new(&buf2[..]);
+        reader.next_frame().unwrap();
+        match reader.next_frame() {
+            Err(WireError::Malformed(msg)) => {
+                assert!(
+                    msg.contains("exceeds cap") && msg.contains(&second_start.to_string()),
+                    "message must name the offending offset: {msg}"
+                );
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_prefix_is_a_protocol_error_not_a_frame() {
+        // At stream start, the offset named is 0.
+        let buf = 0u32.to_le_bytes();
+        let mut cursor = &buf[..];
+        match Frame::read_from(&mut cursor) {
+            Err(WireError::Malformed(msg)) => {
+                assert!(msg.contains("byte offset 0"), "got: {msg}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_stream_reports_bad_length_words_as_malformed() {
+        use std::time::Duration;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let stream = FrameStream::spawn(std::io::Cursor::new(buf));
+        match stream.next_within(Duration::from_secs(5)) {
+            Some(Heartbeat::Err(WireError::Malformed(msg))) => {
+                assert!(msg.contains("zero-length"), "got: {msg}");
+            }
+            other => panic!("expected Malformed heartbeat, got {other:?}"),
+        }
     }
 
     #[test]

